@@ -1,0 +1,121 @@
+// Reproduces the paper's Fig 1 (and the Fig 6 / Fig 7 refinement ladder):
+// the pairs (1a, 1b) and (1c, 1d) are 4-intersection equivalent but not
+// topologically equivalent; G_I without O separates neither Fig 7 pair;
+// the full invariant separates everything. Timing series: invariant
+// computation on the Comb(k) family (Fig 1d generalized).
+
+#include <cstdio>
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/topodb.h"
+
+namespace topodb {
+namespace {
+
+using bench::Header;
+using bench::Unwrap;
+
+void ReportFig1() {
+  Header("Fig 1: 4-intersection equivalence vs topological equivalence");
+  struct Pair {
+    const char* name;
+    SpatialInstance a, b;
+  } pairs[] = {
+      {"Fig1a vs Fig1b", Fig1aInstance(), Fig1bInstance()},
+      {"Fig1c vs Fig1d", Fig1cInstance(), Fig1dInstance()},
+  };
+  std::printf("%-16s | %-18s | %-16s\n", "pair", "4-int equivalent",
+              "H-equivalent (T_I)");
+  for (auto& [name, a, b] : pairs) {
+    const bool fourint = Unwrap(FourIntEquivalent(a, b));
+    const bool homeo =
+        Isomorphic(Unwrap(ComputeInvariant(a)), Unwrap(ComputeInvariant(b)));
+    std::printf("%-16s | %-18s | %-16s\n", name, fourint ? "yes" : "no",
+                homeo ? "yes" : "no");
+  }
+}
+
+void ReportFig6and7() {
+  Header("Fig 6 / Fig 7: what each level of the invariant separates");
+  std::printf("%-22s | %-12s | %-12s | %-10s\n", "pair",
+              "G_I minus f0", "G_I (with f0)", "T_I (full)");
+  // Fig 6: identical except the exterior face.
+  InvariantData fig6 = Unwrap(ComputeInvariant(Fig6Instance()));
+  int pocket = -1;
+  for (size_t f = 0; f < fig6.faces.size(); ++f) {
+    if (!fig6.faces[f].unbounded && LabelString(fig6.faces[f].label) == "---") {
+      pocket = static_cast<int>(f);
+    }
+  }
+  InvariantData everted = Unwrap(fig6.WithExteriorFace(pocket));
+  GraphIsoOptions no_exterior;
+  no_exterior.include_exterior = false;
+  std::printf("%-22s | %-12s | %-12s | %-10s\n", "Fig6 vs everted",
+              GraphIsomorphic(fig6, everted, no_exterior) ? "iso" : "differ",
+              GraphIsomorphic(fig6, everted) ? "iso" : "differ",
+              Isomorphic(fig6, everted) ? "iso" : "differ");
+  // Fig 7: identical G_I, different orientation.
+  struct Pair {
+    const char* name;
+    SpatialInstance a, b;
+  } pairs[] = {
+      {"Fig7a vs Fig7a'", Fig7aInstance(), Fig7aPrimeInstance()},
+      {"Fig7b vs Fig7b'", Fig7bInstance(), Fig7bPrimeInstance()},
+  };
+  for (auto& [name, a, b] : pairs) {
+    InvariantData ia = Unwrap(ComputeInvariant(a));
+    InvariantData ib = Unwrap(ComputeInvariant(b));
+    std::printf("%-22s | %-12s | %-12s | %-10s\n", name,
+                GraphIsomorphic(ia, ib, no_exterior) ? "iso" : "differ",
+                GraphIsomorphic(ia, ib) ? "iso" : "differ",
+                Isomorphic(ia, ib) ? "iso" : "differ");
+  }
+}
+
+void BM_InvariantFixture(benchmark::State& state, SpatialInstance instance) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(ComputeInvariant(instance)));
+  }
+}
+BENCHMARK_CAPTURE(BM_InvariantFixture, fig1a, Fig1aInstance());
+BENCHMARK_CAPTURE(BM_InvariantFixture, fig1d, Fig1dInstance());
+BENCHMARK_CAPTURE(BM_InvariantFixture, fig7a, Fig7aInstance());
+
+void BM_InvariantComb(benchmark::State& state) {
+  SpatialInstance instance = Unwrap(CombInstance(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(ComputeInvariant(instance)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InvariantComb)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+void BM_EquivalenceComb(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  InvariantData a = Unwrap(ComputeInvariant(Unwrap(CombInstance(k))));
+  // A sheared copy: equivalent, worst case for canonical comparison.
+  AffineTransform shear = Unwrap(AffineTransform::Make(1, 1, 3, 0, 1, -2));
+  InvariantData b = Unwrap(ComputeInvariant(
+      Unwrap(shear.ApplyToInstance(Unwrap(CombInstance(k))))));
+  for (auto _ : state) {
+    bool equal = Isomorphic(a, b);
+    if (!equal) state.SkipWithError("equivalent combs not recognized");
+    benchmark::DoNotOptimize(equal);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_EquivalenceComb)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+}  // namespace
+}  // namespace topodb
+
+int main(int argc, char** argv) {
+  topodb::ReportFig1();
+  topodb::ReportFig6and7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

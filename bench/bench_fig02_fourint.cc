@@ -1,0 +1,98 @@
+// Reproduces Fig 2: the eight 4-intersection relations, each realized by a
+// canonical rectangle configuration and classified from the cell-complex
+// labels. Timing: relation classification on fixture pairs and random
+// instances.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/topodb.h"
+
+namespace topodb {
+namespace {
+
+using bench::Unwrap;
+
+SpatialInstance Pair(int64_t ax1, int64_t ay1, int64_t ax2, int64_t ay2,
+                     int64_t bx1, int64_t by1, int64_t bx2, int64_t by2) {
+  SpatialInstance instance;
+  bench::Check(instance.AddRegion(
+      "A", Unwrap(Region::MakeRect(Point(ax1, ay1), Point(ax2, ay2)))));
+  bench::Check(instance.AddRegion(
+      "B", Unwrap(Region::MakeRect(Point(bx1, by1), Point(bx2, by2)))));
+  return instance;
+}
+
+void ReportFig2() {
+  bench::Header("Fig 2: the eight 4-intersection relations");
+  struct Config {
+    const char* expected;
+    SpatialInstance instance;
+  } configs[] = {
+      {"disjoint", Pair(0, 0, 2, 2, 5, 0, 7, 2)},
+      {"meet", Pair(0, 0, 2, 2, 2, 0, 4, 2)},
+      {"overlap", Pair(0, 0, 4, 4, 2, 2, 6, 6)},
+      {"equal", Pair(0, 0, 4, 4, 0, 0, 4, 4)},
+      {"contains", Pair(0, 0, 8, 8, 2, 2, 4, 4)},
+      {"inside", Pair(2, 2, 4, 4, 0, 0, 8, 8)},
+      {"covers", Pair(0, 0, 8, 8, 0, 2, 4, 4)},
+      {"coveredBy", Pair(0, 2, 4, 4, 0, 0, 8, 8)},
+  };
+  std::printf("%-10s | %-10s | %s\n", "expected", "computed", "matrix (bb ii bi ib)");
+  for (auto& [expected, instance] : configs) {
+    CellComplex complex = Unwrap(CellComplex::Build(instance));
+    FourIntersectionMatrix m = ComputeMatrix(complex, 0, 1);
+    FourIntRelation r = Unwrap(ClassifyMatrix(m));
+    std::printf("%-10s | %-10s | %d %d %d %d\n", expected,
+                FourIntRelationName(r), m.boundary_boundary,
+                m.interior_interior, m.boundary_a_interior_b,
+                m.interior_a_boundary_b);
+  }
+}
+
+void BM_RelateFixturePair(benchmark::State& state) {
+  SpatialInstance instance = Fig1cInstance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(Relate(instance, "A", "B")));
+  }
+}
+BENCHMARK(BM_RelateFixturePair);
+
+void BM_AllPairsRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SpatialInstance instance = Unwrap(RandomRectInstance(n, 60, 7));
+  const auto names = instance.names();
+  for (auto _ : state) {
+    int count = 0;
+    for (size_t i = 0; i < names.size(); ++i) {
+      for (size_t j = i + 1; j < names.size(); ++j) {
+        benchmark::DoNotOptimize(Unwrap(Relate(instance, names[i], names[j])));
+        ++count;
+      }
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AllPairsRandom)->DenseRange(4, 12, 4)->Complexity();
+
+void BM_FourIntEquivalence(benchmark::State& state) {
+  SpatialInstance a = Fig1aInstance();
+  SpatialInstance b = Fig1bInstance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(FourIntEquivalent(a, b)));
+  }
+}
+BENCHMARK(BM_FourIntEquivalence);
+
+}  // namespace
+}  // namespace topodb
+
+int main(int argc, char** argv) {
+  topodb::ReportFig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

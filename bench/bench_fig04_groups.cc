@@ -1,0 +1,169 @@
+// Reproduces Fig 4 (which region class is invariant under which group) and
+// Fig 10 / Prop 4.3 (query genericity): applies sampled transformations
+// from S, L (affine and 2-piece) to each region class and reports whether
+// the class survives; then evaluates a topological query suite on original
+// and transformed instances and reports agreement.
+
+#include <cstdio>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/topodb.h"
+
+namespace topodb {
+namespace {
+
+using bench::Unwrap;
+
+struct NamedTransform {
+  const char* group;
+  const Transform* transform;
+};
+
+// Sampled group elements. (H is not finitely sampled; its computable
+// subgroup L stands in, as the paper's Fig 4 row structure allows: a class
+// invariant under H is invariant under L, and the recorded failures are
+// witnessed by L elements already.)
+std::vector<NamedTransform> SampleTransforms() {
+  static const AffineTransform* translation =
+      new AffineTransform(AffineTransform::Translation(3, -2));
+  static const AffineTransform* shear =
+      new AffineTransform(Unwrap(AffineTransform::Make(1, 1, 0, 0, 1, 0)));
+  static const MonotonePl1D* kink = new MonotonePl1D(Unwrap(
+      MonotonePl1D::Make({Rational(0), Rational(2), Rational(5)},
+                         {Rational(0), Rational(7), Rational(9)})));
+  static const SymmetryTransform* stretch =
+      new SymmetryTransform(*kink, MonotonePl1D(), false);
+  static const SymmetryTransform* swap =
+      new SymmetryTransform(MonotonePl1D(), MonotonePl1D(), true);
+  static const TwoPieceLinearTransform* twopiece =
+      new TwoPieceLinearTransform(Unwrap(TwoPieceLinearTransform::Make(
+          Rational(3), AffineTransform::Identity(),
+          Unwrap(AffineTransform::Make(2, 0, -3, 1, 1, -3)))));
+  return {{"S (monotone)", stretch},
+          {"S (axis swap)", swap},
+          {"L (affine shear)", shear},
+          {"L (2-piece)", twopiece},
+          {"L (translation)", translation}};
+}
+
+Region SampleRegion(RegionClass cls) {
+  switch (cls) {
+    case RegionClass::kRect:
+      return Unwrap(Region::MakeRect(Point(1, 1), Point(4, 3)));
+    case RegionClass::kRectStar:
+      return Unwrap(Region::Make(
+          Polygon({Point(0, 0), Point(4, 0), Point(4, 2), Point(2, 2),
+                   Point(2, 4), Point(0, 4)}),
+          RegionClass::kRectStar));
+    case RegionClass::kPoly:
+      return Unwrap(Region::MakePoly(
+          {Point(0, 0), Point(5, 1), Point(4, 4), Point(1, 3)}));
+    case RegionClass::kAlg:
+    case RegionClass::kDisc:
+      return Unwrap(CircleRegion(Point(2, 2), Rational(2), 16));
+  }
+  std::abort();
+}
+
+void ReportFig4() {
+  bench::Header("Fig 4: invariance of region classes under group elements");
+  std::printf("%-18s", "group element");
+  for (RegionClass cls :
+       {RegionClass::kRect, RegionClass::kRectStar, RegionClass::kPoly}) {
+    std::printf(" | %-7s", RegionClassName(cls));
+  }
+  std::printf("\n");
+  for (const auto& [group, transform] : SampleTransforms()) {
+    std::printf("%-18s", group);
+    for (RegionClass cls :
+         {RegionClass::kRect, RegionClass::kRectStar, RegionClass::kPoly}) {
+      Region region = SampleRegion(cls);
+      Result<Region> image = transform->ApplyToRegion(region);
+      const char* verdict = "error";
+      if (image.ok()) {
+        verdict = image->declared_class() == cls ? "keeps" : "leaves";
+        // Classify returns the tightest class; staying within the class
+        // means the tightest class is at most cls in the hierarchy.
+        if (image->declared_class() != cls &&
+            (cls == RegionClass::kPoly ||
+             (cls == RegionClass::kRectStar &&
+              image->declared_class() == RegionClass::kRect))) {
+          verdict = "keeps";  // Tighter subclass still inside the class.
+        }
+      }
+      std::printf(" | %-7s", verdict);
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper Fig 4: Rect/Rect* invariant under S; Poly invariant "
+              "under L; none of these classes is closed under all of H)\n");
+}
+
+void ReportFig10() {
+  bench::Header(
+      "Fig 10 / Prop 4.3: genericity of topological queries under group "
+      "elements");
+  const char* queries[] = {
+      "overlap(A, B)",
+      "exists region r . subset(r, A) and subset(r, B)",
+      "forall region r . forall region s . (subset(r, A) and subset(r, B) "
+      "and subset(s, A) and subset(s, B)) implies exists region t . "
+      "subset(t, A) and subset(t, B) and connect(t, r) and connect(t, s)",
+  };
+  SpatialInstance base = Fig1dInstance();
+  QueryEngine base_engine = Unwrap(QueryEngine::Build(base));
+  std::printf("%-18s | %s\n", "group element",
+              "all query answers preserved?");
+  for (const auto& [group, transform] : SampleTransforms()) {
+    Result<SpatialInstance> image = transform->ApplyToInstance(base);
+    if (!image.ok()) {
+      std::printf("%-18s | transform failed\n", group);
+      continue;
+    }
+    QueryEngine image_engine = Unwrap(QueryEngine::Build(*image));
+    bool all_equal = true;
+    for (const char* query : queries) {
+      if (Unwrap(base_engine.Evaluate(query)) !=
+          Unwrap(image_engine.Evaluate(query))) {
+        all_equal = false;
+      }
+    }
+    std::printf("%-18s | %s\n", group, all_equal ? "yes" : "NO");
+  }
+}
+
+void BM_ApplyTransformToInstance(benchmark::State& state) {
+  SpatialInstance instance = Unwrap(ChainInstance(static_cast<int>(state.range(0))));
+  AffineTransform shear = Unwrap(AffineTransform::Make(1, 1, 0, 0, 1, 0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(shear.ApplyToInstance(instance)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ApplyTransformToInstance)->Range(2, 32)->Complexity();
+
+void BM_GenericityCheck(benchmark::State& state) {
+  SpatialInstance base = Fig1cInstance();
+  AffineTransform shear = Unwrap(AffineTransform::Make(1, 1, 0, 0, 1, 0));
+  SpatialInstance image = Unwrap(shear.ApplyToInstance(base));
+  for (auto _ : state) {
+    bool equal = Isomorphic(Unwrap(ComputeInvariant(base)),
+                            Unwrap(ComputeInvariant(image)));
+    benchmark::DoNotOptimize(equal);
+  }
+}
+BENCHMARK(BM_GenericityCheck);
+
+}  // namespace
+}  // namespace topodb
+
+int main(int argc, char** argv) {
+  topodb::ReportFig4();
+  topodb::ReportFig10();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces Fig 9 (the thematic relational instance of Fig 1c) and
+// Corollary 3.7: topological queries answered against the precomputed
+// thematic form vs recomputed from geometry. Timing both sides shows the
+// thematic model amortizing the geometric work.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/topodb.h"
+
+namespace topodb {
+namespace {
+
+using bench::Unwrap;
+
+void ReportFig9() {
+  bench::Header("Fig 9: thematic(Fig 1c)");
+  ThematicInstance theme =
+      ToThematic(Unwrap(ComputeInvariant(Fig1cInstance())));
+  std::printf("%s", theme.DebugString().c_str());
+}
+
+void ReportCorollary37() {
+  bench::Header("Cor 3.7: query answering on thematic vs geometric form");
+  // Query: "A and B overlap" answered (a) geometrically, (b) relationally
+  // on thematic(I): exists a face in RegionFaces for both A and B.
+  SpatialInstance instance = Fig1cInstance();
+  ThematicInstance theme = ToThematic(Unwrap(ComputeInvariant(instance)));
+  const bool geometric = Unwrap(Relate(instance, "A", "B")) ==
+                         FourIntRelation::kOverlap;
+  Table a_faces = Unwrap(theme.region_faces.SelectEquals("region", "A"));
+  Table b_faces = Unwrap(theme.region_faces.SelectEquals("region", "B"));
+  Table common = Unwrap(Unwrap(a_faces.Project({"face"}))
+                            .Join(Unwrap(b_faces.Project({"face"}))));
+  std::printf("overlap(A, B): geometric=%s, thematic(common faces)=%s\n",
+              geometric ? "true" : "false",
+              common.empty() ? "false" : "true");
+  // Integrity after a bad direct update (Thm 3.8 as constraint checking).
+  ThematicInstance corrupted = theme;
+  bench::Check(corrupted.region_faces.Insert({"A", "f99"}));
+  std::printf("bad update rejected: %s\n",
+              ValidateThematic(corrupted).ok() ? "NO (!!)" : "yes");
+}
+
+void BM_ThematicMapping(benchmark::State& state) {
+  InvariantData data = Unwrap(
+      ComputeInvariant(Unwrap(ChainInstance(static_cast<int>(state.range(0))))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ToThematic(data));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ThematicMapping)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+void BM_ThematicRoundTrip(benchmark::State& state) {
+  InvariantData data = Unwrap(
+      ComputeInvariant(Unwrap(ChainInstance(static_cast<int>(state.range(0))))));
+  ThematicInstance theme = ToThematic(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(FromThematic(theme)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ThematicRoundTrip)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+// The Cor 3.7 payoff: answering from the precomputed thematic tables...
+void BM_QueryOnThematic(benchmark::State& state) {
+  ThematicInstance theme =
+      ToThematic(Unwrap(ComputeInvariant(Unwrap(ChainInstance(16)))));
+  for (auto _ : state) {
+    Table a_faces = Unwrap(theme.region_faces.SelectEquals("region", "R003"));
+    Table b_faces = Unwrap(theme.region_faces.SelectEquals("region", "R004"));
+    Table common = Unwrap(Unwrap(a_faces.Project({"face"}))
+                              .Join(Unwrap(b_faces.Project({"face"}))));
+    benchmark::DoNotOptimize(common.empty());
+  }
+}
+BENCHMARK(BM_QueryOnThematic);
+
+// ...vs recomputing the geometry every time.
+void BM_QueryGeometric(benchmark::State& state) {
+  SpatialInstance instance = Unwrap(ChainInstance(16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(Relate(instance, "R003", "R004")));
+  }
+}
+BENCHMARK(BM_QueryGeometric);
+
+void BM_ValidateThematic(benchmark::State& state) {
+  ThematicInstance theme = ToThematic(Unwrap(ComputeInvariant(
+      Unwrap(ChainInstance(static_cast<int>(state.range(0)))))));
+  for (auto _ : state) {
+    bench::Check(ValidateThematic(theme));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ValidateThematic)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+}  // namespace
+}  // namespace topodb
+
+int main(int argc, char** argv) {
+  topodb::ReportFig9();
+  topodb::ReportCorollary37();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

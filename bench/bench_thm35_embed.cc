@@ -1,0 +1,88 @@
+// Theorem 3.5: every invariant has a polygonal representative, computable
+// in polynomial time. Reports round-trip success (reconstructed instance
+// has the original invariant) over the fixture set and the Comb(k) family,
+// and times the Tutte-based reconstruction.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/topodb.h"
+
+namespace topodb {
+namespace {
+
+using bench::Unwrap;
+
+void ReportRoundTrips() {
+  bench::Header("Thm 3.5: polygonal representatives (round-trip check)");
+  struct Named {
+    const char* name;
+    SpatialInstance instance;
+  } cases[] = {
+      {"Fig1a", Fig1aInstance()},     {"Fig1b", Fig1bInstance()},
+      {"Fig1c", Fig1cInstance()},     {"Fig1d", Fig1dInstance()},
+      {"Fig6", Fig6Instance()},       {"Fig7a", Fig7aInstance()},
+      {"Fig7b", Fig7bInstance()},     {"nested", NestedInstance()},
+      {"disjoint", DisjointPairInstance()},
+      {"comb(5)", Unwrap(CombInstance(5))},
+      {"flower(5)", Unwrap(FlowerInstance(5))},
+  };
+  std::printf("%-10s | %8s | %8s | %8s | %s\n", "instance", "vertices",
+              "edges", "faces", "round trip");
+  int successes = 0;
+  for (auto& [name, instance] : cases) {
+    InvariantData data = Unwrap(ComputeInvariant(instance));
+    Result<SpatialInstance> rebuilt = ReconstructPolyInstance(data);
+    bool ok = rebuilt.ok() &&
+              Isomorphic(data, Unwrap(ComputeInvariant(*rebuilt)));
+    successes += ok;
+    std::printf("%-10s | %8zu | %8zu | %8zu | %s\n", name,
+                data.vertices.size(), data.edges.size(), data.faces.size(),
+                ok ? "ok" : "FAILED");
+  }
+  std::printf("round-trip success: %d / %zu\n", successes,
+              sizeof(cases) / sizeof(cases[0]));
+}
+
+void BM_ReconstructComb(benchmark::State& state) {
+  InvariantData data = Unwrap(ComputeInvariant(
+      Unwrap(CombInstance(static_cast<int>(state.range(0))))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(ReconstructPolyInstance(data)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReconstructComb)->RangeMultiplier(2)->Range(2, 8)->Complexity();
+
+void BM_ReconstructNested(benchmark::State& state) {
+  InvariantData data = Unwrap(ComputeInvariant(
+      Unwrap(NestedRingsInstance(static_cast<int>(state.range(0))))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(ReconstructPolyInstance(data)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReconstructNested)->DenseRange(2, 8, 2)->Complexity();
+
+void BM_FullRoundTrip(benchmark::State& state) {
+  InvariantData data = Unwrap(ComputeInvariant(Unwrap(CombInstance(3))));
+  for (auto _ : state) {
+    SpatialInstance rebuilt = Unwrap(ReconstructPolyInstance(data));
+    bool ok = Isomorphic(data, Unwrap(ComputeInvariant(rebuilt)));
+    if (!ok) state.SkipWithError("round trip failed");
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_FullRoundTrip);
+
+}  // namespace
+}  // namespace topodb
+
+int main(int argc, char** argv) {
+  topodb::ReportRoundTrips();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Theorem 3.8 / Lemma 3.9: deciding whether a structure is a valid
+// invariant (labeled planar graph). Reports the rejection of one injected
+// violation per condition, and times validation on growing instances
+// (polynomial work matching the paper's NC bound).
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/topodb.h"
+
+namespace topodb {
+namespace {
+
+using bench::Unwrap;
+
+void ReportMutations() {
+  bench::Header("Thm 3.8: accept valid invariants, reject each violation");
+  InvariantData base = Unwrap(ComputeInvariant(Fig1dInstance()));
+  std::printf("%-44s | %s\n", "structure", "verdict");
+  std::printf("%-44s | %s\n", "valid invariant (Fig 1d)",
+              ValidateInvariant(base).ok() ? "accepted" : "REJECTED (!!)");
+
+  struct Mutation {
+    const char* name;
+    std::function<void(InvariantData*)> apply;
+  };
+  std::vector<Mutation> mutations = {
+      {"(4) rotation split into two orbits",
+       [](InvariantData* d) {
+         std::vector<std::vector<int>> at(d->vertices.size());
+         for (int x = 0; x < d->num_darts(); ++x) at[d->Origin(x)].push_back(x);
+         for (auto& darts : at) {
+           if (darts.size() < 4) continue;
+           int a = darts[0], b = d->next_ccw[a], c = d->next_ccw[b],
+               e = d->next_ccw[c];
+           d->next_ccw[a] = b;
+           d->next_ccw[b] = a;
+           d->next_ccw[c] = e;
+           d->next_ccw[e] = c;
+           return;
+         }
+       }},
+      {"(5) face drifts along a boundary walk",
+       [](InvariantData* d) {
+         d->face_of_dart[0] = (d->face_of_dart[0] + 1) %
+                              static_cast<int>(d->faces.size());
+       }},
+      {"(6) rotation swap creating positive genus",
+       [](InvariantData* d) {
+         std::vector<std::vector<int>> at(d->vertices.size());
+         for (int x = 0; x < d->num_darts(); ++x) at[d->Origin(x)].push_back(x);
+         for (auto& darts : at) {
+           if (darts.size() < 4) continue;
+           int a = darts[0], b = d->next_ccw[a], c = d->next_ccw[b],
+               e = d->next_ccw[c];
+           d->next_ccw[a] = c;
+           d->next_ccw[c] = b;
+           d->next_ccw[b] = e;
+           return;
+         }
+       }},
+      {"two unbounded faces",
+       [](InvariantData* d) {
+         for (auto& face : d->faces) face.unbounded = true;
+       }},
+      {"(7) exterior face labeled interior",
+       [](InvariantData* d) {
+         d->faces[d->exterior_face].label[0] = Sign::kInterior;
+       }},
+      {"(7) region with disconnected interior",
+       [](InvariantData* d) {
+         // Mark the pocket as interior to region 0 without fixing edges.
+         for (auto& face : d->faces) {
+           if (!face.unbounded && LabelString(face.label) == "--") {
+             face.label[0] = Sign::kInterior;
+           }
+         }
+       }},
+      {"edge on no region boundary",
+       [](InvariantData* d) {
+         auto& edge = d->edges[0];
+         const auto& left = d->faces[d->face_of_dart[0]].label;
+         for (size_t r = 0; r < edge.label.size(); ++r) {
+           if (edge.label[r] == Sign::kBoundary) edge.label[r] = left[r];
+         }
+       }},
+  };
+  for (auto& mutation : mutations) {
+    InvariantData mutated = base;
+    mutation.apply(&mutated);
+    Status status = ValidateInvariant(mutated);
+    std::printf("%-44s | %s\n", mutation.name,
+                status.ok() ? "accepted (!!)" : "rejected");
+  }
+}
+
+void BM_ValidateChain(benchmark::State& state) {
+  InvariantData data = Unwrap(ComputeInvariant(
+      Unwrap(ChainInstance(static_cast<int>(state.range(0))))));
+  for (auto _ : state) {
+    bench::Check(ValidateInvariant(data));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ValidateChain)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_ValidateGrid(benchmark::State& state) {
+  const int g = static_cast<int>(state.range(0));
+  InvariantData data =
+      Unwrap(ComputeInvariant(Unwrap(RectGridInstance(g, g))));
+  for (auto _ : state) {
+    bench::Check(ValidateInvariant(data));
+  }
+  state.SetComplexityN(g * g);
+}
+BENCHMARK(BM_ValidateGrid)->DenseRange(2, 6, 1)->Complexity();
+
+void BM_RejectCorrupted(benchmark::State& state) {
+  InvariantData data = Unwrap(ComputeInvariant(Unwrap(ChainInstance(16))));
+  data.face_of_dart[0] =
+      (data.face_of_dart[0] + 1) % static_cast<int>(data.faces.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValidateInvariant(data).ok());
+  }
+}
+BENCHMARK(BM_RejectCorrupted);
+
+}  // namespace
+}  // namespace topodb
+
+int main(int argc, char** argv) {
+  topodb::ReportMutations();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

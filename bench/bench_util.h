@@ -1,0 +1,37 @@
+#ifndef TOPODB_BENCH_BENCH_UTIL_H_
+#define TOPODB_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+
+#include "src/base/status.h"
+
+namespace topodb::bench {
+
+// Aborts on error; benches run on known-good inputs.
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "bench error: " << result.status().ToString() << "\n";
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "bench error: " << status.ToString() << "\n";
+    std::abort();
+  }
+}
+
+// Emphasized section header for the paper-row report that precedes the
+// google-benchmark timings.
+inline void Header(const char* title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace topodb::bench
+
+#endif  // TOPODB_BENCH_BENCH_UTIL_H_

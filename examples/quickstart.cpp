@@ -1,0 +1,79 @@
+// Quickstart: build a spatial instance, compute its cell complex and
+// topological invariant, decide topological equivalence, and ask a few
+// region-based queries.
+//
+// Run: ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/topodb.h"
+
+namespace {
+
+// Aborts with the error message if a fallible expression failed.
+template <typename T>
+T Unwrap(topodb::Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status().ToString() << "\n";
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace topodb;
+
+  // 1. Two overlapping regions (the paper's Fig 1c).
+  SpatialInstance instance;
+  (void)instance.AddRegion("A", Unwrap(Region::MakeRect(Point(0, 0),
+                                                        Point(8, 8))));
+  (void)instance.AddRegion("B", Unwrap(Region::MakeRect(Point(4, -2),
+                                                        Point(12, 6))));
+
+  // 2. The cell complex of the region boundaries (paper Fig 5).
+  CellComplex complex = Unwrap(CellComplex::Build(instance));
+  std::cout << complex.DebugString() << "\n";
+
+  // 3. The topological invariant T_I and its canonical form.
+  TopologicalInvariant invariant =
+      Unwrap(TopologicalInvariant::Compute(instance));
+  std::cout << "invariant: " << invariant.data().DebugString() << "\n";
+
+  // 4. Topological equivalence is canonical-string equality: a sheared
+  // copy is homeomorphic, Fig 1d is not.
+  AffineTransform shear = Unwrap(AffineTransform::Make(1, 1, 0, 0, 1, 0));
+  TopologicalInvariant sheared = Unwrap(
+      TopologicalInvariant::Compute(Unwrap(shear.ApplyToInstance(instance))));
+  TopologicalInvariant fig1d =
+      Unwrap(TopologicalInvariant::Compute(Fig1dInstance()));
+  std::cout << "equivalent to sheared copy: "
+            << (invariant.EquivalentTo(sheared) ? "yes" : "no") << "\n";
+  std::cout << "equivalent to Fig 1d:       "
+            << (invariant.EquivalentTo(fig1d) ? "yes" : "no") << "\n";
+
+  // 5. Egenhofer relation between A and B.
+  std::cout << "relate(A, B) = "
+            << FourIntRelationName(Unwrap(Relate(instance, "A", "B")))
+            << "\n";
+
+  // 6. Region-based queries (Section 4 / Section 7 semantics).
+  QueryEngine engine = Unwrap(QueryEngine::Build(instance));
+  for (const char* query :
+       {"overlap(A, B)",
+        "exists region r . subset(r, A) and subset(r, B)",
+        "forall region r . forall region s . "
+        "(subset(r, A) and subset(r, B) and subset(s, A) and subset(s, B)) "
+        "implies exists region t . subset(t, A) and subset(t, B) and "
+        "connect(t, r) and connect(t, s)"}) {
+    std::cout << "eval [" << query << "] = "
+              << (Unwrap(engine.Evaluate(query)) ? "true" : "false") << "\n";
+  }
+
+  // 7. The thematic relational form (paper Fig 9).
+  ThematicInstance theme = ToThematic(invariant.data());
+  std::cout << "\nthematic(I):\n" << theme.DebugString();
+  return 0;
+}

@@ -1,0 +1,48 @@
+#ifndef TOPODB_ALGEBRAIC_POLYNOMIAL_H_
+#define TOPODB_ALGEBRAIC_POLYNOMIAL_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/base/rational.h"
+#include "src/geom/point.h"
+
+namespace topodb {
+
+// A bivariate polynomial with rational coefficients: the building block of
+// the paper's Alg regions {(x,y) | P(x,y) > 0}. Exact evaluation keeps the
+// traced boundary's sign decisions exact.
+class Polynomial2 {
+ public:
+  Polynomial2() = default;
+
+  // x^ex * y^ey with the given coefficient.
+  static Polynomial2 Term(Rational coefficient, int ex, int ey);
+  static Polynomial2 Constant(Rational value) { return Term(value, 0, 0); }
+  static Polynomial2 X() { return Term(Rational(1), 1, 0); }
+  static Polynomial2 Y() { return Term(Rational(1), 0, 1); }
+
+  Polynomial2 operator+(const Polynomial2& other) const;
+  Polynomial2 operator-(const Polynomial2& other) const;
+  Polynomial2 operator*(const Polynomial2& other) const;
+  Polynomial2 operator-() const;
+
+  Rational Evaluate(const Point& p) const;
+  // Sign of the value at p: -1, 0, +1.
+  int SignAt(const Point& p) const { return Evaluate(p).sign(); }
+
+  bool is_zero() const { return terms_.empty(); }
+  int TotalDegree() const;
+  size_t num_terms() const { return terms_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  // (ex, ey) -> coefficient; zero coefficients removed.
+  std::map<std::pair<int, int>, Rational> terms_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_ALGEBRAIC_POLYNOMIAL_H_

@@ -1,0 +1,45 @@
+#ifndef TOPODB_ALGEBRAIC_TRACE_H_
+#define TOPODB_ALGEBRAIC_TRACE_H_
+
+#include "src/algebraic/polynomial.h"
+#include "src/base/status.h"
+#include "src/geom/box.h"
+#include "src/region/region.h"
+
+namespace topodb {
+
+// The Alg -> Poly pipeline (the substitution for Kozen-Yap [KY85] sign
+// class machinery, justified by the paper's own Theorem 3.5: for
+// topological purposes every Alg instance has a Poly representative with
+// the same invariant).
+//
+// Traces the region {(x, y) | P(x, y) > 0} inside the given box on an
+// n x n sign grid by marching squares. Grid corner signs are computed
+// exactly; boundary crossing points are rational (linear interpolation of
+// exact values), so the resulting polygon feeds the exact arrangement
+// pipeline directly.
+//
+// Requirements checked:
+//  - the positive set intersected with the box forms exactly one closed
+//    boundary curve (an open disc clear of the box boundary);
+//  - the traced polygon is simple and positively oriented;
+//  - P is strictly positive at a polygon-interior sample.
+// Fails with InvalidArgument when the region is not disc-like at this
+// resolution (e.g. multiple components, or features finer than the grid;
+// re-trace with a larger n).
+//
+// Corner values that are exactly zero are treated as negative — a
+// deterministic perturbation that keeps the traced topology consistent;
+// choose a grid not aligned with the zero set for faithful results.
+Result<Region> TraceAlgebraicRegion(const Polynomial2& p, const Box& box,
+                                    int resolution);
+
+// Exact rational points on a circle via the tangent half-angle
+// parametrization (t -> ((1-t^2), 2t) / (1+t^2)): a convenience Alg disc
+// x^2 + y^2 < r^2 represented with `segments` polygon vertices.
+Result<Region> CircleRegion(const Point& center, const Rational& radius,
+                            int segments);
+
+}  // namespace topodb
+
+#endif  // TOPODB_ALGEBRAIC_TRACE_H_

@@ -1,0 +1,611 @@
+#include "src/arrangement/cell_complex.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "src/base/check.h"
+#include "src/geom/polygon.h"
+#include "src/geom/predicates.h"
+
+namespace topodb {
+
+namespace {
+
+// An input boundary segment with its owning region.
+struct RawSeg {
+  Point a;
+  Point b;
+  int owner;
+};
+
+// A deduplicated boundary piece between consecutive cut points; owners is
+// the sorted set of regions whose boundary runs along it.
+struct SubSeg {
+  int u = -1;  // Node ids of the endpoints.
+  int v = -1;
+  std::vector<int> owners;
+};
+
+// Sort key for points along a fixed segment direction (avoids division).
+struct ParamLess {
+  Point origin;
+  Point dir;
+  bool operator()(const Point& p, const Point& q) const {
+    return Dot(p - origin, dir) < Dot(q - origin, dir);
+  }
+};
+
+}  // namespace
+
+// Assembles a CellComplex in stages; see Build() for the pipeline.
+class CellComplexBuilder {
+ public:
+  explicit CellComplexBuilder(const SpatialInstance& instance)
+      : instance_(instance) {}
+
+  Result<CellComplex> Run() {
+    complex_.region_names_ = instance_.names();
+    CollectSegments();
+    if (raw_.empty()) {
+      // Empty instance: a single unbounded face with an empty label.
+      CellComplex::Face face;
+      face.unbounded = true;
+      complex_.faces_.push_back(std::move(face));
+      complex_.exterior_face_ = 0;
+      return std::move(complex_);
+    }
+    SplitAtIntersections();
+    MarkEssentialNodes();
+    ChainEdges();
+    BuildDartsAndRotation();
+    TraceFaceCycles();
+    TOPODB_RETURN_NOT_OK(AssignCyclesToFaces());
+    TOPODB_RETURN_NOT_OK(PropagateFaceLabels());
+    ComputeEdgeAndVertexLabels();
+    return std::move(complex_);
+  }
+
+ private:
+  int NodeId(const Point& p) {
+    auto [it, inserted] = node_ids_.try_emplace(p, -1);
+    if (inserted) {
+      it->second = static_cast<int>(node_points_.size());
+      node_points_.push_back(p);
+    }
+    return it->second;
+  }
+
+  void CollectSegments() {
+    int region_idx = 0;
+    for (const auto& [name, region] : instance_.regions()) {
+      const Polygon& poly = region.boundary();
+      const size_t n = poly.size();
+      for (size_t i = 0; i < n; ++i) {
+        raw_.push_back({poly.vertex(i), poly.vertex((i + 1) % n),
+                        region_idx});
+      }
+      ++region_idx;
+    }
+  }
+
+  void SplitAtIntersections() {
+    const size_t n = raw_.size();
+    std::vector<std::vector<Point>> cuts(n);
+    for (size_t i = 0; i < n; ++i) {
+      cuts[i].push_back(raw_[i].a);
+      cuts[i].push_back(raw_[i].b);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        SegmentIntersection isect =
+            IntersectSegments(raw_[i].a, raw_[i].b, raw_[j].a, raw_[j].b);
+        switch (isect.kind) {
+          case SegmentIntersection::Kind::kNone:
+            break;
+          case SegmentIntersection::Kind::kPoint:
+            cuts[i].push_back(isect.p0);
+            cuts[j].push_back(isect.p0);
+            break;
+          case SegmentIntersection::Kind::kOverlap:
+            cuts[i].push_back(isect.p0);
+            cuts[i].push_back(isect.p1);
+            cuts[j].push_back(isect.p0);
+            cuts[j].push_back(isect.p1);
+            break;
+        }
+      }
+    }
+    // Split each raw segment at its cut points and deduplicate pieces.
+    std::map<std::pair<Point, Point>, std::set<int>> pieces;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<Point>& pts = cuts[i];
+      ParamLess less{raw_[i].a, raw_[i].b - raw_[i].a};
+      std::sort(pts.begin(), pts.end(), less);
+      pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+      for (size_t k = 0; k + 1 < pts.size(); ++k) {
+        Point lo = pts[k];
+        Point hi = pts[k + 1];
+        if (hi < lo) std::swap(lo, hi);
+        pieces[{lo, hi}].insert(raw_[i].owner);
+      }
+    }
+    for (auto& [key, owners] : pieces) {
+      SubSeg sub;
+      sub.u = NodeId(key.first);
+      sub.v = NodeId(key.second);
+      sub.owners.assign(owners.begin(), owners.end());
+      subsegs_.push_back(std::move(sub));
+    }
+    incident_.assign(node_points_.size(), {});
+    for (size_t s = 0; s < subsegs_.size(); ++s) {
+      incident_[subsegs_[s].u].push_back(static_cast<int>(s));
+      incident_[subsegs_[s].v].push_back(static_cast<int>(s));
+    }
+  }
+
+  void MarkEssentialNodes() {
+    essential_.assign(node_points_.size(), false);
+    for (size_t v = 0; v < node_points_.size(); ++v) {
+      const std::vector<int>& inc = incident_[v];
+      if (inc.size() != 2) {
+        essential_[v] = true;
+        continue;
+      }
+      if (subsegs_[inc[0]].owners != subsegs_[inc[1]].owners) {
+        essential_[v] = true;
+      }
+    }
+    // Boundary cycles with no essential node get one deterministic anchor:
+    // the lexicographically smallest node of the cycle.
+    std::vector<bool> seen(node_points_.size(), false);
+    for (size_t v = 0; v < node_points_.size(); ++v) {
+      if (seen[v] || essential_[v]) continue;
+      // Walk the degree-2 cycle through v.
+      std::vector<int> cycle_nodes;
+      int cur = static_cast<int>(v);
+      int via = incident_[v][0];
+      bool closed_cycle = true;
+      while (true) {
+        if (essential_[cur]) {
+          closed_cycle = false;  // Chain attached to essential endpoints.
+          break;
+        }
+        seen[cur] = true;
+        cycle_nodes.push_back(cur);
+        const SubSeg& sub = subsegs_[via];
+        int next = sub.u == cur ? sub.v : sub.u;
+        if (next == static_cast<int>(v)) break;
+        const std::vector<int>& inc = incident_[next];
+        // next is non-essential (degree 2) unless it ends the walk.
+        if (essential_[next]) {
+          closed_cycle = false;
+          break;
+        }
+        via = (inc[0] == via) ? inc[1] : inc[0];
+        cur = next;
+      }
+      if (!closed_cycle || cycle_nodes.empty()) continue;
+      int anchor = cycle_nodes[0];
+      for (int node : cycle_nodes) {
+        if (node_points_[node] < node_points_[anchor]) anchor = node;
+      }
+      essential_[anchor] = true;
+    }
+  }
+
+  void ChainEdges() {
+    // Map node id -> vertex id for essential nodes.
+    vertex_of_node_.assign(node_points_.size(), -1);
+    for (size_t v = 0; v < node_points_.size(); ++v) {
+      if (!essential_[v]) continue;
+      CellComplex::Vertex vertex;
+      vertex.point = node_points_[v];
+      vertex_of_node_[v] = static_cast<int>(complex_.vertices_.size());
+      complex_.vertices_.push_back(std::move(vertex));
+    }
+    std::vector<bool> used(subsegs_.size(), false);
+    for (size_t v = 0; v < node_points_.size(); ++v) {
+      if (!essential_[v]) continue;
+      for (int start : incident_[v]) {
+        if (used[start]) continue;
+        // Walk from v through degree-2 non-essential nodes.
+        CellComplex::Edge edge;
+        edge.owners = subsegs_[start].owners;
+        edge.chain.push_back(node_points_[v]);
+        int cur_node = static_cast<int>(v);
+        int cur_sub = start;
+        while (true) {
+          used[cur_sub] = true;
+          const SubSeg& sub = subsegs_[cur_sub];
+          int next = sub.u == cur_node ? sub.v : sub.u;
+          edge.chain.push_back(node_points_[next]);
+          if (essential_[next]) {
+            cur_node = next;
+            break;
+          }
+          const std::vector<int>& inc = incident_[next];
+          TOPODB_CHECK(inc.size() == 2);
+          cur_sub = (inc[0] == cur_sub) ? inc[1] : inc[0];
+          cur_node = next;
+        }
+        complex_.edges_.push_back(std::move(edge));
+      }
+    }
+    // Every subsegment must belong to some chain: anchors guarantee each
+    // cycle has an essential node.
+    for (bool u : used) TOPODB_CHECK(u);
+  }
+
+  void BuildDartsAndRotation() {
+    auto& darts = complex_.darts_;
+    darts.resize(2 * complex_.edges_.size());
+    for (size_t e = 0; e < complex_.edges_.size(); ++e) {
+      CellComplex::Edge& edge = complex_.edges_[e];
+      edge.dart0 = static_cast<int>(2 * e);
+      const std::vector<Point>& chain = edge.chain;
+      TOPODB_CHECK(chain.size() >= 2);
+      int d0 = static_cast<int>(2 * e);
+      int d1 = d0 + 1;
+      darts[d0].edge = static_cast<int>(e);
+      darts[d0].twin = d1;
+      darts[d0].origin = VertexAt(chain.front());
+      darts[d0].direction = chain[1] - chain[0];
+      darts[d1].edge = static_cast<int>(e);
+      darts[d1].twin = d0;
+      darts[d1].origin = VertexAt(chain.back());
+      darts[d1].direction = chain[chain.size() - 2] - chain.back();
+      complex_.vertices_[darts[d0].origin].darts.push_back(d0);
+      complex_.vertices_[darts[d1].origin].darts.push_back(d1);
+    }
+    for (auto& vertex : complex_.vertices_) {
+      std::sort(vertex.darts.begin(), vertex.darts.end(),
+                [&](int a, int b) {
+                  return CcwDirectionLess(darts[a].direction,
+                                          darts[b].direction);
+                });
+      const size_t k = vertex.darts.size();
+      for (size_t i = 0; i < k; ++i) {
+        int d = vertex.darts[i];
+        darts[d].next_ccw = vertex.darts[(i + 1) % k];
+        darts[d].prev_ccw = vertex.darts[(i + k - 1) % k];
+      }
+    }
+    // Face-on-left walk: arriving at the target vertex via twin(d), the
+    // next boundary dart is the clockwise-next (ccw-previous) one.
+    for (size_t d = 0; d < darts.size(); ++d) {
+      darts[d].next_in_face = darts[darts[d].twin].prev_ccw;
+    }
+  }
+
+  void TraceFaceCycles() {
+    const auto& darts = complex_.darts_;
+    cycle_of_dart_.assign(darts.size(), -1);
+    for (size_t d0 = 0; d0 < darts.size(); ++d0) {
+      if (cycle_of_dart_[d0] != -1) continue;
+      const int cycle = static_cast<int>(cycle_reps_.size());
+      cycle_reps_.push_back(static_cast<int>(d0));
+      int d = static_cast<int>(d0);
+      do {
+        cycle_of_dart_[d] = cycle;
+        d = darts[d].next_in_face;
+      } while (d != static_cast<int>(d0));
+    }
+    // Geometry of each cycle: the closed walk's points, and its area.
+    cycle_walks_.resize(cycle_reps_.size());
+    cycle_area2_.resize(cycle_reps_.size());
+    for (size_t c = 0; c < cycle_reps_.size(); ++c) {
+      std::vector<Point>& walk = cycle_walks_[c];
+      int d = cycle_reps_[c];
+      do {
+        AppendDartChain(d, &walk);
+        d = complex_.darts_[d].next_in_face;
+      } while (d != cycle_reps_[c]);
+      Rational area(0);
+      for (size_t i = 0; i < walk.size(); ++i) {
+        area += Cross(walk[i], walk[(i + 1) % walk.size()]);
+      }
+      cycle_area2_[c] = area;
+      TOPODB_CHECK_MSG(!area.is_zero(), "degenerate face cycle");
+    }
+  }
+
+  Status AssignCyclesToFaces() {
+    // Outer (counterclockwise) cycles each found a bounded face; hole
+    // (clockwise) cycles attach to the innermost outer cycle strictly
+    // containing their leftmost point, or to the unbounded face.
+    face_of_cycle_.assign(cycle_reps_.size(), -1);
+    std::vector<size_t> outer_cycles;
+    for (size_t c = 0; c < cycle_reps_.size(); ++c) {
+      if (cycle_area2_[c].sign() > 0) {
+        face_of_cycle_[c] = static_cast<int>(complex_.faces_.size());
+        outer_cycles.push_back(c);
+        CellComplex::Face face;
+        face.cycle_darts.push_back(cycle_reps_[c]);
+        complex_.faces_.push_back(std::move(face));
+      }
+    }
+    complex_.exterior_face_ = static_cast<int>(complex_.faces_.size());
+    CellComplex::Face unbounded;
+    unbounded.unbounded = true;
+    complex_.faces_.push_back(std::move(unbounded));
+
+    for (size_t c = 0; c < cycle_reps_.size(); ++c) {
+      if (cycle_area2_[c].sign() > 0) continue;
+      const Point* leftmost = &cycle_walks_[c][0];
+      for (const Point& p : cycle_walks_[c]) {
+        if (p < *leftmost) leftmost = &p;
+      }
+      int best_face = complex_.exterior_face_;
+      const Rational* best_area = nullptr;
+      for (size_t oc : outer_cycles) {
+        Polygon poly(cycle_walks_[oc]);
+        if (poly.Locate(*leftmost) != PointLocation::kInterior) continue;
+        if (best_area == nullptr || cycle_area2_[oc] < *best_area) {
+          best_area = &cycle_area2_[oc];
+          best_face = face_of_cycle_[oc];
+        }
+      }
+      face_of_cycle_[c] = best_face;
+      complex_.faces_[best_face].cycle_darts.push_back(cycle_reps_[c]);
+    }
+    for (size_t d = 0; d < complex_.darts_.size(); ++d) {
+      complex_.darts_[d].face = face_of_cycle_[cycle_of_dart_[d]];
+    }
+    return Status::OK();
+  }
+
+  Status PropagateFaceLabels() {
+    const size_t num_regions = complex_.region_names_.size();
+    const CellLabel all_exterior(num_regions, Sign::kExterior);
+    std::vector<bool> labeled(complex_.faces_.size(), false);
+    complex_.faces_[complex_.exterior_face_].label = all_exterior;
+    labeled[complex_.exterior_face_] = true;
+    std::queue<int> queue;
+    queue.push(complex_.exterior_face_);
+    size_t visited = 1;
+    while (!queue.empty()) {
+      int f = queue.front();
+      queue.pop();
+      const CellLabel& label = complex_.faces_[f].label;
+      for (int rep : complex_.faces_[f].cycle_darts) {
+        int d = rep;
+        do {
+          const CellComplex::Dart& dart = complex_.darts_[d];
+          int g = complex_.darts_[dart.twin].face;
+          CellLabel expected = label;
+          for (int owner : complex_.edges_[dart.edge].owners) {
+            expected[owner] = expected[owner] == Sign::kInterior
+                                  ? Sign::kExterior
+                                  : Sign::kInterior;
+          }
+          if (!labeled[g]) {
+            complex_.faces_[g].label = expected;
+            labeled[g] = true;
+            ++visited;
+            queue.push(g);
+          } else if (complex_.faces_[g].label != expected) {
+            return Status::Internal("inconsistent face labels");
+          }
+          d = dart.next_in_face;
+        } while (d != rep);
+      }
+    }
+    if (visited != complex_.faces_.size()) {
+      return Status::Internal("face label propagation did not reach all "
+                              "faces");
+    }
+    return Status::OK();
+  }
+
+  void ComputeEdgeAndVertexLabels() {
+    const size_t num_regions = complex_.region_names_.size();
+    for (size_t e = 0; e < complex_.edges_.size(); ++e) {
+      CellComplex::Edge& edge = complex_.edges_[e];
+      const CellLabel& left = complex_.faces_[complex_.darts_[2 * e].face]
+                                  .label;
+      const CellLabel& right =
+          complex_.faces_[complex_.darts_[2 * e + 1].face].label;
+      edge.label.assign(num_regions, Sign::kExterior);
+      for (size_t r = 0; r < num_regions; ++r) {
+        const bool owned = std::find(edge.owners.begin(), edge.owners.end(),
+                                     static_cast<int>(r)) != edge.owners.end();
+        if (owned) {
+          edge.label[r] = Sign::kBoundary;
+          TOPODB_CHECK(left[r] != right[r]);
+        } else {
+          TOPODB_CHECK(left[r] == right[r]);
+          edge.label[r] = left[r];
+        }
+      }
+    }
+    for (auto& vertex : complex_.vertices_) {
+      vertex.label.assign(num_regions, Sign::kExterior);
+      for (size_t r = 0; r < num_regions; ++r) {
+        bool on_boundary = false;
+        Sign ambient = Sign::kExterior;
+        for (int d : vertex.darts) {
+          const CellComplex::Edge& edge =
+              complex_.edges_[complex_.darts_[d].edge];
+          if (edge.label[r] == Sign::kBoundary) {
+            on_boundary = true;
+            break;
+          }
+          ambient = edge.label[r];
+        }
+        vertex.label[r] = on_boundary ? Sign::kBoundary : ambient;
+      }
+    }
+  }
+
+  int VertexAt(const Point& p) const {
+    auto it = node_ids_.find(p);
+    TOPODB_CHECK(it != node_ids_.end());
+    int vertex = vertex_of_node_[it->second];
+    TOPODB_CHECK(vertex >= 0);
+    return vertex;
+  }
+
+  // Appends the dart's chain geometry in walk order, excluding the final
+  // point (it is the first point of the next dart in the face walk).
+  void AppendDartChain(int d, std::vector<Point>* out) const {
+    const CellComplex::Edge& edge = complex_.edges_[complex_.darts_[d].edge];
+    const std::vector<Point>& chain = edge.chain;
+    if (d % 2 == 0) {
+      for (size_t i = 0; i + 1 < chain.size(); ++i) out->push_back(chain[i]);
+    } else {
+      for (size_t i = chain.size(); i-- > 1;) out->push_back(chain[i]);
+    }
+  }
+
+  const SpatialInstance& instance_;
+  CellComplex complex_;
+
+  std::vector<RawSeg> raw_;
+  std::map<Point, int> node_ids_;
+  std::vector<Point> node_points_;
+  std::vector<SubSeg> subsegs_;
+  std::vector<std::vector<int>> incident_;
+  std::vector<bool> essential_;
+  std::vector<int> vertex_of_node_;
+
+  std::vector<int> cycle_of_dart_;
+  std::vector<int> cycle_reps_;
+  std::vector<std::vector<Point>> cycle_walks_;
+  std::vector<Rational> cycle_area2_;
+  std::vector<int> face_of_cycle_;
+};
+
+Result<CellComplex> CellComplex::Build(const SpatialInstance& instance) {
+  CellComplexBuilder builder(instance);
+  return builder.Run();
+}
+
+int CellComplex::region_index(const std::string& name) const {
+  auto it = std::lower_bound(region_names_.begin(), region_names_.end(), name);
+  if (it == region_names_.end() || *it != name) return -1;
+  return static_cast<int>(it - region_names_.begin());
+}
+
+std::pair<int, int> CellComplex::EdgeEndpoints(int edge) const {
+  const int d0 = edges_[edge].dart0;
+  return {darts_[d0].origin, darts_[darts_[d0].twin].origin};
+}
+
+std::pair<int, int> CellComplex::EdgeFaces(int edge) const {
+  const int d0 = edges_[edge].dart0;
+  return {darts_[d0].face, darts_[darts_[d0].twin].face};
+}
+
+std::vector<int> CellComplex::VertexComponents() const {
+  std::vector<int> parent(vertices_.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    auto [u, v] = EdgeEndpoints(static_cast<int>(e));
+    parent[find(u)] = find(v);
+  }
+  std::vector<int> component(vertices_.size());
+  std::map<int, int> remap;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    int root = find(static_cast<int>(i));
+    auto [it, inserted] = remap.try_emplace(root, static_cast<int>(remap.size()));
+    component[i] = it->second;
+  }
+  return component;
+}
+
+int CellComplex::SkeletonComponentCount() const {
+  if (vertices_.empty()) return 0;
+  std::vector<int> component = VertexComponents();
+  return *std::max_element(component.begin(), component.end()) + 1;
+}
+
+bool CellComplex::IsConnected() const {
+  return SkeletonComponentCount() <= 1;
+}
+
+bool CellComplex::IsSimple() const {
+  for (const Face& face : faces_) {
+    if (face.cycle_darts.size() != 1) return false;
+    std::set<int> seen;
+    int rep = face.cycle_darts[0];
+    int d = rep;
+    do {
+      if (!seen.insert(darts_[d].origin).second) return false;
+      d = darts_[d].next_in_face;
+    } while (d != rep);
+  }
+  return true;
+}
+
+Rational CellComplex::CycleArea2(int dart) const {
+  std::vector<Point> walk;
+  int d = dart;
+  do {
+    const Edge& edge = edges_[darts_[d].edge];
+    const std::vector<Point>& chain = edge.chain;
+    if (d % 2 == 0) {
+      for (size_t i = 0; i + 1 < chain.size(); ++i) walk.push_back(chain[i]);
+    } else {
+      for (size_t i = chain.size(); i-- > 1;) walk.push_back(chain[i]);
+    }
+    d = darts_[d].next_in_face;
+  } while (d != dart);
+  Rational area(0);
+  for (size_t i = 0; i < walk.size(); ++i) {
+    area += Cross(walk[i], walk[(i + 1) % walk.size()]);
+  }
+  return area;
+}
+
+std::vector<int> CellComplex::FaceCycle(int dart) const {
+  std::vector<int> cycle;
+  int d = dart;
+  do {
+    cycle.push_back(d);
+    d = darts_[d].next_in_face;
+  } while (d != dart);
+  return cycle;
+}
+
+std::string CellComplex::DebugString() const {
+  std::ostringstream os;
+  os << "CellComplex over {";
+  for (size_t i = 0; i < region_names_.size(); ++i) {
+    if (i) os << ", ";
+    os << region_names_[i];
+  }
+  os << "}: " << vertices_.size() << " vertices, " << edges_.size()
+     << " edges, " << faces_.size() << " faces (exterior f"
+     << exterior_face_ << ")\n";
+  for (size_t v = 0; v < vertices_.size(); ++v) {
+    os << "  v" << v << " @ " << vertices_[v].point.ToString() << " ["
+       << LabelString(vertices_[v].label) << "] degree "
+       << vertices_[v].darts.size() << "\n";
+  }
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    auto [u, v] = EdgeEndpoints(static_cast<int>(e));
+    auto [f, g] = EdgeFaces(static_cast<int>(e));
+    os << "  e" << e << " v" << u << "-v" << v << " ["
+       << LabelString(edges_[e].label) << "] faces f" << f << "|f" << g
+       << "\n";
+  }
+  for (size_t f = 0; f < faces_.size(); ++f) {
+    os << "  f" << f << " [" << LabelString(faces_[f].label) << "]"
+       << (faces_[f].unbounded ? " unbounded" : "") << " cycles="
+       << faces_[f].cycle_darts.size() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace topodb

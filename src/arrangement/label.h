@@ -1,0 +1,39 @@
+#ifndef TOPODB_ARRANGEMENT_LABEL_H_
+#define TOPODB_ARRANGEMENT_LABEL_H_
+
+#include <string>
+#include <vector>
+
+namespace topodb {
+
+// Position of a cell relative to one region: interior (o), boundary, or
+// exterior (the paper's labelings sigma: names(I) -> {o, boundary, -}).
+enum class Sign {
+  kInterior,
+  kBoundary,
+  kExterior,
+};
+
+inline char SignChar(Sign s) {
+  switch (s) {
+    case Sign::kInterior: return 'o';
+    case Sign::kBoundary: return 'b';
+    case Sign::kExterior: return '-';
+  }
+  return '?';
+}
+
+// A cell label: one Sign per region, indexed by the (sorted) region order
+// of the owning cell complex.
+using CellLabel = std::vector<Sign>;
+
+inline std::string LabelString(const CellLabel& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (Sign s : label) out.push_back(SignChar(s));
+  return out;
+}
+
+}  // namespace topodb
+
+#endif  // TOPODB_ARRANGEMENT_LABEL_H_

@@ -1,0 +1,342 @@
+#include "src/base/bigint.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/base/check.h"
+
+namespace topodb {
+
+namespace {
+
+constexpr uint64_t kBase = uint64_t{1} << 32;
+
+// Multiplies the magnitude in place by a small factor and adds a carry-in.
+void MulAddSmall(std::vector<uint32_t>* limbs, uint32_t factor,
+                 uint32_t addend) {
+  uint64_t carry = addend;
+  for (uint32_t& limb : *limbs) {
+    uint64_t cur = uint64_t{limb} * factor + carry;
+    limb = static_cast<uint32_t>(cur & 0xffffffffu);
+    carry = cur >> 32;
+  }
+  if (carry != 0) limbs->push_back(static_cast<uint32_t>(carry));
+}
+
+// Divides the magnitude in place by a small divisor; returns the remainder.
+uint32_t DivModSmall(std::vector<uint32_t>* limbs, uint32_t divisor) {
+  uint64_t rem = 0;
+  for (size_t i = limbs->size(); i-- > 0;) {
+    uint64_t cur = (rem << 32) | (*limbs)[i];
+    (*limbs)[i] = static_cast<uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+  return static_cast<uint32_t>(rem);
+}
+
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  if (value == 0) {
+    sign_ = 0;
+    return;
+  }
+  sign_ = value > 0 ? 1 : -1;
+  // Avoid overflow on INT64_MIN by working in uint64_t.
+  uint64_t mag = value > 0 ? static_cast<uint64_t>(value)
+                           : ~static_cast<uint64_t>(value) + 1;
+  limbs_.push_back(static_cast<uint32_t>(mag & 0xffffffffu));
+  if (mag >> 32) limbs_.push_back(static_cast<uint32_t>(mag >> 32));
+}
+
+BigInt::BigInt(std::string_view decimal) {
+  TOPODB_CHECK_MSG(FromString(decimal, this), "malformed BigInt literal");
+}
+
+bool BigInt::FromString(std::string_view decimal, BigInt* out) {
+  out->sign_ = 0;
+  out->limbs_.clear();
+  if (decimal.empty()) return false;
+  bool negative = false;
+  size_t i = 0;
+  if (decimal[0] == '-' || decimal[0] == '+') {
+    negative = decimal[0] == '-';
+    i = 1;
+  }
+  if (i == decimal.size()) return false;
+  for (; i < decimal.size(); ++i) {
+    char c = decimal[i];
+    if (c < '0' || c > '9') return false;
+    MulAddSmall(&out->limbs_, 10, static_cast<uint32_t>(c - '0'));
+  }
+  while (!out->limbs_.empty() && out->limbs_.back() == 0) {
+    out->limbs_.pop_back();
+  }
+  out->sign_ = out->limbs_.empty() ? 0 : (negative ? -1 : 1);
+  return true;
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) sign_ = 0;
+}
+
+int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (sign_ != other.sign_) return sign_ < other.sign_ ? -1 : 1;
+  int mag = CompareMagnitude(limbs_, other.limbs_);
+  return sign_ >= 0 ? mag : -mag;
+}
+
+std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<uint32_t> result;
+  result.reserve(longer.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < longer.size(); ++i) {
+    uint64_t cur = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0);
+    result.push_back(static_cast<uint32_t>(cur & 0xffffffffu));
+    carry = cur >> 32;
+  }
+  if (carry) result.push_back(static_cast<uint32_t>(carry));
+  return result;
+}
+
+std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  TOPODB_CHECK(CompareMagnitude(a, b) >= 0);
+  std::vector<uint32_t> result;
+  result.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t cur = static_cast<int64_t>(a[i]) - borrow -
+                  (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (cur < 0) {
+      cur += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<uint32_t>(cur));
+  }
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  result.sign_ = -result.sign_;
+  return result;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (sign_ == 0) return other;
+  if (other.sign_ == 0) return *this;
+  BigInt result;
+  if (sign_ == other.sign_) {
+    result.limbs_ = AddMagnitude(limbs_, other.limbs_);
+    result.sign_ = sign_;
+    return result;
+  }
+  int mag = CompareMagnitude(limbs_, other.limbs_);
+  if (mag == 0) return BigInt();
+  if (mag > 0) {
+    result.limbs_ = SubMagnitude(limbs_, other.limbs_);
+    result.sign_ = sign_;
+  } else {
+    result.limbs_ = SubMagnitude(other.limbs_, limbs_);
+    result.sign_ = other.sign_;
+  }
+  return result;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (sign_ == 0 || other.sign_ == 0) return BigInt();
+  BigInt result;
+  result.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = result.limbs_[i + j] +
+                     uint64_t{limbs_[i]} * other.limbs_[j] + carry;
+      result.limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry) {
+      uint64_t cur = result.limbs_[k] + carry;
+      result.limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  result.sign_ = sign_ * other.sign_;
+  result.Trim();
+  return result;
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                    BigInt* remainder) {
+  TOPODB_CHECK_MSG(b.sign_ != 0, "division by zero");
+  int cmp = CompareMagnitude(a.limbs_, b.limbs_);
+  if (cmp < 0) {
+    if (quotient) *quotient = BigInt();
+    if (remainder) *remainder = a;
+    return;
+  }
+  // Fast path: single-limb divisor.
+  if (b.limbs_.size() == 1) {
+    std::vector<uint32_t> q = a.limbs_;
+    uint32_t r = DivModSmall(&q, b.limbs_[0]);
+    if (quotient) {
+      quotient->limbs_ = std::move(q);
+      quotient->sign_ = a.sign_ * b.sign_;
+      quotient->Trim();
+    }
+    if (remainder) {
+      *remainder = BigInt(static_cast<int64_t>(r));
+      if (a.sign_ < 0) *remainder = -*remainder;
+    }
+    return;
+  }
+  // Shift-and-subtract long division on magnitudes. Values in this library
+  // are at most a few limbs, so the O(bits * limbs) cost is immaterial.
+  int abits = a.BitLength();
+  int bbits = b.BitLength();
+  std::vector<uint32_t> q((abits + 31) / 32, 0);
+  BigInt rem;
+  rem.sign_ = 0;
+  for (int bit = abits - 1; bit >= 0; --bit) {
+    // rem = rem * 2 + bit_of_a
+    uint64_t carry = (a.limbs_[bit / 32] >> (bit % 32)) & 1u;
+    for (uint32_t& limb : rem.limbs_) {
+      uint64_t cur = (uint64_t{limb} << 1) | carry;
+      limb = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    if (carry) rem.limbs_.push_back(static_cast<uint32_t>(carry));
+    if (!rem.limbs_.empty()) rem.sign_ = 1;
+    if (bit < abits && bbits <= rem.BitLength() &&
+        CompareMagnitude(rem.limbs_, b.limbs_) >= 0) {
+      rem.limbs_ = SubMagnitude(rem.limbs_, b.limbs_);
+      if (rem.limbs_.empty()) rem.sign_ = 0;
+      q[bit / 32] |= uint32_t{1} << (bit % 32);
+    }
+  }
+  if (quotient) {
+    quotient->limbs_ = std::move(q);
+    quotient->sign_ = a.sign_ * b.sign_;
+    quotient->Trim();
+  }
+  if (remainder) {
+    rem.sign_ = rem.limbs_.empty() ? 0 : a.sign_;
+    *remainder = std::move(rem);
+  }
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt q;
+  DivMod(*this, other, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt r;
+  DivMod(*this, other, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  if (result.sign_ < 0) result.sign_ = 1;
+  return result;
+}
+
+int BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  int bits = 0;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return static_cast<int>((limbs_.size() - 1) * 32) + bits;
+}
+
+bool BigInt::ToInt64(int64_t* out) const {
+  if (limbs_.size() > 2) return false;
+  uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= uint64_t{limbs_[1]} << 32;
+  if (sign_ >= 0) {
+    if (mag > static_cast<uint64_t>(INT64_MAX)) return false;
+    *out = static_cast<int64_t>(mag);
+  } else {
+    if (mag > static_cast<uint64_t>(INT64_MAX) + 1) return false;
+    *out = static_cast<int64_t>(~mag + 1);
+  }
+  return true;
+}
+
+double BigInt::ToDouble() const {
+  long double value = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    value = value * static_cast<long double>(kBase) + limbs_[i];
+  }
+  return static_cast<double>(sign_ < 0 ? -value : value);
+}
+
+std::string BigInt::ToString() const {
+  if (sign_ == 0) return "0";
+  std::vector<uint32_t> mag = limbs_;
+  std::string digits;
+  while (!mag.empty()) {
+    uint32_t rem = DivModSmall(&mag, 1000000000u);
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+size_t BigInt::Hash() const {
+  size_t h = static_cast<size_t>(sign_ + 1);
+  for (uint32_t limb : limbs_) {
+    h = h * 1000003u + limb;
+  }
+  return h;
+}
+
+}  // namespace topodb

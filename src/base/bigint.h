@@ -1,0 +1,121 @@
+#ifndef TOPODB_BASE_BIGINT_H_
+#define TOPODB_BASE_BIGINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace topodb {
+
+// Arbitrary-precision signed integer.
+//
+// Exact integer arithmetic is the bedrock of the whole library: every
+// topological decision made while building the cell complex (orientation of
+// three points, ordering of edges around a vertex, coincidence of
+// intersection points) reduces to the sign of an integer expression, and a
+// single wrong sign produces a wrong invariant. Coordinates are rationals
+// over BigInt (see rational.h), so all such signs are computed exactly.
+//
+// Representation: sign (-1/0/+1) and little-endian base-2^32 magnitude with
+// no leading zero limbs; sign_ == 0 iff limbs_ is empty. Values produced by
+// the geometry pipeline are small (a few limbs), so the implementation
+// favours simplicity and correctness over asymptotics: schoolbook
+// multiplication and shift-and-subtract division.
+class BigInt {
+ public:
+  BigInt() : sign_(0) {}
+  BigInt(int64_t value);  // NOLINT: implicit by design (numeric literal use)
+
+  // Parses an optionally signed decimal string. Aborts on malformed input;
+  // use FromString for fallible parsing.
+  explicit BigInt(std::string_view decimal);
+
+  // Returns false on malformed input.
+  static bool FromString(std::string_view decimal, BigInt* out);
+
+  bool is_zero() const { return sign_ == 0; }
+  bool is_negative() const { return sign_ < 0; }
+  bool is_positive() const { return sign_ > 0; }
+  // -1, 0 or +1.
+  int sign() const { return sign_; }
+
+  // Returns -1/0/+1 as *this is less than / equal to / greater than other.
+  int Compare(const BigInt& other) const;
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  // Truncated division (C semantics): quotient rounds toward zero and the
+  // remainder has the sign of the dividend. other must be nonzero.
+  BigInt operator/(const BigInt& other) const;
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+
+  // Computes quotient and remainder in one pass; either output may be null.
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                     BigInt* remainder);
+
+  // Greatest common divisor of the absolute values; Gcd(0, 0) == 0.
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  BigInt Abs() const;
+
+  // Number of significant bits of the magnitude (0 for zero).
+  int BitLength() const;
+
+  // Exact conversion when the value fits in int64_t; returns false otherwise.
+  bool ToInt64(int64_t* out) const;
+
+  // Nearest double (round via long-double accumulation of high limbs).
+  double ToDouble() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) >= 0;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+  // Hash compatible with operator==.
+  size_t Hash() const;
+
+ private:
+  // Compares magnitudes only.
+  static int CompareMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  void Trim();
+
+  int sign_;
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_BASE_BIGINT_H_

@@ -1,0 +1,35 @@
+#ifndef TOPODB_BASE_CHECK_H_
+#define TOPODB_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal-invariant checking. TOPODB_CHECK aborts the process with a
+// message when the condition is violated; it is for programming errors, not
+// for data-dependent failures (those use Status/Result from status.h).
+#define TOPODB_CHECK(cond)                                                \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "TOPODB_CHECK failed: %s at %s:%d\n", #cond,   \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define TOPODB_CHECK_MSG(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "TOPODB_CHECK failed: %s (%s) at %s:%d\n",     \
+                   #cond, msg, __FILE__, __LINE__);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define TOPODB_UNREACHABLE()                                              \
+  do {                                                                    \
+    std::fprintf(stderr, "TOPODB_UNREACHABLE reached at %s:%d\n",         \
+                 __FILE__, __LINE__);                                     \
+    std::abort();                                                         \
+  } while (0)
+
+#endif  // TOPODB_BASE_CHECK_H_

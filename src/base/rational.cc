@@ -1,0 +1,116 @@
+#include "src/base/rational.h"
+
+#include <ostream>
+
+#include "src/base/check.h"
+
+namespace topodb {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : num_(std::move(numerator)), den_(std::move(denominator)) {
+  TOPODB_CHECK_MSG(!den_.is_zero(), "Rational with zero denominator");
+  Reduce();
+}
+
+void Rational::Reduce() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+bool Rational::FromString(std::string_view text, Rational* out) {
+  size_t slash = text.find('/');
+  if (slash != std::string_view::npos) {
+    BigInt num, den;
+    if (!BigInt::FromString(text.substr(0, slash), &num)) return false;
+    if (!BigInt::FromString(text.substr(slash + 1), &den)) return false;
+    if (den.is_zero()) return false;
+    *out = Rational(std::move(num), std::move(den));
+    return true;
+  }
+  size_t dot = text.find('.');
+  if (dot != std::string_view::npos) {
+    std::string_view frac = text.substr(dot + 1);
+    if (frac.empty()) return false;
+    std::string joined(text.substr(0, dot));
+    if (joined.empty() || joined == "-" || joined == "+") joined += '0';
+    joined.append(frac);
+    BigInt num;
+    if (!BigInt::FromString(joined, &num)) return false;
+    BigInt den(1);
+    for (size_t i = 0; i < frac.size(); ++i) den = den * BigInt(10);
+    *out = Rational(std::move(num), std::move(den));
+    return true;
+  }
+  BigInt num;
+  if (!BigInt::FromString(text, &num)) return false;
+  *out = Rational(std::move(num));
+  return true;
+}
+
+int Rational::Compare(const Rational& other) const {
+  // Signs first: avoids big multiplications in the common case.
+  int s1 = num_.sign();
+  int s2 = other.num_.sign();
+  if (s1 != s2) return s1 < s2 ? -1 : 1;
+  // Denominators are positive, so cross-multiplication preserves order.
+  return (num_ * other.den_).Compare(other.num_ * den_);
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.num_ = -result.num_;
+  return result;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(num_ * other.den_ + other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return Rational(num_ * other.den_ - other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(num_ * other.num_, den_ * other.den_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  TOPODB_CHECK_MSG(!other.is_zero(), "Rational division by zero");
+  return Rational(num_ * other.den_, den_ * other.num_);
+}
+
+Rational Rational::Abs() const {
+  Rational result = *this;
+  result.num_ = result.num_.Abs();
+  return result;
+}
+
+double Rational::ToDouble() const {
+  return num_.ToDouble() / den_.ToDouble();
+}
+
+std::string Rational::ToString() const {
+  if (is_integer()) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+size_t Rational::Hash() const {
+  return num_.Hash() * 1000003u + den_.Hash();
+}
+
+}  // namespace topodb

@@ -1,0 +1,96 @@
+#ifndef TOPODB_BASE_RATIONAL_H_
+#define TOPODB_BASE_RATIONAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "src/base/bigint.h"
+
+namespace topodb {
+
+// Exact rational number: numerator / denominator with denominator > 0 and
+// gcd(|num|, den) == 1. All planar coordinates in the library are Rational,
+// which makes every geometric predicate exact (see bigint.h).
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT: implicit
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+  Rational(BigInt numerator, BigInt denominator);
+  Rational(int64_t numerator, int64_t denominator)
+      : Rational(BigInt(numerator), BigInt(denominator)) {}
+
+  // Parses "a", "a/b", or decimal "a.b" (with optional sign). Returns false
+  // on malformed input or zero denominator.
+  static bool FromString(std::string_view text, Rational* out);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  // -1, 0 or +1.
+  int sign() const { return num_.sign(); }
+  bool is_integer() const { return den_ == BigInt(1); }
+
+  int Compare(const Rational& other) const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  // other must be nonzero.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  Rational Abs() const;
+
+  static Rational Min(const Rational& a, const Rational& b) {
+    return a.Compare(b) <= 0 ? a : b;
+  }
+  static Rational Max(const Rational& a, const Rational& b) {
+    return a.Compare(b) >= 0 ? a : b;
+  }
+
+  double ToDouble() const;
+  // "num" when integral, otherwise "num/den".
+  std::string ToString() const;
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return a.Compare(b) <= 0;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) {
+    return a.Compare(b) > 0;
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return a.Compare(b) >= 0;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+  size_t Hash() const;
+
+ private:
+  void Reduce();
+
+  BigInt num_;
+  BigInt den_;  // Always positive.
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_BASE_RATIONAL_H_

@@ -1,0 +1,146 @@
+#ifndef TOPODB_BASE_STATUS_H_
+#define TOPODB_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/base/check.h"
+
+namespace topodb {
+
+// Error categories surfaced by the library. Kept deliberately small; the
+// human-readable message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed malformed input (bad polygon, ...)
+  kInvalidInstance,   // a spatial/thematic instance violates model rules
+  kNotFound,          // name or id lookup failed
+  kUnsupported,       // valid request outside implemented scope
+  kResourceExhausted, // enumeration/size cap hit
+  kParseError,        // query-language syntax error
+  kInternal,          // invariant violation that was recoverable
+};
+
+// Arrow/RocksDB-style status object. The library does not use exceptions;
+// fallible operations return Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status InvalidInstance(std::string msg) {
+    return Status(StatusCode::kInvalidInstance, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kInvalidInstance: return "InvalidInstance";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from error Statuses keeps call
+  // sites readable (mirrors arrow::Result).
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : value_(std::move(status)) {    // NOLINT
+    TOPODB_CHECK_MSG(!std::get<Status>(value_).ok(),
+                     "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    TOPODB_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    TOPODB_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    TOPODB_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(value_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define TOPODB_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::topodb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+// Assigns the value of a Result expression or propagates its error.
+#define TOPODB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define TOPODB_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define TOPODB_ASSIGN_OR_RETURN_NAME(a, b) TOPODB_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define TOPODB_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  TOPODB_ASSIGN_OR_RETURN_IMPL(                                              \
+      TOPODB_ASSIGN_OR_RETURN_NAME(_topodb_result_, __LINE__), lhs, rexpr)
+
+}  // namespace topodb
+
+#endif  // TOPODB_BASE_STATUS_H_

@@ -1,0 +1,730 @@
+#include "src/embed/embed.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/geom/polygon.h"
+
+namespace topodb {
+
+namespace {
+
+// Mutable embedded multigraph: darts in twin pairs (edge = dart / 2),
+// rotation kept as doubly linked cyclic lists per vertex.
+class WorkGraph {
+ public:
+  int AddVertex() {
+    ++num_vertices_;
+    return num_vertices_ - 1;
+  }
+
+  // Adds an isolated edge (rotation wired later via MakeLoneRotation /
+  // InsertAfter). Returns the edge id; darts are 2e (at u) and 2e+1 (at v).
+  int AddEdge(int u, int v) {
+    origin_.push_back(u);
+    origin_.push_back(v);
+    next_.push_back(-1);
+    next_.push_back(-1);
+    prev_.push_back(-1);
+    prev_.push_back(-1);
+    return static_cast<int>(origin_.size()) / 2 - 1;
+  }
+
+  int num_vertices() const { return num_vertices_; }
+  int num_darts() const { return static_cast<int>(origin_.size()); }
+  int num_edges() const { return num_darts() / 2; }
+  int Origin(int d) const { return origin_[d]; }
+  static int Twin(int d) { return d ^ 1; }
+  int Next(int d) const { return next_[d]; }
+  int Prev(int d) const { return prev_[d]; }
+  int NextInFace(int d) const { return prev_[Twin(d)]; }
+
+  // Declares d the only dart at its vertex (self-cycle rotation).
+  void MakeLoneRotation(int d) {
+    next_[d] = d;
+    prev_[d] = d;
+  }
+
+  // Inserts d_new immediately counterclockwise after d_ref (same vertex).
+  void InsertAfter(int d_ref, int d_new) {
+    TOPODB_CHECK(origin_[d_ref] == origin_[d_new]);
+    int after = next_[d_ref];
+    next_[d_ref] = d_new;
+    prev_[d_new] = d_ref;
+    next_[d_new] = after;
+    prev_[after] = d_new;
+  }
+
+  // Sets the full rotation at a vertex from an ordered dart list.
+  void SetRotation(const std::vector<int>& darts) {
+    const size_t k = darts.size();
+    for (size_t i = 0; i < k; ++i) {
+      next_[darts[i]] = darts[(i + 1) % k];
+      prev_[darts[i]] = darts[(i + k - 1) % k];
+    }
+  }
+
+  // All face walks: cycle id per dart plus walks as dart sequences.
+  void Cycles(std::vector<int>* cycle_of_dart,
+              std::vector<std::vector<int>>* walks) const {
+    cycle_of_dart->assign(num_darts(), -1);
+    walks->clear();
+    for (int d0 = 0; d0 < num_darts(); ++d0) {
+      if ((*cycle_of_dart)[d0] != -1) continue;
+      std::vector<int> walk;
+      int d = d0;
+      do {
+        (*cycle_of_dart)[d] = static_cast<int>(walks->size());
+        walk.push_back(d);
+        d = NextInFace(d);
+      } while (d != d0);
+      walks->push_back(std::move(walk));
+    }
+  }
+
+ private:
+  int num_vertices_ = 0;
+  std::vector<int> origin_;
+  std::vector<int> next_;
+  std::vector<int> prev_;
+};
+
+// One drawn component plus everything needed to nest children into it.
+struct ComponentDrawing {
+  // Region polygons drawn for this component (region index -> polygon).
+  std::map<int, Polygon> region_polygons;
+  // Interior witness point for each *global* face id whose outer cycle
+  // belongs to this component.
+  std::map<int, Point> face_points;
+  // All boundary segments (for clearance computations).
+  std::vector<std::pair<Point, Point>> segments;
+
+  Box BoundingBox() const {
+    TOPODB_CHECK(!segments.empty());
+    Box box = Box::FromPoints(segments[0].first, segments[0].second);
+    for (const auto& [a, b] : segments) {
+      box = box.Union(Box::FromPoints(a, b));
+    }
+    return box;
+  }
+
+  void Transform(const Rational& scale, const Point& translate) {
+    auto map_point = [&](const Point& p) {
+      return Point(p.x * scale + translate.x, p.y * scale + translate.y);
+    };
+    for (auto& [r, poly] : region_polygons) {
+      std::vector<Point> pts;
+      pts.reserve(poly.size());
+      for (const Point& p : poly.vertices()) pts.push_back(map_point(p));
+      poly = Polygon(std::move(pts));
+    }
+    for (auto& [f, p] : face_points) p = map_point(p);
+    for (auto& [a, b] : segments) {
+      a = map_point(a);
+      b = map_point(b);
+    }
+  }
+
+  void Absorb(const ComponentDrawing& other) {
+    for (const auto& [r, poly] : other.region_polygons) {
+      TOPODB_CHECK(!region_polygons.count(r));
+      region_polygons.emplace(r, poly);
+    }
+    segments.insert(segments.end(), other.segments.begin(),
+                    other.segments.end());
+    // face_points of children are not needed upward (their children were
+    // already placed), but keep them harmless.
+  }
+};
+
+// Squared distance from point p to segment [a, b], exact.
+Rational SegmentDistance2(const Point& p, const Point& a, const Point& b) {
+  const Point ab = b - a;
+  const Rational len2 = Dot(ab, ab);
+  if (len2.is_zero()) {
+    const Point d = p - a;
+    return Dot(d, d);
+  }
+  Rational t = Dot(p - a, ab) / len2;
+  if (t < Rational(0)) t = Rational(0);
+  if (t > Rational(1)) t = Rational(1);
+  const Point closest = a + ab * t;
+  const Point d = p - closest;
+  return Dot(d, d);
+}
+
+// Dense LU solve with partial pivoting (doubles); returns false on a
+// numerically singular system.
+bool SolveDense(std::vector<std::vector<double>>& a, std::vector<double>& bx,
+                std::vector<double>& by) {
+  const int n = static_cast<int>(a.size());
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(bx[col], bx[pivot]);
+    std::swap(by[col], by[pivot]);
+    for (int row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      if (factor == 0) continue;
+      for (int k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      bx[row] -= factor * bx[col];
+      by[row] -= factor * by[col];
+    }
+  }
+  for (int col = n - 1; col >= 0; --col) {
+    for (int row = 0; row < col; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      bx[row] -= factor * bx[col];
+      by[row] -= factor * by[col];
+      a[row][col] = 0;
+    }
+    bx[col] /= a[col][col];
+    by[col] /= a[col][col];
+  }
+  return true;
+}
+
+Rational SnapToRational(double value, int64_t denom) {
+  const double scaled = value * static_cast<double>(denom);
+  TOPODB_CHECK_MSG(std::fabs(scaled) < 9e18, "coordinate out of range");
+  return Rational(static_cast<int64_t>(std::llround(scaled)), denom);
+}
+
+// Builds the drawing of one skeleton component.
+class ComponentEmbedder {
+ public:
+  ComponentEmbedder(const InvariantData& data,
+                    const std::vector<int>& comp_of_vertex, int comp)
+      : data_(data), comp_of_vertex_(comp_of_vertex), comp_(comp) {}
+
+  Result<ComponentDrawing> Run() {
+    BuildSubdivided();
+    Truncate();
+    TOPODB_RETURN_NOT_OK(Stellate());
+    TOPODB_RETURN_NOT_OK(CheckTriangulation());
+    TOPODB_RETURN_NOT_OK(Tutte());
+    return Extract();
+  }
+
+ private:
+  // Stage 1: copy the component with every edge subdivided into 4
+  // segments. Original data darts map to their first working dart.
+  void BuildSubdivided() {
+    // Vertices of the component.
+    for (size_t v = 0; v < data_.vertices.size(); ++v) {
+      if (comp_of_vertex_[v] != comp_) continue;
+      vertex_map_[static_cast<int>(v)] = graph_.AddVertex();
+      vertex_is_original_.push_back(true);
+    }
+    const int nd = data_.num_darts();
+    dart_map_.assign(nd, -1);
+    mid_dart_of_edge_.assign(data_.edges.size(), -1);
+    for (size_t e = 0; e < data_.edges.size(); ++e) {
+      const auto& edge = data_.edges[e];
+      if (comp_of_vertex_[edge.v1] != comp_) continue;
+      int prev_vertex = vertex_map_[edge.v1];
+      std::vector<int> path_edges;
+      std::vector<int> path_vertices = {prev_vertex};
+      for (int k = 0; k < 3; ++k) {
+        int mid = graph_.AddVertex();
+        vertex_is_original_.push_back(false);
+        path_vertices.push_back(mid);
+      }
+      path_vertices.push_back(vertex_map_[edge.v2]);
+      for (int k = 0; k < 4; ++k) {
+        path_edges.push_back(
+            graph_.AddEdge(path_vertices[k], path_vertices[k + 1]));
+      }
+      // Rotation at interior path vertices: two darts.
+      for (int k = 0; k < 3; ++k) {
+        int incoming = 2 * path_edges[k] + 1;   // At path_vertices[k+1].
+        int outgoing = 2 * path_edges[k + 1];   // At path_vertices[k+1].
+        graph_.SetRotation({incoming, outgoing});
+      }
+      dart_map_[2 * e] = 2 * path_edges[0];
+      dart_map_[2 * e + 1] = 2 * path_edges[3] + 1;
+      // The middle (second) segment's forward dart keeps the face of the
+      // original dart 2e on its left — used to locate original faces.
+      mid_dart_of_edge_[e] = 2 * path_edges[1];
+      original_edges_.push_back(static_cast<int>(e));
+      edge_paths_.push_back(path_vertices);
+    }
+    // Rotation at original vertices: the data rotation, mapped.
+    for (size_t v = 0; v < data_.vertices.size(); ++v) {
+      if (comp_of_vertex_[v] != comp_) continue;
+      // Collect the data rotation cycle at v.
+      int first = -1;
+      for (int d = 0; d < nd && first == -1; ++d) {
+        if (data_.Origin(d) == static_cast<int>(v)) first = d;
+      }
+      TOPODB_CHECK(first != -1);
+      std::vector<int> rotation;
+      int d = first;
+      do {
+        rotation.push_back(dart_map_[d]);
+        d = data_.next_ccw[d];
+      } while (d != first);
+      graph_.SetRotation(rotation);
+    }
+  }
+
+  // Stage 2: chords across every corner of vertices with degree >= 3.
+  void Truncate() {
+    const int original_darts = graph_.num_darts();
+    for (int v = 0; v < graph_.num_vertices(); ++v) {
+      if (!vertex_is_original_[static_cast<size_t>(v)]) continue;
+      // Collect rotation at v.
+      int first = -1;
+      for (int d = 0; d < original_darts && first == -1; ++d) {
+        if (graph_.Origin(d) == v) first = d;
+      }
+      if (first == -1) continue;
+      std::vector<int> rotation;
+      int d = first;
+      do {
+        rotation.push_back(d);
+        d = graph_.Next(d);
+      } while (d != first);
+      if (rotation.size() < 3) continue;
+      const size_t k = rotation.size();
+      // u_d: the subdivision vertex adjacent to v along dart d.
+      auto u_of = [&](int dart) { return graph_.Origin(WorkGraph::Twin(dart)); };
+      // Chord per corner (rotation[i], rotation[i+1]).
+      std::vector<int> chord_edges(k);
+      for (size_t i = 0; i < k; ++i) {
+        chord_edges[i] =
+            graph_.AddEdge(u_of(rotation[i]), u_of(rotation[(i + 1) % k]));
+      }
+      // Rewire rotations at each u_d: [away, chord_next, to_v, chord_prev].
+      for (size_t i = 0; i < k; ++i) {
+        const int d_i = rotation[i];
+        const int to_v = WorkGraph::Twin(d_i);  // Dart at u pointing to v.
+        const int away = graph_.Next(to_v) == to_v
+                             ? to_v  // Impossible: u has degree 2.
+                             : (graph_.Next(to_v));
+        TOPODB_CHECK(away != to_v);
+        const int chord_next = 2 * chord_edges[i];          // At u_of(d_i).
+        const int chord_prev =
+            2 * chord_edges[(i + k - 1) % k] + 1;           // At u_of(d_i).
+        graph_.SetRotation({away, chord_next, to_v, chord_prev});
+      }
+    }
+  }
+
+  // Stage 3: stellation of every face of the truncated graph.
+  Status Stellate() {
+    std::vector<int> cycle_of_dart;
+    std::vector<std::vector<int>> walks;
+    graph_.Cycles(&cycle_of_dart, &walks);
+    // Simple face walks are required (no repeated vertices): guaranteed by
+    // truncation, verified here.
+    for (const auto& walk : walks) {
+      std::set<int> seen;
+      for (int d : walk) {
+        if (!seen.insert(graph_.Origin(d)).second) {
+          return Status::Internal(
+              "face walk not simple after truncation");
+        }
+      }
+    }
+    stellation_center_of_cycle_.assign(walks.size(), -1);
+    for (size_t c = 0; c < walks.size(); ++c) {
+      const std::vector<int>& walk = walks[c];
+      const int center = graph_.AddVertex();
+      vertex_is_original_.push_back(false);
+      stellation_center_of_cycle_[c] = center;
+      std::vector<int> center_rotation;
+      for (int b : walk) {
+        const int w = graph_.Origin(b);
+        const int spoke = graph_.AddEdge(w, center);
+        // Insert the w-side spoke dart between b and next_ccw(b): that is
+        // the angular sector of this face at w.
+        graph_.InsertAfter(b, 2 * spoke);
+        center_rotation.push_back(2 * spoke + 1);
+      }
+      graph_.SetRotation(center_rotation);
+    }
+    // Remember one triangle of the component's outward cycle for the
+    // Tutte outer face: (center, first two walk vertices). The outward
+    // cycle is located via any original dart on it.
+    TOPODB_RETURN_NOT_OK(LocateOutwardTriangle(cycle_of_dart, walks));
+    // Locate original faces: for each original edge, the middle segment's
+    // dart face (left) is the shrunk version of the original dart's face.
+    for (size_t i = 0; i < original_edges_.size(); ++i) {
+      const int e = original_edges_[i];
+      for (int side = 0; side < 2; ++side) {
+        const int mid_dart = mid_dart_of_edge_[e] + side;
+        const int face = data_.face_of_dart[2 * e + side];
+        const int cycle = cycle_of_dart[mid_dart];
+        face_center_vertex_[face] = stellation_center_of_cycle_[cycle];
+      }
+    }
+    return Status::OK();
+  }
+
+  Status LocateOutwardTriangle(const std::vector<int>& cycle_of_dart,
+                               const std::vector<std::vector<int>>& walks) {
+    // The outward cycle of the component: the data cycle that is not the
+    // outer cycle of its face. Find an original dart on it, then its
+    // middle-segment dart identifies the truncated cycle.
+    std::vector<int> data_cycle_of_dart, data_reps;
+    data_.ComputeCycles(&data_cycle_of_dart, &data_reps);
+    std::vector<char> cycle_is_outer(data_reps.size(), 0);
+    for (const auto& face : data_.faces) {
+      if (face.outer_cycle_dart >= 0) {
+        cycle_is_outer[data_cycle_of_dart[face.outer_cycle_dart]] = 1;
+      }
+    }
+    for (size_t e = 0; e < data_.edges.size(); ++e) {
+      if (comp_of_vertex_[data_.edges[e].v1] != comp_) continue;
+      for (int side = 0; side < 2; ++side) {
+        const int data_dart = 2 * static_cast<int>(e) + side;
+        if (cycle_is_outer[data_cycle_of_dart[data_dart]]) continue;
+        const int mid_dart = mid_dart_of_edge_[e] + side;
+        const int cycle = cycle_of_dart[mid_dart];
+        const std::vector<int>& walk = walks[cycle];
+        outer_triangle_ = {stellation_center_of_cycle_[cycle],
+                           graph_.Origin(walk[0]), graph_.Origin(walk[1])};
+        return Status::OK();
+      }
+    }
+    return Status::Internal("component without outward cycle");
+  }
+
+  Status CheckTriangulation() {
+    // Simplicity.
+    std::set<std::pair<int, int>> seen;
+    for (int e = 0; e < graph_.num_edges(); ++e) {
+      int u = graph_.Origin(2 * e);
+      int v = graph_.Origin(2 * e + 1);
+      if (u == v) return Status::Internal("loop after augmentation");
+      if (u > v) std::swap(u, v);
+      if (!seen.insert({u, v}).second) {
+        return Status::Internal("parallel edges after augmentation");
+      }
+    }
+    // All faces triangles + Euler.
+    std::vector<int> cycle_of_dart;
+    std::vector<std::vector<int>> walks;
+    graph_.Cycles(&cycle_of_dart, &walks);
+    for (const auto& walk : walks) {
+      if (walk.size() != 3) {
+        return Status::Internal("non-triangular face after stellation");
+      }
+    }
+    if (static_cast<int>(walks.size()) !=
+        graph_.num_edges() - graph_.num_vertices() + 2) {
+      return Status::Internal("augmented graph is not planar");
+    }
+    return Status::OK();
+  }
+
+  Status Tutte() {
+    const int n = graph_.num_vertices();
+    positions_.assign(n, Point());
+    std::vector<int> index(n, -1);  // Row of each free vertex.
+    std::vector<int> free_vertices;
+    for (int v = 0; v < n; ++v) {
+      if (v == outer_triangle_[0] || v == outer_triangle_[1] ||
+          v == outer_triangle_[2]) {
+        continue;
+      }
+      index[v] = static_cast<int>(free_vertices.size());
+      free_vertices.push_back(v);
+    }
+    positions_[outer_triangle_[0]] = Point(0, 0);
+    positions_[outer_triangle_[1]] = Point(1024, 0);
+    positions_[outer_triangle_[2]] = Point(0, 1024);
+    const int m = static_cast<int>(free_vertices.size());
+    if (m == 0) return Status::OK();
+    std::vector<std::vector<double>> a(m, std::vector<double>(m, 0.0));
+    std::vector<double> bx(m, 0.0), by(m, 0.0);
+    // Adjacency from edges.
+    for (int e = 0; e < graph_.num_edges(); ++e) {
+      const int u = graph_.Origin(2 * e);
+      const int v = graph_.Origin(2 * e + 1);
+      for (auto [x, y] : {std::pair{u, v}, std::pair{v, u}}) {
+        if (index[x] < 0) continue;
+        a[index[x]][index[x]] += 1.0;
+        if (index[y] >= 0) {
+          a[index[x]][index[y]] -= 1.0;
+        } else {
+          bx[index[x]] += positions_[y].x.ToDouble();
+          by[index[x]] += positions_[y].y.ToDouble();
+        }
+      }
+    }
+    if (!SolveDense(a, bx, by)) {
+      return Status::Internal("Tutte system singular");
+    }
+    // Snap to rationals, refining the precision until all coordinates are
+    // distinct (barycentric drawings can have very small gaps).
+    for (int64_t denom = int64_t{1} << 14; denom <= (int64_t{1} << 50);
+         denom <<= 6) {
+      for (int i = 0; i < m; ++i) {
+        positions_[free_vertices[i]] =
+            Point(SnapToRational(bx[i], denom), SnapToRational(by[i], denom));
+      }
+      std::set<Point> unique_check;
+      bool collision = false;
+      for (int v = 0; v < n && !collision; ++v) {
+        collision = !unique_check.insert(positions_[v]).second;
+      }
+      if (!collision) return Status::OK();
+    }
+    return Status::Internal("coordinate collision after snapping");
+  }
+
+  Result<ComponentDrawing> Extract() {
+    ComponentDrawing drawing;
+    // Polyline of every original edge.
+    std::map<int, std::vector<Point>> polyline_of_edge;
+    for (size_t i = 0; i < original_edges_.size(); ++i) {
+      const int e = original_edges_[i];
+      std::vector<Point> chain;
+      for (int v : edge_paths_[i]) chain.push_back(positions_[v]);
+      for (size_t k = 0; k + 1 < chain.size(); ++k) {
+        drawing.segments.emplace_back(chain[k], chain[k + 1]);
+      }
+      polyline_of_edge[e] = std::move(chain);
+    }
+    // Face witness points.
+    for (const auto& [face, center] : face_center_vertex_) {
+      drawing.face_points[face] = positions_[center];
+    }
+    // Region polygons: walk each region's boundary cycle.
+    std::set<int> regions_here;
+    for (const auto& [e, chain] : polyline_of_edge) {
+      for (size_t r = 0; r < data_.region_names.size(); ++r) {
+        if (data_.edges[e].label[r] == Sign::kBoundary) {
+          regions_here.insert(static_cast<int>(r));
+        }
+      }
+    }
+    for (int r : regions_here) {
+      TOPODB_ASSIGN_OR_RETURN(Polygon poly,
+                              RegionPolygon(r, polyline_of_edge));
+      drawing.region_polygons.emplace(r, std::move(poly));
+    }
+    return drawing;
+  }
+
+  // Chains the boundary edges of region r into its polygon. The boundary
+  // of a disc region is a simple closed curve, so in the boundary
+  // subgraph every vertex has exactly two incident edge-endpoints (a loop
+  // edge contributes both of its endpoints).
+  Result<Polygon> RegionPolygon(
+      int r, const std::map<int, std::vector<Point>>& polylines) const {
+    std::map<int, std::vector<int>> incident;  // data vertex -> data edges
+    std::set<int> edges;
+    for (const auto& [e, chain] : polylines) {
+      if (data_.edges[e].label[r] != Sign::kBoundary) continue;
+      edges.insert(e);
+      incident[data_.edges[e].v1].push_back(e);
+      incident[data_.edges[e].v2].push_back(e);
+    }
+    if (edges.empty()) return Status::Internal("region without boundary");
+    for (const auto& [v, inc] : incident) {
+      if (inc.size() != 2) {
+        return Status::Internal("region boundary is not a simple cycle");
+      }
+    }
+    std::vector<Point> points;
+    const int first_edge = *edges.begin();
+    const int start_vertex = data_.edges[first_edge].v1;
+    int cur_edge = first_edge;
+    int cur_vertex = start_vertex;
+    size_t guard = 0;
+    do {
+      if (++guard > 2 * edges.size() + 2) {
+        return Status::Internal("region boundary walk did not close");
+      }
+      const auto& chain = polylines.at(cur_edge);
+      const auto& edge = data_.edges[cur_edge];
+      // Chains are stored v1 -> v2; traverse in the matching direction and
+      // append all but the final point (the next edge restates it).
+      const bool forward = edge.v1 == cur_vertex;
+      if (forward) {
+        for (size_t k = 0; k + 1 < chain.size(); ++k) {
+          points.push_back(chain[k]);
+        }
+        cur_vertex = edge.v2;
+      } else {
+        for (size_t k = chain.size(); k-- > 1;) points.push_back(chain[k]);
+        cur_vertex = edge.v1;
+      }
+      // The other boundary edge at the new vertex (the same edge again
+      // only for a single-loop boundary).
+      const std::vector<int>& inc = incident[cur_vertex];
+      cur_edge = (inc[0] == cur_edge && inc[1] != cur_edge) ? inc[1]
+                 : (inc[1] == cur_edge && inc[0] != cur_edge)
+                     ? inc[0]
+                     : inc[0];
+    } while (cur_edge != first_edge || cur_vertex != start_vertex);
+    Polygon poly(std::move(points));
+    TOPODB_RETURN_NOT_OK(poly.Validate());
+    poly.Normalize();
+    return poly;
+  }
+
+  const InvariantData& data_;
+  const std::vector<int>& comp_of_vertex_;
+  const int comp_;
+
+  WorkGraph graph_;
+  std::map<int, int> vertex_map_;       // data vertex -> work vertex
+  std::vector<bool> vertex_is_original_;
+  std::vector<int> dart_map_;           // data dart -> work dart
+  std::vector<int> mid_dart_of_edge_;   // data edge -> middle segment dart
+  std::vector<int> original_edges_;     // data edge ids in this component
+  std::vector<std::vector<int>> edge_paths_;  // parallel to original_edges_
+  std::vector<int> stellation_center_of_cycle_;
+  std::map<int, int> face_center_vertex_;  // global face -> work vertex
+  std::array<int, 3> outer_triangle_ = {-1, -1, -1};
+  std::vector<Point> positions_;
+};
+
+}  // namespace
+
+Result<SpatialInstance> ReconstructPolyInstance(const InvariantData& data) {
+  TOPODB_RETURN_NOT_OK(data.CheckWellFormed());
+  SpatialInstance instance;
+  if (data.vertices.empty()) {
+    if (!data.region_names.empty()) {
+      return Status::InvalidArgument("regions without skeleton");
+    }
+    return instance;
+  }
+  const std::vector<int> comp_of_vertex = data.VertexComponents();
+  const int num_comps = data.ComponentCount();
+
+  // Containment tree (same derivation as the canonical form).
+  std::vector<int> cycle_of_dart, cycle_reps;
+  data.ComputeCycles(&cycle_of_dart, &cycle_reps);
+  std::vector<char> cycle_is_outer(cycle_reps.size(), 0);
+  for (const auto& face : data.faces) {
+    if (face.outer_cycle_dart >= 0) {
+      cycle_is_outer[cycle_of_dart[face.outer_cycle_dart]] = 1;
+    }
+  }
+  std::vector<int> container_face(num_comps, -1);
+  for (size_t c = 0; c < cycle_reps.size(); ++c) {
+    if (cycle_is_outer[c]) continue;
+    const int comp = comp_of_vertex[data.Origin(cycle_reps[c])];
+    container_face[comp] = data.face_of_dart[cycle_reps[c]];
+  }
+  std::vector<int> parent(num_comps, -1);
+  std::vector<std::vector<int>> children(num_comps);
+  std::vector<int> roots;
+  for (int comp = 0; comp < num_comps; ++comp) {
+    const int face = container_face[comp];
+    if (face < 0) return Status::InvalidInstance("missing outward cycle");
+    const int outer = data.faces[face].outer_cycle_dart;
+    if (outer < 0) {
+      roots.push_back(comp);
+      continue;
+    }
+    parent[comp] = comp_of_vertex[data.Origin(outer)];
+    children[parent[comp]].push_back(comp);
+  }
+
+  // Draw every component.
+  std::vector<ComponentDrawing> drawings(num_comps);
+  for (int comp = 0; comp < num_comps; ++comp) {
+    ComponentEmbedder embedder(data, comp_of_vertex, comp);
+    TOPODB_ASSIGN_OR_RETURN(drawings[comp], embedder.Run());
+  }
+
+  // Place children bottom-up (deepest first): process components in an
+  // order where children come before parents.
+  std::vector<int> order;
+  {
+    std::vector<int> stack = roots;
+    while (!stack.empty()) {
+      int comp = stack.back();
+      stack.pop_back();
+      order.push_back(comp);
+      for (int child : children[comp]) stack.push_back(child);
+    }
+    std::reverse(order.begin(), order.end());  // Children first.
+  }
+  for (int comp : order) {
+    // Group children by container face.
+    std::map<int, std::vector<int>> by_face;
+    for (int child : children[comp]) {
+      by_face[container_face[child]].push_back(child);
+    }
+    for (auto& [face, kids] : by_face) {
+      auto it = drawings[comp].face_points.find(face);
+      if (it == drawings[comp].face_points.end()) {
+        return Status::Internal("container face has no witness point");
+      }
+      const Point p = it->second;
+      // Clearance to the parent's own geometry.
+      Rational r2;
+      bool first = true;
+      for (const auto& [a, b] : drawings[comp].segments) {
+        Rational d2 = SegmentDistance2(p, a, b);
+        if (first || d2 < r2) {
+          r2 = d2;
+          first = false;
+        }
+      }
+      TOPODB_CHECK(!first);
+      if (r2.is_zero()) return Status::Internal("witness point on geometry");
+      // A rational radius below sqrt(r2): min(1, r2) works since for
+      // r2 < 1 we have r2 < sqrt(r2).
+      Rational radius = Rational::Min(Rational(1), r2);
+      const int k = static_cast<int>(kids.size());
+      for (int i = 0; i < k; ++i) {
+        ComponentDrawing& child = drawings[kids[i]];
+        const Box box = child.BoundingBox();
+        const Rational width = box.max.x - box.min.x;
+        const Rational height = box.max.y - box.min.y;
+        Rational extent = Rational::Max(width, height);
+        if (extent.is_zero()) extent = Rational(1);
+        const Rational child_radius = radius / Rational(4 * k);
+        const Rational scale = child_radius / extent;
+        // Center of the i-th sub-disc along the x axis through p.
+        const Rational offset =
+            radius * Rational(2 * i + 1 - k, 2 * k);
+        const Point target(p.x + offset, p.y);
+        // Translate the child's bbox center to target after scaling.
+        const Point bbox_center((box.min.x + box.max.x) / Rational(2),
+                                (box.min.y + box.max.y) / Rational(2));
+        const Point translate(target.x - bbox_center.x * scale,
+                              target.y - bbox_center.y * scale);
+        child.Transform(scale, translate);
+        drawings[comp].Absorb(child);
+      }
+    }
+  }
+
+  // Place roots side by side.
+  Rational cursor(0);
+  for (int root : roots) {
+    ComponentDrawing& drawing = drawings[root];
+    const Box box = drawing.BoundingBox();
+    const Point translate(cursor - box.min.x, Rational(0) - box.min.y);
+    drawing.Transform(Rational(1), translate);
+    cursor += (box.max.x - box.min.x) + Rational(8);
+    for (const auto& [r, poly] : drawing.region_polygons) {
+      TOPODB_ASSIGN_OR_RETURN(
+          Region region, Region::Make(poly, Region::Classify(poly)));
+      TOPODB_RETURN_NOT_OK(
+          instance.AddRegion(data.region_names[r], std::move(region)));
+    }
+  }
+  return instance;
+}
+
+}  // namespace topodb

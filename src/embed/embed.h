@@ -1,0 +1,38 @@
+#ifndef TOPODB_EMBED_EMBED_H_
+#define TOPODB_EMBED_EMBED_H_
+
+#include "src/base/status.h"
+#include "src/invariant/data.h"
+#include "src/region/instance.h"
+
+namespace topodb {
+
+// Theorem 3.5 (spatial representation): constructs, from a topological
+// invariant alone, a *polygonal* spatial instance whose invariant is
+// isomorphic to the input. This is the Fary/Tutte construction the paper
+// sketches, realized as:
+//
+//   per skeleton component:
+//     1. subdivide every edge (kills loops and parallel edges; original
+//        edges become polylines in the drawing),
+//     2. truncate every vertex of degree >= 3 (chords across each corner;
+//        removes cut vertices, so all face walks become simple cycles),
+//     3. stellate every face (a center vertex joined to each corner),
+//        yielding a simple maximal planar graph, hence 3-connected,
+//     4. Tutte barycentric embedding with a triangle of the component's
+//        outward face fixed as the convex outer face (dense LU in doubles,
+//        snapped to rational coordinates),
+//     5. drop the auxiliary vertices: the original skeleton appears as
+//        non-crossing polylines; each region's boundary cycle becomes a
+//        simple polygon;
+//   then place components into their container faces recursively, scaling
+//   each child into a small disc around the face's stellation-center
+//   point (the paper's "embed components into each other" step).
+//
+// The result is verified by the caller in tests/benches via the round
+// trip ComputeInvariant(result) == input (up to isomorphism).
+Result<SpatialInstance> ReconstructPolyInstance(const InvariantData& data);
+
+}  // namespace topodb
+
+#endif  // TOPODB_EMBED_EMBED_H_

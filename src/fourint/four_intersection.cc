@@ -1,0 +1,99 @@
+#include "src/fourint/four_intersection.h"
+
+namespace topodb {
+
+const char* FourIntRelationName(FourIntRelation relation) {
+  switch (relation) {
+    case FourIntRelation::kDisjoint: return "disjoint";
+    case FourIntRelation::kMeet: return "meet";
+    case FourIntRelation::kOverlap: return "overlap";
+    case FourIntRelation::kEqual: return "equal";
+    case FourIntRelation::kContains: return "contains";
+    case FourIntRelation::kInside: return "inside";
+    case FourIntRelation::kCovers: return "covers";
+    case FourIntRelation::kCoveredBy: return "coveredBy";
+  }
+  return "?";
+}
+
+FourIntRelation Inverse(FourIntRelation relation) {
+  switch (relation) {
+    case FourIntRelation::kContains: return FourIntRelation::kInside;
+    case FourIntRelation::kInside: return FourIntRelation::kContains;
+    case FourIntRelation::kCovers: return FourIntRelation::kCoveredBy;
+    case FourIntRelation::kCoveredBy: return FourIntRelation::kCovers;
+    default: return relation;  // Symmetric relations.
+  }
+}
+
+FourIntersectionMatrix ComputeMatrix(const CellComplex& complex, int a,
+                                     int b) {
+  FourIntersectionMatrix m;
+  auto absorb = [&](const CellLabel& label) {
+    const Sign sa = label[a];
+    const Sign sb = label[b];
+    if (sa == Sign::kBoundary && sb == Sign::kBoundary) {
+      m.boundary_boundary = true;
+    }
+    if (sa == Sign::kInterior && sb == Sign::kInterior) {
+      m.interior_interior = true;
+    }
+    if (sa == Sign::kBoundary && sb == Sign::kInterior) {
+      m.boundary_a_interior_b = true;
+    }
+    if (sa == Sign::kInterior && sb == Sign::kBoundary) {
+      m.interior_a_boundary_b = true;
+    }
+  };
+  for (const auto& vertex : complex.vertices()) absorb(vertex.label);
+  for (const auto& edge : complex.edges()) absorb(edge.label);
+  for (const auto& face : complex.faces()) absorb(face.label);
+  return m;
+}
+
+Result<FourIntRelation> ClassifyMatrix(const FourIntersectionMatrix& m) {
+  const bool bb = m.boundary_boundary;
+  const bool ii = m.interior_interior;
+  const bool bi = m.boundary_a_interior_b;
+  const bool ib = m.interior_a_boundary_b;
+  if (!bb && !ii && !bi && !ib) return FourIntRelation::kDisjoint;
+  if (bb && !ii && !bi && !ib) return FourIntRelation::kMeet;
+  if (bb && ii && bi && ib) return FourIntRelation::kOverlap;
+  if (bb && ii && !bi && !ib) return FourIntRelation::kEqual;
+  if (!bb && ii && !bi && ib) return FourIntRelation::kContains;
+  if (!bb && ii && bi && !ib) return FourIntRelation::kInside;
+  if (bb && ii && !bi && ib) return FourIntRelation::kCovers;
+  if (bb && ii && bi && !ib) return FourIntRelation::kCoveredBy;
+  return Status::Internal("4-intersection matrix not realizable by discs");
+}
+
+Result<FourIntRelation> Relate(const SpatialInstance& instance,
+                               const std::string& a, const std::string& b) {
+  // Only the two regions matter; build the pair's complex.
+  SpatialInstance pair;
+  TOPODB_ASSIGN_OR_RETURN(const Region* ra, instance.ext(a));
+  TOPODB_ASSIGN_OR_RETURN(const Region* rb, instance.ext(b));
+  TOPODB_RETURN_NOT_OK(pair.AddRegion(a, *ra));
+  TOPODB_RETURN_NOT_OK(pair.AddRegion(b, *rb));
+  TOPODB_ASSIGN_OR_RETURN(CellComplex complex, CellComplex::Build(pair));
+  return ClassifyMatrix(
+      ComputeMatrix(complex, complex.region_index(a), complex.region_index(b)));
+}
+
+Result<bool> FourIntEquivalent(const SpatialInstance& i,
+                               const SpatialInstance& j) {
+  if (i.names() != j.names()) return false;
+  const std::vector<std::string> names = i.names();
+  for (size_t x = 0; x < names.size(); ++x) {
+    for (size_t y = x + 1; y < names.size(); ++y) {
+      TOPODB_ASSIGN_OR_RETURN(FourIntRelation ri,
+                              Relate(i, names[x], names[y]));
+      TOPODB_ASSIGN_OR_RETURN(FourIntRelation rj,
+                              Relate(j, names[x], names[y]));
+      if (ri != rj) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace topodb

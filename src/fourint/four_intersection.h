@@ -1,0 +1,68 @@
+#ifndef TOPODB_FOURINT_FOUR_INTERSECTION_H_
+#define TOPODB_FOURINT_FOUR_INTERSECTION_H_
+
+#include <string>
+
+#include "src/arrangement/cell_complex.h"
+#include "src/base/status.h"
+#include "src/region/instance.h"
+
+namespace topodb {
+
+// Egenhofer's 4-intersection relations between two regions (paper Fig 2):
+// the eight mutually exclusive, jointly exhaustive relations realizable by
+// classifying the emptiness of the four set intersections
+//   boundary(A) n boundary(B),  interior(A) n interior(B),
+//   boundary(A) n interior(B),  interior(A) n boundary(B).
+enum class FourIntRelation {
+  kDisjoint,
+  kMeet,      // Overlap only at the boundary.
+  kOverlap,
+  kEqual,
+  kContains,  // A strictly contains B (boundaries disjoint).
+  kInside,    // A strictly inside B.
+  kCovers,    // A contains B and shares boundary.
+  kCoveredBy, // A inside B and shares boundary.
+};
+
+const char* FourIntRelationName(FourIntRelation relation);
+
+// The inverse relation (swap of the two arguments).
+FourIntRelation Inverse(FourIntRelation relation);
+
+// The raw 4-intersection matrix: emptiness of the four intersections.
+struct FourIntersectionMatrix {
+  bool boundary_boundary = false;  // Nonempty?
+  bool interior_interior = false;
+  bool boundary_a_interior_b = false;
+  bool interior_a_boundary_b = false;
+
+  friend bool operator==(const FourIntersectionMatrix&,
+                         const FourIntersectionMatrix&) = default;
+};
+
+// Reads the matrix for regions (by index) off the labels of a cell complex
+// containing both regions. Exact: the cells partition the plane, so an
+// intersection is nonempty iff some cell carries the corresponding pair of
+// signs.
+FourIntersectionMatrix ComputeMatrix(const CellComplex& complex, int a,
+                                     int b);
+
+// Classifies the matrix into one of the eight relations. Fails if the
+// combination is not realizable by two discs (only possible for corrupted
+// input).
+Result<FourIntRelation> ClassifyMatrix(const FourIntersectionMatrix& matrix);
+
+// Relation between two named regions of an instance.
+Result<FourIntRelation> Relate(const SpatialInstance& instance,
+                               const std::string& a, const std::string& b);
+
+// The paper's 4-intersection equivalence of instances: same names, and
+// every pair of regions stands in the same relation in both instances.
+// This is the notion the invariant strictly refines (Fig 1).
+Result<bool> FourIntEquivalent(const SpatialInstance& i,
+                               const SpatialInstance& j);
+
+}  // namespace topodb
+
+#endif  // TOPODB_FOURINT_FOUR_INTERSECTION_H_

@@ -1,0 +1,39 @@
+#ifndef TOPODB_GEOM_BOX_H_
+#define TOPODB_GEOM_BOX_H_
+
+#include "src/geom/point.h"
+
+namespace topodb {
+
+// Closed axis-aligned bounding box over rational coordinates.
+struct Box {
+  Point min;
+  Point max;
+
+  static Box FromPoints(const Point& a, const Point& b) {
+    Box box;
+    box.min = Point(Rational::Min(a.x, b.x), Rational::Min(a.y, b.y));
+    box.max = Point(Rational::Max(a.x, b.x), Rational::Max(a.y, b.y));
+    return box;
+  }
+
+  bool Contains(const Point& p) const {
+    return min.x <= p.x && p.x <= max.x && min.y <= p.y && p.y <= max.y;
+  }
+
+  bool Intersects(const Box& o) const {
+    return !(max.x < o.min.x || o.max.x < min.x || max.y < o.min.y ||
+             o.max.y < min.y);
+  }
+
+  Box Union(const Box& o) const {
+    Box box;
+    box.min = Point(Rational::Min(min.x, o.min.x), Rational::Min(min.y, o.min.y));
+    box.max = Point(Rational::Max(max.x, o.max.x), Rational::Max(max.y, o.max.y));
+    return box;
+  }
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_GEOM_BOX_H_

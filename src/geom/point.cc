@@ -1,0 +1,11 @@
+#include "src/geom/point.h"
+
+#include <ostream>
+
+namespace topodb {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << p.ToString();
+}
+
+}  // namespace topodb

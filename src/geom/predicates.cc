@@ -1,0 +1,114 @@
+#include "src/geom/predicates.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace topodb {
+
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  return Cross(b - a, c - a).sign();
+}
+
+bool OnSegment(const Point& p, const Point& a, const Point& b) {
+  if (Orientation(a, b, p) != 0) return false;
+  // Collinear: check the bounding box.
+  return Rational::Min(a.x, b.x) <= p.x && p.x <= Rational::Max(a.x, b.x) &&
+         Rational::Min(a.y, b.y) <= p.y && p.y <= Rational::Max(a.y, b.y);
+}
+
+bool StrictlyInsideSegment(const Point& p, const Point& a, const Point& b) {
+  return OnSegment(p, a, b) && p != a && p != b;
+}
+
+SegmentIntersection IntersectSegments(const Point& a, const Point& b,
+                                      const Point& c, const Point& d) {
+  SegmentIntersection result;
+  const Point r = b - a;
+  const Point s = d - c;
+  const Rational denom = Cross(r, s);
+  const Rational qp_cross_r = Cross(c - a, r);
+
+  if (denom.is_zero()) {
+    if (!qp_cross_r.is_zero()) return result;  // Parallel, non-collinear.
+    // Collinear: project endpoints on the carrier line and intersect the
+    // parameter intervals. Degenerate (point) segments fall out naturally.
+    auto param = [&](const Point& p) -> Rational {
+      // Monotone along the segment direction; avoids division.
+      return Dot(p - a, r);
+    };
+    Rational t0 = param(a), t1 = param(b);
+    Rational u0 = param(c), u1 = param(d);
+    if (t1 < t0) std::swap(t0, t1);
+    Point pa = a, pb = b;
+    if (param(pb) < param(pa)) std::swap(pa, pb);
+    Point pc = c, pd = d;
+    if (u1 < u0) {
+      std::swap(u0, u1);
+      std::swap(pc, pd);
+    }
+    if (r.x.is_zero() && r.y.is_zero()) {
+      // [a,b] is a single point.
+      if (OnSegment(a, c, d)) {
+        result.kind = SegmentIntersection::Kind::kPoint;
+        result.p0 = a;
+      }
+      return result;
+    }
+    const Rational lo = Rational::Max(t0, u0);
+    const Rational hi = Rational::Min(t1, u1);
+    if (lo > hi) return result;
+    const Point plo = (t0 >= u0) ? pa : pc;
+    const Point phi = (t1 <= u1) ? pb : pd;
+    if (lo == hi) {
+      result.kind = SegmentIntersection::Kind::kPoint;
+      result.p0 = plo;
+    } else {
+      result.kind = SegmentIntersection::Kind::kOverlap;
+      result.p0 = plo;
+      result.p1 = phi;
+    }
+    return result;
+  }
+
+  // Non-parallel carrier lines: a + t r = c + u s.
+  const Rational t = Cross(c - a, s) / denom;
+  const Rational u = qp_cross_r / denom;
+  if (t < Rational(0) || t > Rational(1) || u < Rational(0) ||
+      u > Rational(1)) {
+    return result;
+  }
+  result.kind = SegmentIntersection::Kind::kPoint;
+  result.p0 = a + r * t;
+  return result;
+}
+
+namespace {
+
+// Half-plane rank for the sweep starting at the positive x-axis going
+// counterclockwise: rank 0 covers angles [0, pi) starting at +x (i.e. y > 0,
+// or y == 0 && x > 0); rank 1 covers [pi, 2*pi).
+int HalfPlaneRank(const Point& u) {
+  int ys = u.y.sign();
+  if (ys > 0) return 0;
+  if (ys < 0) return 1;
+  return u.x.sign() > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+bool CcwDirectionLess(const Point& u, const Point& v) {
+  TOPODB_CHECK_MSG(!(u.x.is_zero() && u.y.is_zero()), "zero direction");
+  TOPODB_CHECK_MSG(!(v.x.is_zero() && v.y.is_zero()), "zero direction");
+  int ru = HalfPlaneRank(u);
+  int rv = HalfPlaneRank(v);
+  if (ru != rv) return ru < rv;
+  // Same half-plane: u before v iff turning from u to v is counterclockwise.
+  return Cross(u, v).sign() > 0;
+}
+
+bool SameDirection(const Point& u, const Point& v) {
+  return Cross(u, v).is_zero() && Dot(u, v).sign() > 0;
+}
+
+}  // namespace topodb

@@ -1,0 +1,53 @@
+#ifndef TOPODB_GEOM_PREDICATES_H_
+#define TOPODB_GEOM_PREDICATES_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/geom/point.h"
+
+namespace topodb {
+
+// Exact geometric predicates. Every return value is a decision, never an
+// approximation; robustness of the whole cell-complex pipeline rests here.
+
+// Sign of the signed area of triangle (a, b, c):
+//   +1  c lies to the left of directed line a->b (counterclockwise turn),
+//    0  collinear,
+//   -1  right / clockwise turn.
+int Orientation(const Point& a, const Point& b, const Point& c);
+
+// True iff p lies on the closed segment [a, b] (degenerate segments allowed).
+bool OnSegment(const Point& p, const Point& a, const Point& b);
+
+// True iff p lies strictly inside the open segment (a, b).
+bool StrictlyInsideSegment(const Point& p, const Point& a, const Point& b);
+
+// Result of intersecting two closed segments.
+struct SegmentIntersection {
+  enum class Kind {
+    kNone,     // disjoint
+    kPoint,    // exactly one common point (stored in p0)
+    kOverlap,  // collinear overlap along [p0, p1], p0 != p1
+  };
+  Kind kind = Kind::kNone;
+  Point p0;
+  Point p1;
+};
+
+// Exact intersection of closed segments [a,b] and [c,d].
+SegmentIntersection IntersectSegments(const Point& a, const Point& b,
+                                      const Point& c, const Point& d);
+
+// Strict cyclic counterclockwise order on direction vectors (nonzero).
+// Directions are ranked starting from the positive x-axis, sweeping
+// counterclockwise; ties (equal directions) compare false both ways.
+// This is the comparator that builds rotation systems around vertices.
+bool CcwDirectionLess(const Point& u, const Point& v);
+
+// True iff the two direction vectors are positive multiples of each other.
+bool SameDirection(const Point& u, const Point& v);
+
+}  // namespace topodb
+
+#endif  // TOPODB_GEOM_PREDICATES_H_

@@ -1,0 +1,245 @@
+#include "src/invariant/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace topodb {
+
+namespace {
+
+// Derived structure shared by all canonical computations on one invariant.
+struct Precomp {
+  std::vector<int> prev;            // Inverse of next_ccw.
+  std::vector<int> cycle_of_dart;
+  std::vector<int> cycle_reps;
+  std::vector<bool> cycle_is_outer;  // Outer cycle of its (bounded) face.
+  std::vector<int> comp_of_vertex;
+  std::vector<int> comp_of_dart;
+  std::vector<std::vector<int>> darts_of_comp;
+  std::vector<int> container_face_of_comp;  // Face holding the component.
+  std::vector<int> parent_comp;             // -1 for roots.
+  std::vector<std::vector<int>> children;
+};
+
+Precomp Precompute(const InvariantData& data) {
+  Precomp pre;
+  const int nd = data.num_darts();
+  pre.prev.assign(nd, -1);
+  for (int d = 0; d < nd; ++d) pre.prev[data.next_ccw[d]] = d;
+  data.ComputeCycles(&pre.cycle_of_dart, &pre.cycle_reps);
+  pre.cycle_is_outer.assign(pre.cycle_reps.size(), false);
+  for (const auto& face : data.faces) {
+    if (face.outer_cycle_dart >= 0) {
+      pre.cycle_is_outer[pre.cycle_of_dart[face.outer_cycle_dart]] = true;
+    }
+  }
+  pre.comp_of_vertex = data.VertexComponents();
+  const int num_comps = data.ComponentCount();
+  pre.comp_of_dart.assign(nd, -1);
+  pre.darts_of_comp.assign(num_comps, {});
+  for (int d = 0; d < nd; ++d) {
+    int comp = pre.comp_of_vertex[data.Origin(d)];
+    pre.comp_of_dart[d] = comp;
+    pre.darts_of_comp[comp].push_back(d);
+  }
+  // Each component has exactly one cycle that is not the outer cycle of a
+  // bounded face: the cycle facing the component's container.
+  pre.container_face_of_comp.assign(num_comps, -1);
+  for (size_t c = 0; c < pre.cycle_reps.size(); ++c) {
+    if (pre.cycle_is_outer[c]) continue;
+    int comp = pre.comp_of_dart[pre.cycle_reps[c]];
+    TOPODB_CHECK_MSG(pre.container_face_of_comp[comp] == -1,
+                     "component with two outward cycles");
+    pre.container_face_of_comp[comp] =
+        data.face_of_dart[pre.cycle_reps[c]];
+  }
+  pre.parent_comp.assign(num_comps, -1);
+  pre.children.assign(num_comps, {});
+  for (int comp = 0; comp < num_comps; ++comp) {
+    int face = pre.container_face_of_comp[comp];
+    TOPODB_CHECK_MSG(face >= 0, "component without outward cycle");
+    const auto& f = data.faces[face];
+    if (f.outer_cycle_dart < 0) continue;  // Sits in the exterior: root.
+    int parent = pre.comp_of_dart[f.outer_cycle_dart];
+    TOPODB_CHECK_MSG(parent != comp, "component nested in itself");
+    pre.parent_comp[comp] = parent;
+    pre.children[parent].push_back(comp);
+  }
+  return pre;
+}
+
+// The face on the left of dart d under the chosen orientation: mirroring
+// the plane swaps left and right.
+int FaceOf(const InvariantData& data, int d, bool mirrored) {
+  return data.face_of_dart[mirrored ? InvariantData::Twin(d) : d];
+}
+
+// Deterministic traversal code of one component from a start dart.
+// Appends per-dart tokens in discovery order; fills idx (dart -> index).
+std::string FlagCode(const InvariantData& data, const Precomp& pre,
+                     int start, bool mirrored, bool include_exterior,
+                     std::vector<int>* idx_out) {
+  std::vector<int>& idx = *idx_out;
+  idx.assign(data.num_darts(), -1);
+  std::vector<int> order;
+  order.reserve(pre.darts_of_comp[pre.comp_of_dart[start]].size());
+  idx[start] = 0;
+  order.push_back(start);
+  const std::vector<int>& rot = mirrored ? pre.prev : data.next_ccw;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const int d = order[i];
+    for (int nb : {rot[d], InvariantData::Twin(d)}) {
+      if (idx[nb] == -1) {
+        idx[nb] = static_cast<int>(order.size());
+        order.push_back(nb);
+      }
+    }
+  }
+  std::ostringstream os;
+  for (int d : order) {
+    const int edge = d / 2;
+    const int face = FaceOf(data, d, mirrored);
+    os << idx[rot[d]] << ',' << idx[InvariantData::Twin(d)] << ';'
+       << LabelString(data.vertices[data.Origin(d)].label) << ';'
+       << LabelString(data.edges[edge].label) << ';'
+       << LabelString(data.faces[face].label);
+    if (include_exterior) {
+      // Mark darts on the cycle facing the component's container, and
+      // whether that container is the unbounded face. Under mirroring the
+      // dart's cycle is the one its twin traces in the original.
+      const int cyc =
+          pre.cycle_of_dart[mirrored ? InvariantData::Twin(d) : d];
+      os << ';' << (pre.cycle_is_outer[cyc] ? 'i' : 'x')
+         << (data.faces[face].unbounded ? 'U' : 'B');
+    }
+    os << '|';
+  }
+  return os.str();
+}
+
+// Canonical code of the subtree rooted at component comp.
+std::string TreeCode(const InvariantData& data, const Precomp& pre, int comp,
+                     bool mirrored, bool include_exterior,
+                     std::map<int, std::string>* memo) {
+  auto it = memo->find(comp);
+  if (it != memo->end()) return it->second;
+  // Children codes first (they do not depend on this component's start).
+  std::vector<std::pair<int, std::string>> kids;  // (container face, code)
+  for (int child : pre.children[comp]) {
+    kids.emplace_back(pre.container_face_of_comp[child],
+                      TreeCode(data, pre, child, mirrored, include_exterior,
+                               memo));
+  }
+  std::string best;
+  std::vector<int> idx;
+  for (int start : pre.darts_of_comp[comp]) {
+    std::string code =
+        FlagCode(data, pre, start, mirrored, include_exterior, &idx);
+    if (!kids.empty()) {
+      // Tag each child with the canonical id of its container face: the
+      // least dart index lying on that face (under this orientation).
+      std::vector<std::string> tagged;
+      for (const auto& [face, child_code] : kids) {
+        int tag = -1;
+        for (int d : pre.darts_of_comp[comp]) {
+          if (FaceOf(data, d, mirrored) == face &&
+              (tag == -1 || idx[d] < tag)) {
+            tag = idx[d];
+          }
+        }
+        TOPODB_CHECK_MSG(tag >= 0, "child container face not on parent");
+        tagged.push_back(std::to_string(tag) + '@' + child_code);
+      }
+      std::sort(tagged.begin(), tagged.end());
+      code += "{";
+      for (const std::string& t : tagged) code += t + "}{";
+      code += "}";
+    }
+    if (best.empty() || code < best) best = std::move(code);
+  }
+  memo->emplace(comp, best);
+  return best;
+}
+
+std::string ForestCode(const InvariantData& data, const Precomp& pre,
+                       bool mirrored, bool include_exterior) {
+  std::map<int, std::string> memo;
+  std::vector<std::string> roots;
+  for (size_t comp = 0; comp < pre.children.size(); ++comp) {
+    if (pre.parent_comp[comp] == -1) {
+      roots.push_back(TreeCode(data, pre, static_cast<int>(comp), mirrored,
+                               include_exterior, &memo));
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  std::string out;
+  for (const std::string& r : roots) out += "[" + r + "]";
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> CanonicalInvariantString(const InvariantData& data,
+                                             const CanonicalOptions& options) {
+  TOPODB_RETURN_NOT_OK(data.CheckWellFormed());
+  if (!options.include_exterior && data.ComponentCount() > 1) {
+    return Status::Unsupported(
+        "exterior-free canonical form requires a connected instance");
+  }
+  std::string head = "names:";
+  for (const auto& name : data.region_names) head += name + ",";
+  head += "#";
+  if (data.vertices.empty()) return head + "empty";
+  Precomp pre = Precompute(data);
+  std::string plain = ForestCode(data, pre, /*mirrored=*/false,
+                                 options.include_exterior);
+  if (!options.allow_reflection) return head + plain;
+  std::string mirror = ForestCode(data, pre, /*mirrored=*/true,
+                                  options.include_exterior);
+  return head + std::min(plain, mirror);
+}
+
+bool Isomorphic(const InvariantData& a, const InvariantData& b) {
+  Result<std::string> ca = CanonicalInvariantString(a);
+  Result<std::string> cb = CanonicalInvariantString(b);
+  TOPODB_CHECK_MSG(ca.ok() && cb.ok(), "invariant not well formed");
+  return *ca == *cb;
+}
+
+Result<bool> IsomorphicIgnoringExterior(const InvariantData& a,
+                                        const InvariantData& b) {
+  CanonicalOptions options;
+  options.include_exterior = false;
+  TOPODB_ASSIGN_OR_RETURN(std::string ca, CanonicalInvariantString(a, options));
+  TOPODB_ASSIGN_OR_RETURN(std::string cb, CanonicalInvariantString(b, options));
+  return ca == cb;
+}
+
+bool IsotopyEquivalent(const InvariantData& a, const InvariantData& b) {
+  CanonicalOptions options;
+  options.allow_reflection = false;
+  Result<std::string> ca = CanonicalInvariantString(a, options);
+  Result<std::string> cb = CanonicalInvariantString(b, options);
+  TOPODB_CHECK_MSG(ca.ok() && cb.ok(), "invariant not well formed");
+  return *ca == *cb;
+}
+
+Result<TopologicalInvariant> TopologicalInvariant::Compute(
+    const SpatialInstance& instance) {
+  TOPODB_ASSIGN_OR_RETURN(InvariantData data, ComputeInvariant(instance));
+  return FromData(std::move(data));
+}
+
+Result<TopologicalInvariant> TopologicalInvariant::FromData(
+    InvariantData data) {
+  TopologicalInvariant invariant;
+  TOPODB_ASSIGN_OR_RETURN(invariant.canonical_,
+                          CanonicalInvariantString(data));
+  invariant.data_ = std::move(data);
+  return invariant;
+}
+
+}  // namespace topodb

@@ -1,0 +1,81 @@
+#ifndef TOPODB_INVARIANT_CANONICAL_H_
+#define TOPODB_INVARIANT_CANONICAL_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/invariant/data.h"
+
+namespace topodb {
+
+// Canonical forms and isomorphism for topological invariants (Theorem 3.4).
+//
+// A connected embedded labeled planar graph is canonized by running a
+// deterministic flag traversal (over the dart permutations rotation/twin)
+// from every possible start dart in both orientations and keeping the
+// lexicographically least code; two invariants are isomorphic — via an
+// isomorphism that is the identity on region names and maps the exterior
+// face to the exterior face — iff their canonical strings are equal.
+// Nonconnected instances are handled by canonizing the containment
+// ("embedded-in") tree of skeleton components, with a globally consistent
+// orientation choice across components — exactly the subtlety in the
+// paper's proof of Theorem 3.4 (and the content of the Fig 7a experiment).
+
+struct CanonicalOptions {
+  // When false, the exterior face and outward-cycle marks are omitted from
+  // the code: the result canonizes (V, E, delta, l, O) without f0, the
+  // structure whose insufficiency the paper's Fig 6 demonstrates. Only
+  // supported for connected instances.
+  bool include_exterior = true;
+  // When false, orientation-reversing isomorphisms are not admitted: the
+  // canonical form distinguishes an instance from its mirror image. This
+  // is the *isotopy*-generic notion of [KPV95] (footnote 1 of the paper:
+  // isotopies are continuous deformations of the plane, which preserve
+  // orientation), strictly finer than H-genericity.
+  bool allow_reflection = true;
+};
+
+// Canonical string of the invariant. Deterministic; equal strings iff
+// isomorphic structures (at the chosen level).
+Result<std::string> CanonicalInvariantString(const InvariantData& data,
+                                             const CanonicalOptions& options);
+
+inline Result<std::string> CanonicalInvariantString(const InvariantData& d) {
+  return CanonicalInvariantString(d, CanonicalOptions{});
+}
+
+// Theorem 3.4 equivalence: isomorphism of full invariants (identity on
+// names, exterior to exterior, orientation globally consistent).
+bool Isomorphic(const InvariantData& a, const InvariantData& b);
+
+// Fig 6 level: isomorphism of (V, E, delta, l, O) ignoring the exterior
+// face. Connected instances only.
+Result<bool> IsomorphicIgnoringExterior(const InvariantData& a,
+                                        const InvariantData& b);
+
+// [KPV95] level: equivalence under orientation-preserving homeomorphisms
+// (isotopy-generic). Finer than Isomorphic: a chiral instance is not
+// isotopy-equivalent to its mirror image.
+bool IsotopyEquivalent(const InvariantData& a, const InvariantData& b);
+
+// Convenience wrapper caching the canonical string of an instance.
+class TopologicalInvariant {
+ public:
+  static Result<TopologicalInvariant> Compute(const SpatialInstance& instance);
+  static Result<TopologicalInvariant> FromData(InvariantData data);
+
+  const InvariantData& data() const { return data_; }
+  const std::string& canonical() const { return canonical_; }
+
+  bool EquivalentTo(const TopologicalInvariant& other) const {
+    return canonical_ == other.canonical_;
+  }
+
+ private:
+  InvariantData data_;
+  std::string canonical_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_INVARIANT_CANONICAL_H_

@@ -1,0 +1,186 @@
+#include "src/invariant/data.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace topodb {
+
+int InvariantData::PrevCcw(int dart) const {
+  // next_ccw restricted to one vertex is a cyclic permutation; walk it.
+  int e = dart;
+  while (next_ccw[e] != dart) e = next_ccw[e];
+  return e;
+}
+
+std::vector<int> InvariantData::VertexComponents() const {
+  std::vector<int> parent(vertices.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  auto find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : edges) {
+    parent[find(e.v1)] = find(e.v2);
+  }
+  std::vector<int> component(vertices.size());
+  std::map<int, int> remap;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    int root = find(static_cast<int>(i));
+    auto [it, ignore] = remap.try_emplace(root, static_cast<int>(remap.size()));
+    component[i] = it->second;
+  }
+  return component;
+}
+
+int InvariantData::ComponentCount() const {
+  if (vertices.empty()) return 0;
+  std::vector<int> component = VertexComponents();
+  return *std::max_element(component.begin(), component.end()) + 1;
+}
+
+void InvariantData::ComputeCycles(std::vector<int>* cycle_of_dart,
+                                  std::vector<int>* cycle_reps) const {
+  cycle_of_dart->assign(num_darts(), -1);
+  cycle_reps->clear();
+  for (int d0 = 0; d0 < num_darts(); ++d0) {
+    if ((*cycle_of_dart)[d0] != -1) continue;
+    const int cycle = static_cast<int>(cycle_reps->size());
+    cycle_reps->push_back(d0);
+    int d = d0;
+    do {
+      (*cycle_of_dart)[d] = cycle;
+      d = NextInFace(d);
+    } while (d != d0);
+  }
+}
+
+InvariantData InvariantData::FromComplex(const CellComplex& complex) {
+  InvariantData data;
+  data.region_names = complex.region_names();
+  data.vertices.reserve(complex.vertices().size());
+  for (const auto& v : complex.vertices()) {
+    data.vertices.push_back(Vertex{v.label});
+  }
+  data.edges.reserve(complex.edges().size());
+  for (size_t e = 0; e < complex.edges().size(); ++e) {
+    auto [v1, v2] = complex.EdgeEndpoints(static_cast<int>(e));
+    data.edges.push_back(Edge{v1, v2, complex.edges()[e].label});
+  }
+  data.next_ccw.resize(complex.darts().size());
+  data.face_of_dart.resize(complex.darts().size());
+  for (size_t d = 0; d < complex.darts().size(); ++d) {
+    data.next_ccw[d] = complex.darts()[d].next_ccw;
+    data.face_of_dart[d] = complex.darts()[d].face;
+  }
+  data.faces.reserve(complex.faces().size());
+  for (const auto& f : complex.faces()) {
+    Face face;
+    face.label = f.label;
+    face.unbounded = f.unbounded;
+    // The builder records the outer cycle's representative dart first for
+    // bounded faces; the exterior face has no outer cycle.
+    face.outer_cycle_dart = f.unbounded ? -1 : f.cycle_darts.front();
+    data.faces.push_back(std::move(face));
+  }
+  data.exterior_face = complex.exterior_face();
+  return data;
+}
+
+Result<InvariantData> InvariantData::WithExteriorFace(int face_id) const {
+  if (face_id < 0 || face_id >= static_cast<int>(faces.size())) {
+    return Status::InvalidArgument("no such face");
+  }
+  if (face_id == exterior_face) return *this;
+  if (ComponentCount() > 1) {
+    return Status::Unsupported(
+        "exterior reassignment implemented for connected instances only");
+  }
+  InvariantData out = *this;
+  // Connected instance: every face is bounded by a single cycle.
+  std::vector<int> cycle_of_dart, cycle_reps;
+  ComputeCycles(&cycle_of_dart, &cycle_reps);
+  // Old exterior becomes bounded: its single cycle is now its outer cycle.
+  for (int rep : cycle_reps) {
+    if (face_of_dart[rep] == exterior_face) {
+      out.faces[exterior_face].outer_cycle_dart = rep;
+    }
+  }
+  out.faces[exterior_face].unbounded = false;
+  out.faces[face_id].unbounded = true;
+  out.faces[face_id].outer_cycle_dart = -1;
+  out.exterior_face = face_id;
+  return out;
+}
+
+Status InvariantData::CheckWellFormed() const {
+  const int nd = num_darts();
+  if (static_cast<int>(next_ccw.size()) != nd ||
+      static_cast<int>(face_of_dart.size()) != nd) {
+    return Status::InvalidInstance("dart table size mismatch");
+  }
+  const size_t num_regions = region_names.size();
+  for (const Vertex& v : vertices) {
+    if (v.label.size() != num_regions) {
+      return Status::InvalidInstance("vertex label arity mismatch");
+    }
+  }
+  for (const Edge& e : edges) {
+    if (e.v1 < 0 || e.v1 >= static_cast<int>(vertices.size()) || e.v2 < 0 ||
+        e.v2 >= static_cast<int>(vertices.size())) {
+      return Status::InvalidInstance("edge endpoint out of range");
+    }
+    if (e.label.size() != num_regions) {
+      return Status::InvalidInstance("edge label arity mismatch");
+    }
+  }
+  for (const Face& f : faces) {
+    if (f.label.size() != num_regions) {
+      return Status::InvalidInstance("face label arity mismatch");
+    }
+  }
+  if (!faces.empty() &&
+      (exterior_face < 0 || exterior_face >= static_cast<int>(faces.size()))) {
+    return Status::InvalidInstance("exterior face out of range");
+  }
+  std::vector<bool> seen(nd, false);
+  for (int d = 0; d < nd; ++d) {
+    int n = next_ccw[d];
+    if (n < 0 || n >= nd) return Status::InvalidInstance("bad rotation");
+    if (Origin(n) != Origin(d)) {
+      return Status::InvalidInstance("rotation leaves the vertex");
+    }
+    if (face_of_dart[d] < 0 ||
+        face_of_dart[d] >= static_cast<int>(faces.size())) {
+      return Status::InvalidInstance("dart face out of range");
+    }
+    seen[d] = true;
+  }
+  // next_ccw must be a bijection.
+  std::vector<bool> hit(nd, false);
+  for (int d = 0; d < nd; ++d) {
+    if (hit[next_ccw[d]]) return Status::InvalidInstance("rotation not 1-1");
+    hit[next_ccw[d]] = true;
+  }
+  return Status::OK();
+}
+
+std::string InvariantData::DebugString() const {
+  std::ostringstream os;
+  os << "T_I: |V|=" << vertices.size() << " |E|=" << edges.size()
+     << " |F|=" << faces.size() << " f0=" << exterior_face
+     << " components=" << ComponentCount();
+  return os.str();
+}
+
+Result<InvariantData> ComputeInvariant(const SpatialInstance& instance) {
+  TOPODB_ASSIGN_OR_RETURN(CellComplex complex, CellComplex::Build(instance));
+  return InvariantData::FromComplex(complex);
+}
+
+}  // namespace topodb

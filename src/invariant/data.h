@@ -1,0 +1,91 @@
+#ifndef TOPODB_INVARIANT_DATA_H_
+#define TOPODB_INVARIANT_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/arrangement/cell_complex.h"
+#include "src/arrangement/label.h"
+#include "src/base/status.h"
+
+namespace topodb {
+
+// The topological invariant T_I = (V, E, delta, f0, l, O) of Section 3 as a
+// purely combinatorial structure (no geometry). The orientation relation O
+// is stored as the rotation system: the counterclockwise successor of each
+// dart around its origin vertex (this is equivalent to the paper's 4-ary
+// relation O and is the standard encoding of an embedded planar graph).
+//
+// Faces group boundary cycles; a bounded face knows which of its cycles is
+// the outer one (the others are hole cycles of nested skeleton components).
+// This encodes the paper's "embedded-in" tree for nonconnected instances.
+struct InvariantData {
+  struct Vertex {
+    CellLabel label;
+  };
+  struct Edge {
+    int v1 = -1;  // Origin of dart 2*e.
+    int v2 = -1;  // Origin of dart 2*e + 1.
+    CellLabel label;
+  };
+  struct Face {
+    CellLabel label;
+    bool unbounded = false;
+    // A dart on the outer boundary cycle, or -1 for the exterior face.
+    int outer_cycle_dart = -1;
+  };
+
+  std::vector<std::string> region_names;
+  std::vector<Vertex> vertices;
+  std::vector<Edge> edges;
+  std::vector<Face> faces;
+  // Rotation system over darts (2 per edge; dart 2e leaves v1, 2e+1 leaves
+  // v2); next_ccw[d] is the next dart counterclockwise around origin(d).
+  std::vector<int> next_ccw;
+  // Face on the left of each dart's walk (constant along face cycles).
+  std::vector<int> face_of_dart;
+  int exterior_face = -1;
+
+  // --- Dart helpers ---
+  int num_darts() const { return static_cast<int>(2 * edges.size()); }
+  static int Twin(int dart) { return dart ^ 1; }
+  int Origin(int dart) const {
+    const Edge& e = edges[dart / 2];
+    return dart % 2 == 0 ? e.v1 : e.v2;
+  }
+  // Counterclockwise predecessor around the origin vertex.
+  int PrevCcw(int dart) const;
+  // Next dart of the face-on-left boundary walk.
+  int NextInFace(int dart) const { return PrevCcw(Twin(dart)); }
+
+  // --- Derived structure ---
+  // Connected component (of the skeleton) of each vertex.
+  std::vector<int> VertexComponents() const;
+  int ComponentCount() const;
+
+  // Face boundary cycles: cycle id for each dart, and one representative
+  // dart per cycle (the minimal dart id in the cycle).
+  void ComputeCycles(std::vector<int>* cycle_of_dart,
+                     std::vector<int>* cycle_reps) const;
+
+  // Extraction from a geometric cell complex.
+  static InvariantData FromComplex(const CellComplex& complex);
+
+  // Returns a copy with the exterior face reassigned to face_id (which must
+  // be a bounded face of a *connected* instance). This realizes the paper's
+  // Fig 6 phenomenon: same adjacency and labels, different exterior cell.
+  Result<InvariantData> WithExteriorFace(int face_id) const;
+
+  // Structural sanity of sizes and index ranges (not the full Theorem 3.8
+  // validation; see validate.h for that).
+  Status CheckWellFormed() const;
+
+  std::string DebugString() const;
+};
+
+// Convenience: cell complex construction + invariant extraction.
+Result<InvariantData> ComputeInvariant(const SpatialInstance& instance);
+
+}  // namespace topodb
+
+#endif  // TOPODB_INVARIANT_DATA_H_

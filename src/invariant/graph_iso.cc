@@ -1,0 +1,192 @@
+#include "src/invariant/graph_iso.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace topodb {
+
+namespace {
+
+// Flattened view of G_I: cells 0..nv-1 are vertices, then edges, then
+// faces. Edges know endpoints and side faces.
+struct GView {
+  int nv = 0, ne = 0, nf = 0;
+  std::vector<std::string> cell_label;     // Initial label string per cell.
+  std::vector<std::vector<int>> adj;       // Incidence lists (cell graph).
+  std::vector<int> eu, ev, ef, eg;         // Edge endpoints and side faces.
+
+  int EdgeCell(int e) const { return nv + e; }
+  int FaceCell(int f) const { return nv + ne + f; }
+  int total() const { return nv + ne + nf; }
+};
+
+GView MakeView(const InvariantData& data, bool include_exterior) {
+  GView view;
+  view.nv = static_cast<int>(data.vertices.size());
+  view.ne = static_cast<int>(data.edges.size());
+  view.nf = static_cast<int>(data.faces.size());
+  view.cell_label.resize(view.total());
+  view.adj.resize(view.total());
+  for (int v = 0; v < view.nv; ++v) {
+    view.cell_label[v] = "V:" + LabelString(data.vertices[v].label);
+  }
+  for (int e = 0; e < view.ne; ++e) {
+    view.cell_label[view.EdgeCell(e)] =
+        "E:" + LabelString(data.edges[e].label);
+    view.eu.push_back(data.edges[e].v1);
+    view.ev.push_back(data.edges[e].v2);
+    view.ef.push_back(data.face_of_dart[2 * e]);
+    view.eg.push_back(data.face_of_dart[2 * e + 1]);
+    for (int cell : {data.edges[e].v1, data.edges[e].v2,
+                     view.FaceCell(data.face_of_dart[2 * e]),
+                     view.FaceCell(data.face_of_dart[2 * e + 1])}) {
+      view.adj[view.EdgeCell(e)].push_back(cell);
+      view.adj[cell].push_back(view.EdgeCell(e));
+    }
+  }
+  for (int f = 0; f < view.nf; ++f) {
+    view.cell_label[view.FaceCell(f)] =
+        "F:" + LabelString(data.faces[f].label) +
+        (include_exterior && data.faces[f].unbounded ? "!" : "");
+  }
+  return view;
+}
+
+// Iterated color refinement over the incidence graph. Colors are small
+// integers consistent between the two views (joint refinement).
+void Refine(const GView& a, const GView& b, std::vector<int>* color_a,
+            std::vector<int>* color_b) {
+  std::map<std::string, int> palette;
+  auto init = [&](const GView& g, std::vector<int>* color) {
+    color->resize(g.total());
+    for (int c = 0; c < g.total(); ++c) {
+      auto [it, ignore] =
+          palette.try_emplace(g.cell_label[c], static_cast<int>(palette.size()));
+      (*color)[c] = it->second;
+    }
+  };
+  init(a, color_a);
+  init(b, color_b);
+  size_t distinct = palette.size();
+  for (int round = 0; round < a.total() + 1; ++round) {
+    std::map<std::pair<int, std::vector<int>>, int> next_palette;
+    auto step = [&](const GView& g, const std::vector<int>& color) {
+      std::vector<int> next(g.total());
+      for (int c = 0; c < g.total(); ++c) {
+        std::vector<int> nb;
+        nb.reserve(g.adj[c].size());
+        for (int d : g.adj[c]) nb.push_back(color[d]);
+        std::sort(nb.begin(), nb.end());
+        auto [it, ignore] = next_palette.try_emplace(
+            {color[c], std::move(nb)}, static_cast<int>(next_palette.size()));
+        next[c] = it->second;
+      }
+      return next;
+    };
+    std::vector<int> na = step(a, *color_a);
+    std::vector<int> nb = step(b, *color_b);
+    *color_a = std::move(na);
+    *color_b = std::move(nb);
+    // Refinement never coarsens; a round that does not split any class is
+    // the fixpoint.
+    if (next_palette.size() == distinct) break;
+    distinct = next_palette.size();
+  }
+}
+
+// Backtracking matcher over edges with induced vertex/face unification.
+class Matcher {
+ public:
+  Matcher(const GView& a, const GView& b, std::vector<int> color_a,
+          std::vector<int> color_b)
+      : a_(a), b_(b), color_a_(std::move(color_a)),
+        color_b_(std::move(color_b)) {
+    map_cell_.assign(a_.total(), -1);
+    rmap_cell_.assign(b_.total(), -1);
+  }
+
+  bool Search() { return MatchEdge(0); }
+
+ private:
+  bool Unify(int ca, int cb) {
+    if (color_a_[ca] != color_b_[cb]) return false;
+    if (map_cell_[ca] == cb && rmap_cell_[cb] == ca) return true;
+    if (map_cell_[ca] != -1 || rmap_cell_[cb] != -1) return false;
+    map_cell_[ca] = cb;
+    rmap_cell_[cb] = ca;
+    trail_.push_back({ca, cb});
+    return true;
+  }
+
+  void Rollback(size_t mark) {
+    while (trail_.size() > mark) {
+      auto [ca, cb] = trail_.back();
+      trail_.pop_back();
+      map_cell_[ca] = -1;
+      rmap_cell_[cb] = -1;
+    }
+  }
+
+  bool MatchEdge(int e) {
+    if (e == a_.ne) return true;
+    const int ea_cell = a_.EdgeCell(e);
+    for (int f = 0; f < b_.ne; ++f) {
+      const int eb_cell = b_.EdgeCell(f);
+      if (rmap_cell_[eb_cell] != -1) continue;
+      if (color_a_[ea_cell] != color_b_[eb_cell]) continue;
+      // Two endpoint pairings x two face pairings.
+      for (int flip_v = 0; flip_v < 2; ++flip_v) {
+        for (int flip_f = 0; flip_f < 2; ++flip_f) {
+          size_t mark = trail_.size();
+          int u2 = flip_v ? b_.ev[f] : b_.eu[f];
+          int v2 = flip_v ? b_.eu[f] : b_.ev[f];
+          int f2 = flip_f ? b_.eg[f] : b_.ef[f];
+          int g2 = flip_f ? b_.ef[f] : b_.eg[f];
+          if (Unify(ea_cell, eb_cell) && Unify(a_.eu[e], u2) &&
+              Unify(a_.ev[e], v2) && Unify(a_.FaceCell(a_.ef[e]),
+                                           b_.FaceCell(f2)) &&
+              Unify(a_.FaceCell(a_.eg[e]), b_.FaceCell(g2))) {
+            if (MatchEdge(e + 1)) return true;
+          }
+          Rollback(mark);
+        }
+      }
+    }
+    return false;
+  }
+
+  const GView& a_;
+  const GView& b_;
+  std::vector<int> color_a_;
+  std::vector<int> color_b_;
+  std::vector<int> map_cell_;
+  std::vector<int> rmap_cell_;
+  std::vector<std::pair<int, int>> trail_;
+};
+
+}  // namespace
+
+bool GraphIsomorphic(const InvariantData& a, const InvariantData& b,
+                     const GraphIsoOptions& options) {
+  if (a.region_names != b.region_names) return false;
+  if (a.vertices.size() != b.vertices.size() ||
+      a.edges.size() != b.edges.size() || a.faces.size() != b.faces.size()) {
+    return false;
+  }
+  GView va = MakeView(a, options.include_exterior);
+  GView vb = MakeView(b, options.include_exterior);
+  std::vector<int> color_a, color_b;
+  Refine(va, vb, &color_a, &color_b);
+  // Color histograms must match.
+  std::vector<int> ha = color_a, hb = color_b;
+  std::sort(ha.begin(), ha.end());
+  std::sort(hb.begin(), hb.end());
+  if (ha != hb) return false;
+  Matcher matcher(va, vb, std::move(color_a), std::move(color_b));
+  return matcher.Search();
+}
+
+}  // namespace topodb

@@ -1,0 +1,34 @@
+#ifndef TOPODB_INVARIANT_GRAPH_ISO_H_
+#define TOPODB_INVARIANT_GRAPH_ISO_H_
+
+#include "src/invariant/data.h"
+
+namespace topodb {
+
+// Isomorphism of the paper's structure G_I = (V, E, delta, f0, l) — the
+// cell adjacency graph with labels but WITHOUT the orientation relation O.
+// Lemma 3.2 shows G_I characterizes simple instances; Fig 7 shows it fails
+// beyond them, which is exactly what comparing GraphIsomorphic with the
+// full Isomorphic demonstrates (see bench_fig01_invariant).
+//
+// Options:
+//   include_exterior=false additionally drops the exterior-face marker,
+//   giving the even weaker structure whose insufficiency Fig 6 shows.
+//
+// The test uses color refinement plus backtracking; worst-case exponential
+// (general labeled graph isomorphism), intended for the paper's
+// figure-sized instances.
+struct GraphIsoOptions {
+  bool include_exterior = true;
+};
+
+bool GraphIsomorphic(const InvariantData& a, const InvariantData& b,
+                     const GraphIsoOptions& options);
+
+inline bool GraphIsomorphic(const InvariantData& a, const InvariantData& b) {
+  return GraphIsomorphic(a, b, GraphIsoOptions{});
+}
+
+}  // namespace topodb
+
+#endif  // TOPODB_INVARIANT_GRAPH_ISO_H_

@@ -1,0 +1,83 @@
+#include "src/invariant/s_invariant.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/region/region.h"
+
+namespace topodb {
+
+Result<SInvariant> SInvariant::Compute(const SpatialInstance& instance) {
+  SInvariant result;
+  if (instance.empty()) {
+    result.canonical_ = "names:#empty";
+    return result;
+  }
+  std::set<Rational> xs_set, ys_set;
+  for (const auto& [name, region] : instance.regions()) {
+    if (!Region::IsRectilinear(region.boundary())) {
+      return Status::InvalidArgument(
+          "S-invariant requires rectilinear (Rect*) regions; " + name +
+          " is not");
+    }
+    for (const Point& p : region.boundary().vertices()) {
+      xs_set.insert(p.x);
+      ys_set.insert(p.y);
+    }
+  }
+  std::vector<Rational> xs(xs_set.begin(), xs_set.end());
+  std::vector<Rational> ys(ys_set.begin(), ys_set.end());
+  const size_t cols = xs.size() - 1;
+  const size_t rows = ys.size() - 1;
+  result.columns_ = cols;
+  result.rows_ = rows;
+  // Membership matrix: cell (i, j) -> bit vector over sorted region names.
+  const std::vector<std::string> names = instance.names();
+  std::vector<std::vector<std::string>> grid(
+      rows, std::vector<std::string>(cols, std::string(names.size(), '0')));
+  for (size_t j = 0; j < rows; ++j) {
+    for (size_t i = 0; i < cols; ++i) {
+      const Point mid((xs[i] + xs[i + 1]) / Rational(2),
+                      (ys[j] + ys[j + 1]) / Rational(2));
+      for (size_t r = 0; r < names.size(); ++r) {
+        const Region* region = *instance.ext(names[r]);
+        if (region->Locate(mid) == PointLocation::kInterior) {
+          grid[j][i][r] = '1';
+        }
+      }
+    }
+  }
+  // Canonical form over the dihedral group: x-reversal, y-reversal, and
+  // the transpose (axis swap); 8 variants in total.
+  auto serialize = [&](bool flip_x, bool flip_y, bool transpose) {
+    const size_t out_rows = transpose ? cols : rows;
+    const size_t out_cols = transpose ? rows : cols;
+    std::string s;
+    s.reserve(out_rows * out_cols * (names.size() + 1) + out_rows);
+    for (size_t j = 0; j < out_rows; ++j) {
+      for (size_t i = 0; i < out_cols; ++i) {
+        size_t gi = transpose ? j : i;
+        size_t gj = transpose ? i : j;
+        if (flip_x) gi = cols - 1 - gi;
+        if (flip_y) gj = rows - 1 - gj;
+        s += grid[gj][gi];
+        s += ',';
+      }
+      s += ';';
+    }
+    return s;
+  };
+  std::string best;
+  for (int mask = 0; mask < 8; ++mask) {
+    // Transposed grids have swapped shape; the row separators make the
+    // shape part of the serialization, so comparison stays sound.
+    std::string s = serialize(mask & 1, mask & 2, mask & 4);
+    if (best.empty() || s < best) best = std::move(s);
+  }
+  std::string head = "names:";
+  for (const auto& name : names) head += name + ",";
+  result.canonical_ = head + "#" + best;
+  return result;
+}
+
+}  // namespace topodb

@@ -1,0 +1,310 @@
+#include "src/invariant/validate.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace topodb {
+
+namespace {
+
+// Dual-graph connectivity of a subset of faces; adjacency across shared
+// edges. Empty subsets are vacuously connected.
+bool DualConnected(const InvariantData& data, const std::vector<bool>& in) {
+  int start = -1;
+  int total = 0;
+  for (size_t f = 0; f < in.size(); ++f) {
+    if (in[f]) {
+      ++total;
+      start = static_cast<int>(f);
+    }
+  }
+  if (total <= 1) return true;
+  std::vector<bool> seen(in.size(), false);
+  std::queue<int> queue;
+  seen[start] = true;
+  queue.push(start);
+  int reached = 1;
+  while (!queue.empty()) {
+    int f = queue.front();
+    queue.pop();
+    for (size_t e = 0; e < data.edges.size(); ++e) {
+      int lf = data.face_of_dart[2 * e];
+      int rf = data.face_of_dart[2 * e + 1];
+      int other = -1;
+      if (lf == f) other = rf;
+      else if (rf == f) other = lf;
+      else continue;
+      if (in[other] && !seen[other]) {
+        seen[other] = true;
+        ++reached;
+        queue.push(other);
+      }
+    }
+  }
+  return reached == total;
+}
+
+}  // namespace
+
+Status ValidateInvariant(const InvariantData& data) {
+  // (1)-(3): sorts, arities, index ranges, rotation bijection.
+  TOPODB_RETURN_NOT_OK(data.CheckWellFormed());
+  const size_t num_regions = data.region_names.size();
+
+  if (data.vertices.empty()) {
+    if (!data.edges.empty()) {
+      return Status::InvalidInstance("edges without vertices");
+    }
+    if (data.faces.size() != 1 || !data.faces[0].unbounded) {
+      return Status::InvalidInstance(
+          "empty skeleton must have exactly the unbounded face");
+    }
+    return Status::OK();
+  }
+
+  // (4): the rotation restricted to each vertex is a single cycle.
+  {
+    std::vector<std::vector<int>> darts_at(data.vertices.size());
+    for (int d = 0; d < data.num_darts(); ++d) {
+      darts_at[data.Origin(d)].push_back(d);
+    }
+    for (size_t v = 0; v < darts_at.size(); ++v) {
+      if (darts_at[v].empty()) {
+        return Status::InvalidInstance("isolated vertex");
+      }
+      int d0 = darts_at[v][0];
+      size_t orbit = 0;
+      int d = d0;
+      do {
+        ++orbit;
+        d = data.next_ccw[d];
+        if (orbit > darts_at[v].size()) break;
+      } while (d != d0);
+      if (orbit != darts_at[v].size()) {
+        return Status::InvalidInstance(
+            "orientation is not a single cyclic permutation at a vertex");
+      }
+    }
+  }
+
+  // (5): declared faces are unions of the rotation system's boundary walks.
+  std::vector<int> cycle_of_dart, cycle_reps;
+  data.ComputeCycles(&cycle_of_dart, &cycle_reps);
+  const size_t num_cycles = cycle_reps.size();
+  std::vector<int> face_of_cycle(num_cycles, -1);
+  for (size_t c = 0; c < num_cycles; ++c) {
+    int rep = cycle_reps[c];
+    int face = data.face_of_dart[rep];
+    int d = rep;
+    do {
+      if (data.face_of_dart[d] != face) {
+        return Status::InvalidInstance(
+            "face assignment changes along a boundary walk");
+      }
+      d = data.NextInFace(d);
+    } while (d != rep);
+    face_of_cycle[c] = face;
+  }
+  // Every face must own at least one cycle; the exterior exactly one face.
+  {
+    std::vector<int> cycles_per_face(data.faces.size(), 0);
+    for (size_t c = 0; c < num_cycles; ++c) ++cycles_per_face[face_of_cycle[c]];
+    for (size_t f = 0; f < data.faces.size(); ++f) {
+      if (cycles_per_face[f] == 0) {
+        return Status::InvalidInstance("face with no boundary walk");
+      }
+    }
+    int unbounded = 0;
+    for (const auto& face : data.faces) {
+      if (face.unbounded) ++unbounded;
+      if (face.unbounded != (face.outer_cycle_dart < 0)) {
+        return Status::InvalidInstance(
+            "outer-cycle designation inconsistent with unboundedness");
+      }
+    }
+    if (unbounded != 1) {
+      return Status::InvalidInstance("exactly one unbounded face required");
+    }
+    if (!data.faces[data.exterior_face].unbounded) {
+      return Status::InvalidInstance("exterior face not the unbounded one");
+    }
+    for (size_t f = 0; f < data.faces.size(); ++f) {
+      int outer = data.faces[f].outer_cycle_dart;
+      if (outer >= 0) {
+        if (outer >= data.num_darts() ||
+            data.face_of_dart[outer] != static_cast<int>(f)) {
+          return Status::InvalidInstance("outer cycle not on its face");
+        }
+      }
+    }
+  }
+
+  // (6): Euler's formula per skeleton component — genus zero.
+  std::vector<int> comp_of_vertex = data.VertexComponents();
+  const int num_comps = data.ComponentCount();
+  {
+    std::vector<int> verts(num_comps, 0), edges(num_comps, 0),
+        cycles(num_comps, 0);
+    for (size_t v = 0; v < data.vertices.size(); ++v) {
+      ++verts[comp_of_vertex[v]];
+    }
+    for (const auto& edge : data.edges) ++edges[comp_of_vertex[edge.v1]];
+    for (size_t c = 0; c < num_cycles; ++c) {
+      ++cycles[comp_of_vertex[data.Origin(cycle_reps[c])]];
+    }
+    for (int comp = 0; comp < num_comps; ++comp) {
+      if (cycles[comp] != edges[comp] - verts[comp] + 2) {
+        return Status::InvalidInstance(
+            "Euler's formula violated: the embedding is not planar");
+      }
+    }
+  }
+
+  // Containment forest: exactly one outward (non-outer) cycle per
+  // component; the parent relation is acyclic.
+  {
+    std::vector<bool> cycle_is_outer(num_cycles, false);
+    for (const auto& face : data.faces) {
+      if (face.outer_cycle_dart >= 0) {
+        cycle_is_outer[cycle_of_dart[face.outer_cycle_dart]] = true;
+      }
+    }
+    std::vector<int> outward(num_comps, -1);
+    for (size_t c = 0; c < num_cycles; ++c) {
+      if (cycle_is_outer[c]) continue;
+      int comp = comp_of_vertex[data.Origin(cycle_reps[c])];
+      if (outward[comp] != -1) {
+        return Status::InvalidInstance("component with two outward cycles");
+      }
+      outward[comp] = static_cast<int>(c);
+    }
+    std::vector<int> parent(num_comps, -1);
+    for (int comp = 0; comp < num_comps; ++comp) {
+      if (outward[comp] == -1) {
+        return Status::InvalidInstance("component without outward cycle");
+      }
+      int face = face_of_cycle[outward[comp]];
+      int outer = data.faces[face].outer_cycle_dart;
+      if (outer < 0) continue;  // Sits in the exterior face: a root.
+      parent[comp] = comp_of_vertex[data.Origin(outer)];
+    }
+    // Acyclicity.
+    for (int comp = 0; comp < num_comps; ++comp) {
+      int steps = 0;
+      for (int cur = comp; cur != -1; cur = parent[cur]) {
+        if (++steps > num_comps) {
+          return Status::InvalidInstance("containment relation has a cycle");
+        }
+      }
+    }
+  }
+
+  // (7) + label coherence.
+  for (const auto& face : data.faces) {
+    for (Sign s : face.label) {
+      if (s == Sign::kBoundary) {
+        return Status::InvalidInstance("face labeled as boundary");
+      }
+    }
+  }
+  for (Sign s : data.faces[data.exterior_face].label) {
+    if (s != Sign::kExterior) {
+      return Status::InvalidInstance("exterior face not labeled exterior");
+    }
+  }
+  for (size_t e = 0; e < data.edges.size(); ++e) {
+    const auto& edge = data.edges[e];
+    const auto& left = data.faces[data.face_of_dart[2 * e]].label;
+    const auto& right = data.faces[data.face_of_dart[2 * e + 1]].label;
+    bool on_some_boundary = false;
+    for (size_t r = 0; r < num_regions; ++r) {
+      if (edge.label[r] == Sign::kBoundary) {
+        on_some_boundary = true;
+        if (left[r] == right[r]) {
+          return Status::InvalidInstance(
+              "boundary edge with equal side labels");
+        }
+      } else {
+        if (left[r] != right[r] || edge.label[r] != left[r]) {
+          return Status::InvalidInstance(
+              "edge label inconsistent with side faces");
+        }
+      }
+    }
+    if (!on_some_boundary) {
+      return Status::InvalidInstance("edge on no region boundary");
+    }
+  }
+  {
+    std::vector<std::vector<int>> edges_at(data.vertices.size());
+    for (size_t e = 0; e < data.edges.size(); ++e) {
+      edges_at[data.edges[e].v1].push_back(static_cast<int>(e));
+      edges_at[data.edges[e].v2].push_back(static_cast<int>(e));
+    }
+    for (size_t v = 0; v < data.vertices.size(); ++v) {
+      for (size_t r = 0; r < num_regions; ++r) {
+        bool boundary = false;
+        Sign ambient = Sign::kExterior;
+        bool saw_ambient = false;
+        bool conflict = false;
+        for (int e : edges_at[v]) {
+          Sign s = data.edges[e].label[r];
+          if (s == Sign::kBoundary) {
+            boundary = true;
+          } else {
+            if (saw_ambient && ambient != s) conflict = true;
+            ambient = s;
+            saw_ambient = true;
+          }
+        }
+        // When the region's boundary misses the vertex, all incident arcs
+        // lie on one side of the region. Conflicting ambient labels are
+        // fine on boundary vertices (arcs inside and outside meet there).
+        if (!boundary && conflict) {
+          return Status::InvalidInstance(
+              "vertex with conflicting ambient labels");
+        }
+        Sign expected = boundary ? Sign::kBoundary : ambient;
+        if (data.vertices[v].label[r] != expected) {
+          return Status::InvalidInstance(
+              "vertex label inconsistent with incident edges");
+        }
+      }
+    }
+  }
+  // Per region: nonempty face set, dual-connected, complement
+  // dual-connected, exterior excluded (condition (7)).
+  for (size_t r = 0; r < num_regions; ++r) {
+    std::vector<bool> inside(data.faces.size(), false);
+    std::vector<bool> outside(data.faces.size(), false);
+    int inside_count = 0;
+    for (size_t f = 0; f < data.faces.size(); ++f) {
+      if (data.faces[f].label[r] == Sign::kInterior) {
+        inside[f] = true;
+        ++inside_count;
+      } else {
+        outside[f] = true;
+      }
+    }
+    if (inside_count == 0) {
+      return Status::InvalidInstance("region with no interior face: " +
+                                     data.region_names[r]);
+    }
+    if (inside[data.exterior_face]) {
+      return Status::InvalidInstance("region contains the exterior face: " +
+                                     data.region_names[r]);
+    }
+    if (!DualConnected(data, inside)) {
+      return Status::InvalidInstance("region interior not connected: " +
+                                     data.region_names[r]);
+    }
+    if (!DualConnected(data, outside)) {
+      return Status::InvalidInstance("region complement not connected: " +
+                                     data.region_names[r]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace topodb

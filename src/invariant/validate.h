@@ -1,0 +1,33 @@
+#ifndef TOPODB_INVARIANT_VALIDATE_H_
+#define TOPODB_INVARIANT_VALIDATE_H_
+
+#include "src/base/status.h"
+#include "src/invariant/data.h"
+
+namespace topodb {
+
+// Theorem 3.8 / Lemma 3.9: decides whether a combinatorial structure is a
+// valid topological invariant — i.e. a *labeled planar graph*. Checks the
+// paper's conditions:
+//   (1)-(3) sorts and arities (candidate graph),
+//   (4) the orientation is a cyclic permutation of the darts around each
+//       vertex (single rotation orbit per vertex),
+//   (5) faces are unions of closed boundary walks consistent with the
+//       rotation system,
+//   (6) Euler's formula per skeleton component (equivalently: the rotation
+//       system has genus zero — it is planar),
+//   (+) the embedded-in relation of components derived from the face/cycle
+//       grouping is a forest rooted at the exterior face,
+//   (7) label coherence (face labels flip exactly across owned boundary
+//       edges; vertex/edge labels consistent) and, per region: its face set
+//       is nonempty, dual-connected, has dual-connected complement, and
+//       excludes the exterior face (the region is an open disc).
+//
+// Returns OK iff the structure is the invariant of some spatial instance
+// over Alg (equivalently Poly, by Theorem 3.5). Used as the integrity
+// check for updates in the thematic/topological data model.
+Status ValidateInvariant(const InvariantData& data);
+
+}  // namespace topodb
+
+#endif  // TOPODB_INVARIANT_VALIDATE_H_

@@ -1,0 +1,151 @@
+#include "src/query/ast.h"
+
+#include <sstream>
+
+namespace topodb {
+
+const char* PredicateName(Predicate p) {
+  switch (p) {
+    case Predicate::kConnect: return "connect";
+    case Predicate::kDisjoint: return "disjoint";
+    case Predicate::kIntersects: return "intersects";
+    case Predicate::kSubset: return "subset";
+    case Predicate::kBoundaryPart: return "boundarypart";
+    case Predicate::kOverlap: return "overlap";
+    case Predicate::kMeet: return "meet";
+    case Predicate::kEqual: return "equal";
+    case Predicate::kInside: return "inside";
+    case Predicate::kContains: return "contains";
+    case Predicate::kCovers: return "covers";
+    case Predicate::kCoveredBy: return "coveredBy";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* VarKindName(Formula::VarKind kind) {
+  switch (kind) {
+    case Formula::VarKind::kRegion: return "region";
+    case Formula::VarKind::kCell: return "cell";
+    case Formula::VarKind::kName: return "name";
+    case Formula::VarKind::kRect: return "rect";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Formula::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kTrue: os << "true"; break;
+    case Kind::kFalse: os << "false"; break;
+    case Kind::kAtom:
+      os << PredicateName(predicate) << "(" << lhs.text << ", " << rhs.text
+         << ")";
+      break;
+    case Kind::kNameEq:
+      os << lhs.text << " = " << rhs.text;
+      break;
+    case Kind::kNot:
+      os << "not (" << left->ToString() << ")";
+      break;
+    case Kind::kAnd:
+      os << "(" << left->ToString() << " and " << right->ToString() << ")";
+      break;
+    case Kind::kOr:
+      os << "(" << left->ToString() << " or " << right->ToString() << ")";
+      break;
+    case Kind::kImplies:
+      os << "(" << left->ToString() << " implies " << right->ToString()
+         << ")";
+      break;
+    case Kind::kIff:
+      os << "(" << left->ToString() << " iff " << right->ToString() << ")";
+      break;
+    case Kind::kExists:
+      os << "exists " << VarKindName(var_kind) << " " << var << " . "
+         << body->ToString();
+      break;
+    case Kind::kForall:
+      os << "forall " << VarKindName(var_kind) << " " << var << " . "
+         << body->ToString();
+      break;
+  }
+  return os.str();
+}
+
+FormulaPtr MakeAtom(Predicate predicate, Term lhs, Term rhs) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Formula::Kind::kAtom;
+  f->predicate = predicate;
+  f->lhs = std::move(lhs);
+  f->rhs = std::move(rhs);
+  return f;
+}
+
+FormulaPtr MakeNameEq(Term lhs, Term rhs) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Formula::Kind::kNameEq;
+  f->lhs = std::move(lhs);
+  f->rhs = std::move(rhs);
+  return f;
+}
+
+FormulaPtr MakeNot(FormulaPtr inner) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Formula::Kind::kNot;
+  f->left = std::move(inner);
+  return f;
+}
+
+FormulaPtr MakeAnd(FormulaPtr a, FormulaPtr b) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Formula::Kind::kAnd;
+  f->left = std::move(a);
+  f->right = std::move(b);
+  return f;
+}
+
+FormulaPtr MakeOr(FormulaPtr a, FormulaPtr b) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Formula::Kind::kOr;
+  f->left = std::move(a);
+  f->right = std::move(b);
+  return f;
+}
+
+FormulaPtr MakeImplies(FormulaPtr a, FormulaPtr b) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Formula::Kind::kImplies;
+  f->left = std::move(a);
+  f->right = std::move(b);
+  return f;
+}
+
+FormulaPtr MakeQuantifier(Formula::Kind kind, Formula::VarKind var_kind,
+                          std::string var, FormulaPtr body) {
+  auto f = std::make_shared<Formula>();
+  f->kind = kind;
+  f->var_kind = var_kind;
+  f->var = std::move(var);
+  f->body = std::move(body);
+  return f;
+}
+
+Term NameConstant(std::string name) {
+  Term t;
+  t.kind = Term::Kind::kNameConstant;
+  t.text = std::move(name);
+  return t;
+}
+
+Term Var(std::string name) {
+  Term t;
+  t.kind = Term::Kind::kVariable;
+  t.text = std::move(name);
+  return t;
+}
+
+}  // namespace topodb

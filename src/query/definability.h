@@ -1,0 +1,43 @@
+#ifndef TOPODB_QUERY_DEFINABILITY_H_
+#define TOPODB_QUERY_DEFINABILITY_H_
+
+#include "src/base/status.h"
+#include "src/invariant/data.h"
+#include "src/query/ast.h"
+
+namespace topodb {
+
+// Proposition 5.1 / Theorem 5.6: from an invariant T_I, constructs a
+// sentence sigma_I in the region-based language that tests whether an
+// instance realizes T_I's cell structure. This is the mapping
+// f(I) = sigma_{T_I} of Theorem 5.6's normal form for computable
+// topological queries: f is computed in polynomial time from I, and
+// checking a topological property reduces to membership of f(I) in a
+// recursive set of sentences.
+//
+// The sentence quantifies over cells (the effective Section-7 range):
+//
+//   exists cell c_0 . label_0(c_0) and
+//   exists cell c_1 . label_1(c_1) and rel(c_0, c_1) and ... and
+//   forall cell d . equal(d, c_0) or ... or equal(d, c_k)
+//
+// where label_i fixes each cell's position (subset / boundarypart /
+// neither) relative to every region name, rel fixes the closure-contact
+// relation between every pair of cells, and the final clause makes the
+// matching exhaustive. Constraints are placed at the earliest quantifier
+// where all their variables are bound, so evaluation behaves as a
+// backtracking search with label pruning.
+//
+// Scope (documented honestly): sigma_I pins the instance's cell count,
+// cell labels and closure-contact structure — the G_I adjacency level.
+// It separates every pair the paper's Fig 1 discusses and all pairs that
+// differ in labels or adjacency; the orientation relation O and the
+// choice of exterior face (Figs 6, 7) are not expressible with cell
+// quantifiers alone, which is exactly why the paper's Proposition 5.1
+// needs the full region quantifiers for those. Use Isomorphic() for the
+// complete Theorem 3.4 test.
+Result<FormulaPtr> DefiningSentence(const InvariantData& data);
+
+}  // namespace topodb
+
+#endif  // TOPODB_QUERY_DEFINABILITY_H_

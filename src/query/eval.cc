@@ -1,0 +1,485 @@
+#include "src/query/eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <set>
+
+#include "src/base/check.h"
+
+namespace topodb {
+
+namespace {
+
+bool AnyCommon(const std::vector<char>& a, const std::vector<char>& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] && b[i]) return true;
+  }
+  return false;
+}
+
+bool SubsetOf(const std::vector<char>& a, const std::vector<char>& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] && !b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(CellComplex complex) : complex_(std::move(complex)) {}
+
+Result<QueryEngine> QueryEngine::Build(const SpatialInstance& instance) {
+  TOPODB_ASSIGN_OR_RETURN(CellComplex complex, CellComplex::Build(instance));
+  QueryEngine engine(std::move(complex));
+  engine.BuildUniverse();
+  return engine;
+}
+
+void QueryEngine::BuildUniverse() {
+  nv_ = static_cast<int>(complex_.vertices().size());
+  ne_ = static_cast<int>(complex_.edges().size());
+  nf_ = static_cast<int>(complex_.faces().size());
+  const int total = nv_ + ne_ + nf_;
+  closure_.assign(total, {});
+  incidence_.assign(total, {});
+  face_dual_.assign(nf_, {});
+  vertex_faces_.assign(nv_, {});
+
+  auto edge_cell = [&](int e) { return nv_ + e; };
+  auto face_cell = [&](int f) { return nv_ + ne_ + f; };
+
+  auto add_incidence = [&](int a, int b) {
+    incidence_[a].push_back(b);
+    incidence_[b].push_back(a);
+  };
+
+  for (int e = 0; e < ne_; ++e) {
+    auto [u, v] = complex_.EdgeEndpoints(e);
+    closure_[edge_cell(e)].push_back(u);
+    if (v != u) closure_[edge_cell(e)].push_back(v);
+    add_incidence(edge_cell(e), u);
+    if (v != u) add_incidence(edge_cell(e), v);
+  }
+  // Face closures: edges (and their endpoints) on any of its cycles.
+  for (int f = 0; f < nf_; ++f) {
+    std::set<int> boundary;
+    for (int rep : complex_.faces()[f].cycle_darts) {
+      for (int d : complex_.FaceCycle(rep)) {
+        const int e = complex_.darts()[d].edge;
+        boundary.insert(edge_cell(e));
+        auto [u, v] = complex_.EdgeEndpoints(e);
+        boundary.insert(u);
+        boundary.insert(v);
+      }
+    }
+    for (int cell : boundary) {
+      closure_[face_cell(f)].push_back(cell);
+      if (cell >= nv_) add_incidence(face_cell(f), cell);  // Face-edge.
+    }
+  }
+  // Face duals: the two sides of every edge.
+  for (int e = 0; e < ne_; ++e) {
+    auto [lf, rf] = complex_.EdgeFaces(e);
+    if (lf != rf) {
+      face_dual_[lf].push_back(rf);
+      face_dual_[rf].push_back(lf);
+    }
+  }
+  for (auto& nbrs : face_dual_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  // Vertex incident faces from darts (faces of darts and of their twins).
+  for (int v = 0; v < nv_; ++v) {
+    std::set<int> faces;
+    for (int d : complex_.vertices()[v].darts) {
+      faces.insert(complex_.darts()[d].face);
+      faces.insert(complex_.darts()[complex_.darts()[d].twin].face);
+    }
+    vertex_faces_[v].assign(faces.begin(), faces.end());
+  }
+  // Region values: cells with interior sign.
+  const int total_cells = total;
+  for (size_t r = 0; r < complex_.region_names().size(); ++r) {
+    std::vector<char> value(total_cells, 0);
+    for (int v = 0; v < nv_; ++v) {
+      if (complex_.vertices()[v].label[r] == Sign::kInterior) value[v] = 1;
+    }
+    for (int e = 0; e < ne_; ++e) {
+      if (complex_.edges()[e].label[r] == Sign::kInterior) {
+        value[edge_cell(e)] = 1;
+      }
+    }
+    for (int f = 0; f < nf_; ++f) {
+      if (complex_.faces()[f].label[r] == Sign::kInterior) {
+        value[face_cell(f)] = 1;
+      }
+    }
+    region_values_[complex_.region_names()[r]] = std::move(value);
+  }
+}
+
+Result<std::vector<char>> QueryEngine::RegionValue(
+    const std::string& name) const {
+  auto it = region_values_.find(name);
+  if (it == region_values_.end()) {
+    return Status::NotFound("no region named " + name);
+  }
+  return it->second;
+}
+
+bool QueryEngine::IsDiscValue(const std::vector<char>& face_set,
+                              std::vector<char>* completed) const {
+  const int total = nv_ + ne_ + nf_;
+  std::vector<char>& s = *completed;
+  s.assign(total, 0);
+  bool any = false;
+  for (int f = 0; f < nf_; ++f) {
+    if (face_set[f]) {
+      s[nv_ + ne_ + f] = 1;
+      any = true;
+    }
+  }
+  if (!any) return false;
+  // Completion: edges with both sides in, vertices with everything in.
+  for (int e = 0; e < ne_; ++e) {
+    auto [lf, rf] = complex_.EdgeFaces(e);
+    if (face_set[lf] && face_set[rf]) s[nv_ + e] = 1;
+  }
+  for (int v = 0; v < nv_; ++v) {
+    bool all = true;
+    for (int f : vertex_faces_[v]) {
+      if (!face_set[f]) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    // All incident edges must be in too (they are: both their faces are).
+    s[v] = 1;
+  }
+  // Connectivity of S over the incidence graph.
+  {
+    int start = -1, count = 0;
+    for (int c = 0; c < total; ++c) {
+      if (s[c]) {
+        ++count;
+        start = c;
+      }
+    }
+    std::vector<char> seen(total, 0);
+    std::queue<int> queue;
+    seen[start] = 1;
+    queue.push(start);
+    int reached = 1;
+    while (!queue.empty()) {
+      int c = queue.front();
+      queue.pop();
+      for (int d : incidence_[c]) {
+        if (s[d] && !seen[d]) {
+          seen[d] = 1;
+          ++reached;
+          queue.push(d);
+        }
+      }
+    }
+    if (reached != count) return false;
+  }
+  // Sphere-complement connectivity: complement cells plus a point at
+  // infinity attached to the unbounded face.
+  {
+    const int infinity = total;
+    std::vector<char> seen(total + 1, 0);
+    std::queue<int> queue;
+    seen[infinity] = 1;
+    queue.push(infinity);
+    int complement = 1;
+    for (int c = 0; c < total; ++c) {
+      if (!s[c]) ++complement;
+    }
+    const int exterior_cell = nv_ + ne_ + complex_.exterior_face();
+    int reached = 1;
+    while (!queue.empty()) {
+      int c = queue.front();
+      queue.pop();
+      if (c == infinity) {
+        if (!s[exterior_cell] && !seen[exterior_cell]) {
+          seen[exterior_cell] = 1;
+          ++reached;
+          queue.push(exterior_cell);
+        }
+        continue;
+      }
+      for (int d : incidence_[c]) {
+        if (!s[d] && !seen[d]) {
+          seen[d] = 1;
+          ++reached;
+          queue.push(d);
+        }
+      }
+      if (c == exterior_cell && !seen[infinity]) {
+        seen[infinity] = 1;
+        ++reached;
+      }
+    }
+    if (reached != complement) return false;
+  }
+  return true;
+}
+
+// --- Evaluation ---
+
+struct QueryEngine::Env {
+  std::map<std::string, std::vector<char>> cells;  // Region/cell variables.
+  std::map<std::string, std::string> names;        // Name variables.
+};
+
+class QueryEngine::Evaluator {
+ public:
+  Evaluator(const QueryEngine& engine, const EvalOptions& options)
+      : engine_(engine), budget_(options.max_region_candidates) {}
+
+  Result<bool> Eval(const FormulaPtr& formula, Env* env) {
+    switch (formula->kind) {
+      case Formula::Kind::kTrue: return true;
+      case Formula::Kind::kFalse: return false;
+      case Formula::Kind::kAtom: return EvalAtom(*formula, env);
+      case Formula::Kind::kNameEq: {
+        TOPODB_ASSIGN_OR_RETURN(std::string a, NameOf(formula->lhs, env));
+        TOPODB_ASSIGN_OR_RETURN(std::string b, NameOf(formula->rhs, env));
+        return a == b;
+      }
+      case Formula::Kind::kNot: {
+        TOPODB_ASSIGN_OR_RETURN(bool v, Eval(formula->left, env));
+        return !v;
+      }
+      case Formula::Kind::kAnd: {
+        TOPODB_ASSIGN_OR_RETURN(bool a, Eval(formula->left, env));
+        if (!a) return false;
+        return Eval(formula->right, env);
+      }
+      case Formula::Kind::kOr: {
+        TOPODB_ASSIGN_OR_RETURN(bool a, Eval(formula->left, env));
+        if (a) return true;
+        return Eval(formula->right, env);
+      }
+      case Formula::Kind::kImplies: {
+        TOPODB_ASSIGN_OR_RETURN(bool a, Eval(formula->left, env));
+        if (!a) return true;
+        return Eval(formula->right, env);
+      }
+      case Formula::Kind::kIff: {
+        TOPODB_ASSIGN_OR_RETURN(bool a, Eval(formula->left, env));
+        TOPODB_ASSIGN_OR_RETURN(bool b, Eval(formula->right, env));
+        return a == b;
+      }
+      case Formula::Kind::kExists:
+      case Formula::Kind::kForall:
+        return EvalQuantifier(*formula, env);
+    }
+    TOPODB_UNREACHABLE();
+  }
+
+ private:
+  Result<std::string> NameOf(const Term& term, Env* env) {
+    if (term.kind == Term::Kind::kNameConstant) return term.text;
+    auto it = env->names.find(term.text);
+    if (it == env->names.end()) {
+      return Status::InvalidArgument("'" + term.text +
+                                     "' is not a name in this context");
+    }
+    return it->second;
+  }
+
+  Result<std::vector<char>> ValueOf(const Term& term, Env* env) {
+    if (term.kind == Term::Kind::kVariable) {
+      auto cell_it = env->cells.find(term.text);
+      if (cell_it != env->cells.end()) return cell_it->second;
+      auto name_it = env->names.find(term.text);
+      if (name_it != env->names.end()) {
+        return engine_.RegionValue(name_it->second);
+      }
+      return Status::InvalidArgument("unbound variable " + term.text);
+    }
+    return engine_.RegionValue(term.text);
+  }
+
+  std::vector<char> Closure(const std::vector<char>& s) const {
+    std::vector<char> out = s;
+    for (size_t c = 0; c < s.size(); ++c) {
+      if (!s[c]) continue;
+      for (int b : engine_.closure_[c]) out[b] = 1;
+    }
+    return out;
+  }
+
+  Result<bool> EvalAtom(const Formula& atom, Env* env) {
+    TOPODB_ASSIGN_OR_RETURN(std::vector<char> s, ValueOf(atom.lhs, env));
+    TOPODB_ASSIGN_OR_RETURN(std::vector<char> t, ValueOf(atom.rhs, env));
+    const std::vector<char> cs = Closure(s);
+    const std::vector<char> ct = Closure(t);
+    auto boundary = [](const std::vector<char>& closure,
+                       const std::vector<char>& interior) {
+      std::vector<char> b = closure;
+      for (size_t i = 0; i < b.size(); ++i) {
+        if (interior[i]) b[i] = 0;
+      }
+      return b;
+    };
+    switch (atom.predicate) {
+      case Predicate::kConnect: return AnyCommon(cs, ct);
+      case Predicate::kDisjoint: return !AnyCommon(cs, ct);
+      case Predicate::kIntersects: return AnyCommon(s, t);
+      case Predicate::kSubset: return SubsetOf(s, t);
+      case Predicate::kBoundaryPart: return SubsetOf(s, boundary(ct, t));
+      case Predicate::kEqual: return s == t;
+      case Predicate::kOverlap:
+        return AnyCommon(s, t) && !SubsetOf(s, t) && !SubsetOf(t, s);
+      case Predicate::kMeet:
+        return AnyCommon(cs, ct) && !AnyCommon(s, t);
+      case Predicate::kInside:
+        return s != t && SubsetOf(s, t) &&
+               !AnyCommon(boundary(cs, s), boundary(ct, t));
+      case Predicate::kContains:
+        return s != t && SubsetOf(t, s) &&
+               !AnyCommon(boundary(cs, s), boundary(ct, t));
+      case Predicate::kCovers:
+        return s != t && SubsetOf(t, s) &&
+               AnyCommon(boundary(cs, s), boundary(ct, t));
+      case Predicate::kCoveredBy:
+        return s != t && SubsetOf(s, t) &&
+               AnyCommon(boundary(cs, s), boundary(ct, t));
+    }
+    TOPODB_UNREACHABLE();
+  }
+
+  Result<bool> EvalQuantifier(const Formula& formula, Env* env) {
+    const bool exists = formula.kind == Formula::Kind::kExists;
+    switch (formula.var_kind) {
+      case Formula::VarKind::kName: {
+        for (const std::string& name : engine_.complex_.region_names()) {
+          env->names[formula.var] = name;
+          Result<bool> v = Eval(formula.body, env);
+          env->names.erase(formula.var);
+          TOPODB_ASSIGN_OR_RETURN(bool value, std::move(v));
+          if (value == exists) return exists;
+        }
+        return !exists;
+      }
+      case Formula::VarKind::kCell: {
+        const size_t total = engine_.num_cells();
+        for (size_t c = 0; c < total; ++c) {
+          std::vector<char> value(total, 0);
+          value[c] = 1;
+          env->cells[formula.var] = std::move(value);
+          Result<bool> v = Eval(formula.body, env);
+          env->cells.erase(formula.var);
+          TOPODB_ASSIGN_OR_RETURN(bool result, std::move(v));
+          if (result == exists) return exists;
+        }
+        return !exists;
+      }
+      case Formula::VarKind::kRegion:
+        return EvalRegionQuantifier(exists, formula, env);
+      case Formula::VarKind::kRect:
+        return Status::Unsupported(
+            "rect quantifiers are evaluated by RectQueryEngine");
+    }
+    TOPODB_UNREACHABLE();
+  }
+
+  // Enumerates completions of dual-connected face sets that are discs;
+  // each connected set is produced exactly once (enumeration by canonical
+  // root + forbidden set).
+  Result<bool> EvalRegionQuantifier(bool exists, const Formula& formula,
+                                    Env* env) {
+    const int nf = engine_.nf_;
+    std::vector<char> chosen(nf, 0);
+    std::vector<char> banned(nf, 0);
+    std::optional<bool> verdict;
+    Status error = Status::OK();
+
+    // Returns true to stop the whole enumeration.
+    std::function<bool()> process = [&]() {
+      if (--budget_ < 0) {
+        error = Status::ResourceExhausted(
+            "region quantifier candidate budget exhausted");
+        return true;
+      }
+      std::vector<char> completed;
+      if (!engine_.IsDiscValue(chosen, &completed)) return false;
+      env->cells[formula.var] = std::move(completed);
+      Result<bool> v = Eval(formula.body, env);
+      env->cells.erase(formula.var);
+      if (!v.ok()) {
+        error = v.status();
+        return true;
+      }
+      if (*v == exists) {
+        verdict = exists;
+        return true;
+      }
+      return false;
+    };
+
+    std::function<bool()> spawn = [&]() -> bool {
+      if (process()) return true;
+      // Frontier: faces adjacent to the chosen set, not banned.
+      std::vector<int> frontier;
+      for (int f = 0; f < nf; ++f) {
+        if (!chosen[f]) continue;
+        for (int g : engine_.face_dual_[f]) {
+          if (!chosen[g] && !banned[g]) frontier.push_back(g);
+        }
+      }
+      std::sort(frontier.begin(), frontier.end());
+      frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                     frontier.end());
+      std::vector<int> added_bans;
+      bool stop = false;
+      for (int g : frontier) {
+        if (banned[g]) continue;  // Banned by an earlier sibling.
+        chosen[g] = 1;
+        stop = spawn();
+        chosen[g] = 0;
+        if (stop) break;
+        banned[g] = 1;
+        added_bans.push_back(g);
+      }
+      for (int g : added_bans) banned[g] = 0;
+      return stop;
+    };
+
+    for (int root = 0; root < nf && !verdict.has_value() && error.ok();
+         ++root) {
+      std::fill(chosen.begin(), chosen.end(), 0);
+      std::fill(banned.begin(), banned.end(), 0);
+      for (int f = 0; f < root; ++f) banned[f] = 1;
+      chosen[root] = 1;
+      if (spawn()) break;
+    }
+    TOPODB_RETURN_NOT_OK(error);
+    if (verdict.has_value()) return *verdict;
+    return !exists;
+  }
+
+  const QueryEngine& engine_;
+  int64_t budget_;
+};
+
+Result<bool> QueryEngine::Evaluate(const FormulaPtr& query,
+                                   const EvalOptions& options) const {
+  Evaluator evaluator(*this, options);
+  Env env;
+  return evaluator.Eval(query, &env);
+}
+
+Result<bool> QueryEngine::Evaluate(const std::string& query,
+                                   const EvalOptions& options) const {
+  TOPODB_ASSIGN_OR_RETURN(FormulaPtr formula, ParseQuery(query));
+  return Evaluate(formula, options);
+}
+
+}  // namespace topodb

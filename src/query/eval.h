@@ -1,0 +1,82 @@
+#ifndef TOPODB_QUERY_EVAL_H_
+#define TOPODB_QUERY_EVAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/arrangement/cell_complex.h"
+#include "src/base/status.h"
+#include "src/query/ast.h"
+#include "src/query/parser.h"
+#include "src/region/instance.h"
+
+namespace topodb {
+
+struct EvalOptions {
+  // Total budget of candidate region values enumerated across all region
+  // quantifiers of one evaluation. The Section-7 disc-union range is
+  // exponential in the face count (the language has PSPACE query
+  // complexity); the budget turns blowups into ResourceExhausted errors
+  // instead of hangs.
+  int64_t max_region_candidates = 200000;
+};
+
+// Evaluates region-based FO queries over one spatial instance, using the
+// effective semantics of the paper's Section 7:
+//   - terms denote cell sets of the instance's arrangement; ext(A) is the
+//     set of cells interior to A;
+//   - 'cell' variables range over single cells;
+//   - 'region' variables range over unions of cells that are open discs
+//     (completions of dual-connected face sets whose sphere complement is
+//     connected);
+//   - 'name' variables range over names(I);
+//   - atoms are connect and the 4-intersection relationships, evaluated
+//     exactly on cell sets.
+class QueryEngine {
+ public:
+  // Builds the cell complex of the instance once; queries evaluate on it.
+  static Result<QueryEngine> Build(const SpatialInstance& instance);
+
+  Result<bool> Evaluate(const FormulaPtr& query,
+                        const EvalOptions& options = {}) const;
+  // Parse + evaluate.
+  Result<bool> Evaluate(const std::string& query,
+                        const EvalOptions& options = {}) const;
+
+  const CellComplex& complex() const { return complex_; }
+
+  // Number of cells in the universe (vertices + edges + faces).
+  size_t num_cells() const { return closure_.size(); }
+
+  // The cell set denoting ext(name); empty Result if unknown name.
+  Result<std::vector<char>> RegionValue(const std::string& name) const;
+
+  // True iff the completion of the face set is an open disc (used by the
+  // quantifier range; exposed for tests and benches).
+  bool IsDiscValue(const std::vector<char>& face_set,
+                   std::vector<char>* completed) const;
+
+ private:
+  explicit QueryEngine(CellComplex complex);
+  void BuildUniverse();
+
+  struct Env;
+  class Evaluator;
+
+  CellComplex complex_;
+  // Cell ids: [0, nv) vertices, [nv, nv+ne) edges, [nv+ne, nv+ne+nf) faces.
+  int nv_ = 0, ne_ = 0, nf_ = 0;
+  std::vector<std::vector<int>> closure_;    // Boundary cells per cell
+                                             // (excluding the cell itself).
+  std::vector<std::vector<int>> incidence_;  // Symmetric incidence graph.
+  std::vector<std::vector<int>> face_dual_;  // Faces sharing an edge
+                                             // (face-local indices).
+  std::vector<std::vector<int>> vertex_faces_;  // Incident faces per vertex.
+  std::map<std::string, std::vector<char>> region_values_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_QUERY_EVAL_H_

@@ -1,0 +1,268 @@
+#include "src/query/parser.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace topodb {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kLParen, kRParen, kComma, kDot, kEquals, kEnd };
+  Kind kind;
+  std::string text;
+  size_t pos;
+};
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      tokens.push_back({Token::Kind::kLParen, "(", i++});
+    } else if (c == ')') {
+      tokens.push_back({Token::Kind::kRParen, ")", i++});
+    } else if (c == ',') {
+      tokens.push_back({Token::Kind::kComma, ",", i++});
+    } else if (c == '.') {
+      tokens.push_back({Token::Kind::kDot, ".", i++});
+    } else if (c == '=') {
+      tokens.push_back({Token::Kind::kEquals, "=", i++});
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {Token::Kind::kIdent, text.substr(start, i - start), start});
+    } else {
+      return Status::ParseError("unexpected character '" +
+                                std::string(1, c) + "' at position " +
+                                std::to_string(i));
+    }
+  }
+  tokens.push_back({Token::Kind::kEnd, "", text.size()});
+  return tokens;
+}
+
+const std::map<std::string, Predicate>& PredicateTable() {
+  static const auto* table = new std::map<std::string, Predicate>{
+      {"connect", Predicate::kConnect},
+      {"disjoint", Predicate::kDisjoint},
+      {"intersects", Predicate::kIntersects},
+      {"subset", Predicate::kSubset},
+      {"boundarypart", Predicate::kBoundaryPart},
+      {"overlap", Predicate::kOverlap},
+      {"overlaps", Predicate::kOverlap},
+      {"meet", Predicate::kMeet},
+      {"meets", Predicate::kMeet},
+      {"equal", Predicate::kEqual},
+      {"inside", Predicate::kInside},
+      {"contains", Predicate::kContains},
+      {"covers", Predicate::kCovers},
+      {"coveredBy", Predicate::kCoveredBy},
+      {"coveredby", Predicate::kCoveredBy},
+  };
+  return *table;
+}
+
+bool IsKeyword(const std::string& s) {
+  static const std::set<std::string>* keywords = new std::set<std::string>{
+      "exists", "forall", "and", "or", "not", "implies", "iff",
+      "true", "false", "region", "cell", "name", "rect"};
+  return keywords->count(s) > 0 || PredicateTable().count(s) > 0;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<FormulaPtr> Parse() {
+    TOPODB_ASSIGN_OR_RETURN(FormulaPtr formula, ParseIff());
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return formula;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool ConsumeIdent(const std::string& word) {
+    if (Peek().kind == Token::Kind::kIdent && Peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& message) const {
+    return Status::ParseError(message + " at position " +
+                              std::to_string(Peek().pos));
+  }
+
+  Result<FormulaPtr> ParseIff() {
+    TOPODB_ASSIGN_OR_RETURN(FormulaPtr left, ParseImplies());
+    while (ConsumeIdent("iff")) {
+      TOPODB_ASSIGN_OR_RETURN(FormulaPtr right, ParseImplies());
+      auto f = std::make_shared<Formula>();
+      f->kind = Formula::Kind::kIff;
+      f->left = left;
+      f->right = right;
+      left = f;
+    }
+    return left;
+  }
+
+  Result<FormulaPtr> ParseImplies() {
+    TOPODB_ASSIGN_OR_RETURN(FormulaPtr left, ParseOr());
+    if (ConsumeIdent("implies")) {
+      TOPODB_ASSIGN_OR_RETURN(FormulaPtr right, ParseImplies());
+      return MakeImplies(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<FormulaPtr> ParseOr() {
+    TOPODB_ASSIGN_OR_RETURN(FormulaPtr left, ParseAnd());
+    while (ConsumeIdent("or")) {
+      TOPODB_ASSIGN_OR_RETURN(FormulaPtr right, ParseAnd());
+      left = MakeOr(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<FormulaPtr> ParseAnd() {
+    TOPODB_ASSIGN_OR_RETURN(FormulaPtr left, ParseUnary());
+    while (ConsumeIdent("and")) {
+      TOPODB_ASSIGN_OR_RETURN(FormulaPtr right, ParseUnary());
+      left = MakeAnd(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<FormulaPtr> ParseUnary() {
+    if (ConsumeIdent("not")) {
+      TOPODB_ASSIGN_OR_RETURN(FormulaPtr inner, ParseUnary());
+      return MakeNot(std::move(inner));
+    }
+    if (Peek().kind == Token::Kind::kIdent &&
+        (Peek().text == "exists" || Peek().text == "forall")) {
+      return ParseQuantifier();
+    }
+    return ParsePrimary();
+  }
+
+  Result<FormulaPtr> ParseQuantifier() {
+    const bool exists = Next().text == "exists";
+    Formula::VarKind var_kind;
+    if (ConsumeIdent("region")) {
+      var_kind = Formula::VarKind::kRegion;
+    } else if (ConsumeIdent("cell")) {
+      var_kind = Formula::VarKind::kCell;
+    } else if (ConsumeIdent("name")) {
+      var_kind = Formula::VarKind::kName;
+    } else if (ConsumeIdent("rect")) {
+      var_kind = Formula::VarKind::kRect;
+    } else {
+      return Err("expected 'region', 'cell', 'rect' or 'name' after "
+                 "quantifier");
+    }
+    if (Peek().kind != Token::Kind::kIdent || IsKeyword(Peek().text)) {
+      return Err("expected variable name");
+    }
+    std::string var = Next().text;
+    if (bound_.count(var)) {
+      return Err("variable '" + var + "' already bound");
+    }
+    if (Peek().kind != Token::Kind::kDot) {
+      return Err("expected '.' after quantified variable");
+    }
+    Next();
+    bound_.insert(var);
+    // The body extends as far right as possible.
+    Result<FormulaPtr> body = ParseIff();
+    bound_.erase(var);
+    TOPODB_ASSIGN_OR_RETURN(FormulaPtr b, std::move(body));
+    return MakeQuantifier(
+        exists ? Formula::Kind::kExists : Formula::Kind::kForall, var_kind,
+        std::move(var), std::move(b));
+  }
+
+  Result<FormulaPtr> ParsePrimary() {
+    if (Peek().kind == Token::Kind::kLParen) {
+      Next();
+      TOPODB_ASSIGN_OR_RETURN(FormulaPtr inner, ParseIff());
+      if (Peek().kind != Token::Kind::kRParen) return Err("expected ')'");
+      Next();
+      return inner;
+    }
+    if (Peek().kind != Token::Kind::kIdent) return Err("expected formula");
+    if (ConsumeIdent("true")) {
+      auto f = std::make_shared<Formula>();
+      f->kind = Formula::Kind::kTrue;
+      return FormulaPtr(f);
+    }
+    if (ConsumeIdent("false")) {
+      auto f = std::make_shared<Formula>();
+      f->kind = Formula::Kind::kFalse;
+      return FormulaPtr(f);
+    }
+    // Predicate atom?
+    auto pred_it = PredicateTable().find(Peek().text);
+    if (pred_it != PredicateTable().end()) {
+      Next();
+      if (Peek().kind != Token::Kind::kLParen) {
+        return Err("expected '(' after predicate");
+      }
+      Next();
+      TOPODB_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+      if (Peek().kind != Token::Kind::kComma) return Err("expected ','");
+      Next();
+      TOPODB_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+      if (Peek().kind != Token::Kind::kRParen) return Err("expected ')'");
+      Next();
+      return MakeAtom(pred_it->second, std::move(lhs), std::move(rhs));
+    }
+    // Name equality atom: term = term.
+    TOPODB_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    if (Peek().kind != Token::Kind::kEquals) {
+      return Err("expected predicate or '='");
+    }
+    Next();
+    TOPODB_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    return MakeNameEq(std::move(lhs), std::move(rhs));
+  }
+
+  Result<Term> ParseTerm() {
+    if (Peek().kind != Token::Kind::kIdent || IsKeyword(Peek().text)) {
+      return Err("expected term");
+    }
+    std::string name = Next().text;
+    return bound_.count(name) ? Var(std::move(name))
+                              : NameConstant(std::move(name));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::set<std::string> bound_;
+};
+
+}  // namespace
+
+Result<FormulaPtr> ParseQuery(const std::string& text) {
+  TOPODB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace topodb

@@ -1,0 +1,31 @@
+#ifndef TOPODB_QUERY_PARSER_H_
+#define TOPODB_QUERY_PARSER_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/query/ast.h"
+
+namespace topodb {
+
+// Parses the textual form of the region-based language. Examples:
+//
+//   exists region r . subset(r, A) and subset(r, B) and subset(r, C)
+//
+//   forall region r . forall region s .
+//     (subset(r, A) and subset(s, A)) implies
+//     exists region t . subset(t, A) and connect(t, r) and connect(t, s)
+//
+//   exists cell c . subset(c, A) and subset(c, B)
+//
+//   exists name a . exists name b . not (a = b) and overlap(a, b)
+//
+// Identifiers bound by a quantifier are variables; free identifiers are
+// region name constants (denoting ext(name)). Connectives by decreasing
+// precedence: not, and, or, implies (right associative), iff. A
+// quantifier's body extends as far right as possible.
+Result<FormulaPtr> ParseQuery(const std::string& text);
+
+}  // namespace topodb
+
+#endif  // TOPODB_QUERY_PARSER_H_

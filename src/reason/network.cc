@@ -1,0 +1,299 @@
+#include "src/reason/network.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace topodb {
+
+namespace {
+
+using R = FourIntRelation;
+
+constexpr uint8_t Bit(R r) {
+  return static_cast<uint8_t>(1u << static_cast<int>(r));
+}
+
+// Shorthand masks for the composition table.
+constexpr uint8_t kDC = Bit(R::kDisjoint);
+constexpr uint8_t kEC = Bit(R::kMeet);
+constexpr uint8_t kPO = Bit(R::kOverlap);
+constexpr uint8_t kEQ = Bit(R::kEqual);
+constexpr uint8_t kTPP = Bit(R::kCoveredBy);
+constexpr uint8_t kNTPP = Bit(R::kInside);
+constexpr uint8_t kTPPi = Bit(R::kCovers);
+constexpr uint8_t kNTPPi = Bit(R::kContains);
+constexpr uint8_t kAll = 0xff;
+// "x is part of y" style unions used by the table.
+constexpr uint8_t kSubs = kTPP | kNTPP;          // Proper parts.
+constexpr uint8_t kSups = kTPPi | kNTPPi;        // Proper extensions.
+constexpr uint8_t kDEPtt = kDC | kEC | kPO | kSubs;   // DC,EC,PO,TPP,NTPP
+constexpr uint8_t kDEPss = kDC | kEC | kPO | kSups;   // DC,EC,PO,TPPi,NTPPi
+
+// RCC8 composition table, rows indexed by R1, columns by R2, in enum order
+// kDisjoint, kMeet, kOverlap, kEqual, kContains, kInside, kCovers,
+// kCoveredBy. (Entries from the standard RCC8 table with the disc reading
+// of the 4-intersection relations.)
+uint8_t CompositionEntry(R r1, R r2) {
+  switch (r1) {
+    case R::kDisjoint:
+      switch (r2) {
+        case R::kDisjoint: return kAll;
+        case R::kMeet:
+        case R::kOverlap:
+        case R::kCoveredBy:
+        case R::kInside: return kDEPtt;
+        case R::kCovers:
+        case R::kContains:
+        case R::kEqual: return kDC;
+      }
+      break;
+    case R::kMeet:
+      switch (r2) {
+        case R::kDisjoint: return kDEPss;
+        case R::kMeet: return kDC | kEC | kPO | kTPP | kTPPi | kEQ;
+        case R::kOverlap: return kDEPtt;
+        case R::kCoveredBy: return kEC | kPO | kSubs;
+        case R::kInside: return kPO | kSubs;
+        case R::kCovers: return kDC | kEC;
+        case R::kContains: return kDC;
+        case R::kEqual: return kEC;
+      }
+      break;
+    case R::kOverlap:
+      switch (r2) {
+        case R::kDisjoint:
+        case R::kMeet: return kDEPss;
+        case R::kOverlap: return kAll;
+        case R::kCoveredBy:
+        case R::kInside: return kPO | kSubs;
+        case R::kCovers:
+        case R::kContains: return kDEPss;
+        case R::kEqual: return kPO;
+      }
+      break;
+    case R::kCoveredBy:  // TPP
+      switch (r2) {
+        case R::kDisjoint: return kDC;
+        case R::kMeet: return kDC | kEC;
+        case R::kOverlap: return kDEPtt;
+        case R::kCoveredBy: return kSubs;
+        case R::kInside: return kNTPP;
+        case R::kCovers: return kDC | kEC | kPO | kTPP | kTPPi | kEQ;
+        case R::kContains: return kDEPss;
+        case R::kEqual: return kTPP;
+      }
+      break;
+    case R::kInside:  // NTPP
+      switch (r2) {
+        case R::kDisjoint: return kDC;
+        case R::kMeet: return kDC;
+        case R::kOverlap: return kDEPtt;
+        case R::kCoveredBy: return kNTPP;
+        case R::kInside: return kNTPP;
+        case R::kCovers: return kDEPtt;
+        case R::kContains: return kAll;
+        case R::kEqual: return kNTPP;
+      }
+      break;
+    case R::kCovers:  // TPPi
+      switch (r2) {
+        case R::kDisjoint: return kDEPss;
+        case R::kMeet: return kEC | kPO | kSups;
+        case R::kOverlap: return kPO | kSups;
+        case R::kCoveredBy: return kPO | kTPP | kTPPi | kEQ;
+        case R::kInside: return kPO | kSubs;
+        case R::kCovers: return kSups;
+        case R::kContains: return kNTPPi;
+        case R::kEqual: return kTPPi;
+      }
+      break;
+    case R::kContains:  // NTPPi
+      switch (r2) {
+        case R::kDisjoint: return kDEPss;
+        case R::kMeet: return kPO | kSups;
+        case R::kOverlap: return kPO | kSups;
+        case R::kCoveredBy: return kPO | kSups;
+        case R::kInside: return kPO | kSubs | kSups | kEQ;
+        case R::kCovers: return kNTPPi;
+        case R::kContains: return kNTPPi;
+        case R::kEqual: return kNTPPi;
+      }
+      break;
+    case R::kEqual:
+      return Bit(r2);
+  }
+  TOPODB_UNREACHABLE();
+}
+
+}  // namespace
+
+RelationSet RelationSet::Converse() const {
+  uint8_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (bits_ & (1u << i)) {
+      out |= Bit(Inverse(static_cast<R>(i)));
+    }
+  }
+  return RelationSet(out);
+}
+
+std::string RelationSet::ToString() const {
+  if (bits_ == 0) return "{}";
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < 8; ++i) {
+    if (bits_ & (1u << i)) {
+      if (!first) out += ",";
+      first = false;
+      out += FourIntRelationName(static_cast<R>(i));
+    }
+  }
+  return out + "}";
+}
+
+RelationSet Compose(FourIntRelation r1, FourIntRelation r2) {
+  return RelationSet(CompositionEntry(r1, r2));
+}
+
+RelationSet Compose(RelationSet r1, RelationSet r2) {
+  uint8_t out = 0;
+  for (int i = 0; i < 8 && out != kAll; ++i) {
+    if (!r1.Contains(static_cast<R>(i))) continue;
+    for (int j = 0; j < 8; ++j) {
+      if (!r2.Contains(static_cast<R>(j))) continue;
+      out |= CompositionEntry(static_cast<R>(i), static_cast<R>(j));
+    }
+  }
+  return RelationSet(out);
+}
+
+RelationNetwork::RelationNetwork(int num_variables) : n_(num_variables) {
+  TOPODB_CHECK(n_ >= 0);
+  constraints_.assign(n_, std::vector<RelationSet>(n_, RelationSet::All()));
+  for (int i = 0; i < n_; ++i) {
+    constraints_[i][i] = RelationSet::Of(R::kEqual);
+  }
+}
+
+Status RelationNetwork::Restrict(int i, int j, RelationSet set) {
+  if (i < 0 || j < 0 || i >= n_ || j >= n_) {
+    return Status::InvalidArgument("variable index out of range");
+  }
+  constraints_[i][j] = constraints_[i][j] & set;
+  constraints_[j][i] = constraints_[j][i] & set.Converse();
+  return Status::OK();
+}
+
+namespace {
+
+bool Close(std::vector<std::vector<RelationSet>>& c) {
+  const int n = static_cast<int>(c.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        for (int k = 0; k < n; ++k) {
+          if (k == i || k == j) continue;
+          RelationSet tightened =
+              c[i][j] & Compose(c[i][k], c[k][j]);
+          if (tightened != c[i][j]) {
+            c[i][j] = tightened;
+            c[j][i] = tightened.Converse();
+            changed = true;
+            if (tightened.empty()) return false;
+          }
+        }
+        if (c[i][j].empty()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RelationNetwork::PathConsistency() {
+  return Close(constraints_);
+}
+
+bool RelationNetwork::Satisfy(
+    std::vector<std::vector<RelationSet>>* work) const {
+  std::vector<std::vector<RelationSet>>& c = *work;
+  if (!Close(c)) return false;
+  // Find an undecided pair.
+  int bi = -1, bj = -1, best = 9;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      const int size = c[i][j].size();
+      if (size > 1 && size < best) {
+        best = size;
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  if (bi == -1) return true;  // Atomic and path-consistent: satisfiable.
+  for (int r = 0; r < 8; ++r) {
+    if (!c[bi][bj].Contains(static_cast<R>(r))) continue;
+    std::vector<std::vector<RelationSet>> branch = c;
+    branch[bi][bj] = RelationSet::Of(static_cast<R>(r));
+    branch[bj][bi] = branch[bi][bj].Converse();
+    if (Satisfy(&branch)) {
+      c = std::move(branch);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RelationNetwork::IsSatisfiable(
+    std::vector<std::vector<FourIntRelation>>* scenario) {
+  std::vector<std::vector<RelationSet>> work = constraints_;
+  if (!Satisfy(&work)) return false;
+  if (scenario) {
+    scenario->assign(n_, std::vector<FourIntRelation>(n_, R::kEqual));
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        for (int r = 0; r < 8; ++r) {
+          if (work[i][j].Contains(static_cast<R>(r))) {
+            (*scenario)[i][j] = static_cast<R>(r);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string RelationNetwork::DebugString() const {
+  std::ostringstream os;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      os << "(" << i << "," << j << ") " << constraints_[i][j].ToString()
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+Result<RelationNetwork> NetworkFromInstance(const SpatialInstance& instance) {
+  const std::vector<std::string> names = instance.names();
+  RelationNetwork network(static_cast<int>(names.size()));
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      TOPODB_ASSIGN_OR_RETURN(FourIntRelation r,
+                              Relate(instance, names[i], names[j]));
+      TOPODB_RETURN_NOT_OK(network.Restrict(static_cast<int>(i),
+                                            static_cast<int>(j),
+                                            RelationSet::Of(r)));
+    }
+  }
+  return network;
+}
+
+}  // namespace topodb

@@ -1,0 +1,100 @@
+#ifndef TOPODB_REASON_NETWORK_H_
+#define TOPODB_REASON_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fourint/four_intersection.h"
+
+namespace topodb {
+
+// Qualitative reasoning over the eight 4-intersection relations — the
+// satisfiability problem for the existential fragment of the paper's
+// region languages on the empty database, studied in [GPP95] ("topological
+// inference"). The eight relations coincide with RCC8 on discs:
+//   disjoint=DC, meet=EC, overlap=PO, coveredBy=TPP, inside=NTPP,
+//   covers=TPPi, contains=NTPPi, equal=EQ.
+
+// A set of possible relations as a bitmask (bit = static_cast<int>(rel)).
+class RelationSet {
+ public:
+  RelationSet() = default;
+  explicit RelationSet(uint8_t bits) : bits_(bits) {}
+  static RelationSet All() { return RelationSet(0xff); }
+  static RelationSet Of(FourIntRelation r) {
+    return RelationSet(static_cast<uint8_t>(1u << static_cast<int>(r)));
+  }
+
+  bool Contains(FourIntRelation r) const {
+    return bits_ & (1u << static_cast<int>(r));
+  }
+  bool empty() const { return bits_ == 0; }
+  int size() const { return __builtin_popcount(bits_); }
+  uint8_t bits() const { return bits_; }
+
+  RelationSet operator&(RelationSet o) const {
+    return RelationSet(bits_ & o.bits_);
+  }
+  RelationSet operator|(RelationSet o) const {
+    return RelationSet(bits_ | o.bits_);
+  }
+  friend bool operator==(RelationSet a, RelationSet b) = default;
+
+  // Elementwise converse (swap of arguments).
+  RelationSet Converse() const;
+
+  std::string ToString() const;
+
+ private:
+  uint8_t bits_ = 0;
+};
+
+// Weak composition: the relations possible between x and z given
+// R1(x, y) and R2(y, z) (Egenhofer / RCC8 composition table).
+RelationSet Compose(FourIntRelation r1, FourIntRelation r2);
+RelationSet Compose(RelationSet r1, RelationSet r2);
+
+// A constraint network over n region variables: a possibly disjunctive
+// relation set per ordered pair, kept converse-consistent.
+class RelationNetwork {
+ public:
+  explicit RelationNetwork(int num_variables);
+
+  int size() const { return n_; }
+
+  RelationSet constraint(int i, int j) const { return constraints_[i][j]; }
+
+  // Intersects the (i, j) constraint with the given set (and (j, i) with
+  // its converse). Fails if indices are bad.
+  Status Restrict(int i, int j, RelationSet set);
+
+  // Path consistency (the algebraic closure): repeatedly tightens
+  // C(i,j) &= C(i,k) o C(k,j). Returns false iff some constraint became
+  // empty (inconsistent network).
+  bool PathConsistency();
+
+  // Full satisfiability: backtracking search over atomic refinements with
+  // path-consistency propagation; for RCC8 this is sound and complete.
+  // If scenario != nullptr and the network is satisfiable, *scenario
+  // receives one atomic solution (scenario[i][j] is the chosen relation).
+  bool IsSatisfiable(
+      std::vector<std::vector<FourIntRelation>>* scenario = nullptr);
+
+  std::string DebugString() const;
+
+ private:
+  bool Satisfy(std::vector<std::vector<RelationSet>>* work) const;
+
+  int n_;
+  std::vector<std::vector<RelationSet>> constraints_;
+};
+
+// Builds the (atomic, consistent) network of observed relations between
+// all regions of an instance.
+Result<RelationNetwork> NetworkFromInstance(const SpatialInstance& instance);
+
+}  // namespace topodb
+
+#endif  // TOPODB_REASON_NETWORK_H_

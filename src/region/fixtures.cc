@@ -1,0 +1,160 @@
+#include "src/region/fixtures.h"
+
+#include "src/base/check.h"
+
+namespace topodb {
+
+namespace {
+
+// Adds a polygonal region, aborting on invalid fixture data (fixtures are
+// compile-time constants; failure is a programming error).
+void AddPoly(SpatialInstance* instance, const std::string& name,
+             std::vector<Point> vertices) {
+  Result<Region> region = Region::MakePoly(std::move(vertices));
+  TOPODB_CHECK_MSG(region.ok(), region.status().ToString().c_str());
+  Status st = instance->AddRegion(name, std::move(region).value());
+  TOPODB_CHECK_MSG(st.ok(), st.ToString().c_str());
+}
+
+void AddRect(SpatialInstance* instance, const std::string& name,
+             const Point& lo, const Point& hi) {
+  Result<Region> region = Region::MakeRect(lo, hi);
+  TOPODB_CHECK_MSG(region.ok(), region.status().ToString().c_str());
+  Status st = instance->AddRegion(name, std::move(region).value());
+  TOPODB_CHECK_MSG(st.ok(), st.ToString().c_str());
+}
+
+// A chiral three-bar cycle (the Fig 1b construction) with the given names,
+// translated by (dx, dy) and optionally mirrored across the vertical line
+// through its local origin. Bars overlap pairwise; triple intersection is
+// empty; the cyclic arrangement of names is reversed by mirroring.
+void AddBarTriangle(SpatialInstance* instance, const std::string& a,
+                    const std::string& b, const std::string& c, int64_t dx,
+                    int64_t dy, bool mirror) {
+  auto pt = [&](int64_t x, int64_t y) {
+    return mirror ? Point(dx - x, dy + y) : Point(dx + x, dy + y);
+  };
+  // Bottom bar.
+  AddPoly(instance, a, {pt(0, 0), pt(12, 0), pt(12, 2), pt(0, 2)});
+  // Right slanted bar.
+  AddPoly(instance, b, {pt(9, -1), pt(11, -1), pt(7, 12), pt(5, 12)});
+  // Left slanted bar (taller, so the two slanted bars cross properly).
+  AddPoly(instance, c, {pt(1, -1), pt(3, -1), pt(8, 13), pt(6, 13)});
+}
+
+}  // namespace
+
+SpatialInstance Fig1aInstance() {
+  SpatialInstance instance;
+  AddRect(&instance, "A", Point(0, 0), Point(10, 10));
+  AddRect(&instance, "B", Point(5, -2), Point(15, 8));
+  AddRect(&instance, "C", Point(3, 4), Point(13, 14));
+  return instance;
+}
+
+SpatialInstance Fig1bInstance() {
+  SpatialInstance instance;
+  AddBarTriangle(&instance, "A", "B", "C", 0, 0, /*mirror=*/false);
+  return instance;
+}
+
+SpatialInstance Fig1cInstance() {
+  SpatialInstance instance;
+  AddRect(&instance, "A", Point(0, 0), Point(8, 8));
+  AddRect(&instance, "B", Point(4, -2), Point(12, 6));
+  return instance;
+}
+
+SpatialInstance Fig1dInstance() {
+  SpatialInstance instance;
+  AddRect(&instance, "A", Point(0, 0), Point(14, 6));
+  // U-shape: two legs dipping into A, bridge above A. The bounded pocket
+  // between the legs (x in [4,10], y in [6,8]) is outside both regions.
+  AddPoly(&instance, "B",
+          {Point(2, 2), Point(4, 2), Point(4, 8), Point(10, 8), Point(10, 2),
+           Point(12, 2), Point(12, 10), Point(2, 10)});
+  return instance;
+}
+
+SpatialInstance Fig6Instance() {
+  SpatialInstance instance = Fig1dInstance();
+  // Crosses A's bottom edge, far from the U-shape's features.
+  AddRect(&instance, "C", Point(5, -2), Point(7, 1));
+  return instance;
+}
+
+SpatialInstance Fig7aInstance() {
+  SpatialInstance instance;
+  AddBarTriangle(&instance, "A", "B", "C", 0, 0, /*mirror=*/false);
+  AddBarTriangle(&instance, "D", "E", "F", 40, 0, /*mirror=*/false);
+  return instance;
+}
+
+SpatialInstance Fig7aPrimeInstance() {
+  SpatialInstance instance;
+  AddBarTriangle(&instance, "A", "B", "C", 0, 0, /*mirror=*/false);
+  AddBarTriangle(&instance, "D", "E", "F", 52, 0, /*mirror=*/true);
+  return instance;
+}
+
+namespace {
+
+// Four diamonds with a tip at the origin, one per quadrant; all eight edge
+// directions at the origin are distinct, so the regions meet pairwise in
+// exactly the origin point.
+std::vector<Point> QuadrantDiamond(int quadrant) {
+  auto flip = [&](int64_t x, int64_t y) -> Point {
+    switch (quadrant) {
+      case 1: return Point(x, y);
+      case 2: return Point(-y, x);   // Rotate +90 degrees.
+      case 3: return Point(-x, -y);  // Rotate 180.
+      case 4: return Point(y, -x);   // Rotate -90.
+    }
+    TOPODB_UNREACHABLE();
+  };
+  return {flip(0, 0), flip(3, 1), flip(4, 4), flip(1, 3)};
+}
+
+}  // namespace
+
+SpatialInstance Fig7bInstance() {
+  SpatialInstance instance;
+  // Cyclic order counterclockwise from quadrant 1: A, C, B, D.
+  AddPoly(&instance, "A", QuadrantDiamond(1));
+  AddPoly(&instance, "C", QuadrantDiamond(2));
+  AddPoly(&instance, "B", QuadrantDiamond(3));
+  AddPoly(&instance, "D", QuadrantDiamond(4));
+  return instance;
+}
+
+SpatialInstance Fig7bPrimeInstance() {
+  SpatialInstance instance;
+  // Cyclic order counterclockwise from quadrant 1: A, B, C, D.
+  AddPoly(&instance, "A", QuadrantDiamond(1));
+  AddPoly(&instance, "B", QuadrantDiamond(2));
+  AddPoly(&instance, "C", QuadrantDiamond(3));
+  AddPoly(&instance, "D", QuadrantDiamond(4));
+  return instance;
+}
+
+SpatialInstance SingleRegionInstance() {
+  SpatialInstance instance;
+  AddRect(&instance, "A", Point(0, 0), Point(4, 4));
+  return instance;
+}
+
+SpatialInstance NestedInstance() {
+  SpatialInstance instance;
+  AddRect(&instance, "A", Point(0, 0), Point(10, 10));
+  AddRect(&instance, "B", Point(3, 3), Point(7, 7));
+  return instance;
+}
+
+SpatialInstance DisjointPairInstance() {
+  SpatialInstance instance;
+  AddRect(&instance, "A", Point(0, 0), Point(4, 4));
+  AddRect(&instance, "B", Point(10, 0), Point(14, 4));
+  return instance;
+}
+
+}  // namespace topodb

@@ -1,0 +1,55 @@
+#include "src/region/instance.h"
+
+namespace topodb {
+
+Status SpatialInstance::AddRegion(const std::string& name, Region region) {
+  if (regions_.count(name)) {
+    return Status::InvalidArgument("duplicate region name: " + name);
+  }
+  regions_.emplace(name, std::move(region));
+  return Status::OK();
+}
+
+Status SpatialInstance::UpdateRegion(const std::string& name, Region region) {
+  auto it = regions_.find(name);
+  if (it == regions_.end()) {
+    return Status::NotFound("no region named " + name);
+  }
+  it->second = std::move(region);
+  return Status::OK();
+}
+
+Status SpatialInstance::RemoveRegion(const std::string& name) {
+  if (regions_.erase(name) == 0) {
+    return Status::NotFound("no region named " + name);
+  }
+  return Status::OK();
+}
+
+Result<const Region*> SpatialInstance::ext(const std::string& name) const {
+  auto it = regions_.find(name);
+  if (it == regions_.end()) {
+    return Status::NotFound("no region named " + name);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> SpatialInstance::names() const {
+  std::vector<std::string> result;
+  result.reserve(regions_.size());
+  for (const auto& [name, region] : regions_) result.push_back(name);
+  return result;
+}
+
+Result<Box> SpatialInstance::BoundingBox() const {
+  if (regions_.empty()) {
+    return Status::InvalidArgument("empty instance has no bounding box");
+  }
+  Box box = regions_.begin()->second.BoundingBox();
+  for (const auto& [name, region] : regions_) {
+    box = box.Union(region.BoundingBox());
+  }
+  return box;
+}
+
+}  // namespace topodb

@@ -1,0 +1,52 @@
+#ifndef TOPODB_REGION_INSTANCE_H_
+#define TOPODB_REGION_INSTANCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/region/region.h"
+
+namespace topodb {
+
+// A spatial database instance (Section 2): a finite set of region names
+// together with an extent for each name. Names are kept in sorted order so
+// iteration is deterministic.
+class SpatialInstance {
+ public:
+  SpatialInstance() = default;
+
+  // Fails on duplicate name.
+  Status AddRegion(const std::string& name, Region region);
+
+  // Replaces an existing region; fails if the name is absent.
+  Status UpdateRegion(const std::string& name, Region region);
+
+  Status RemoveRegion(const std::string& name);
+
+  bool HasRegion(const std::string& name) const {
+    return regions_.count(name) > 0;
+  }
+
+  // Fails with NotFound if absent.
+  Result<const Region*> ext(const std::string& name) const;
+
+  // Sorted region names; the paper's names(I).
+  std::vector<std::string> names() const;
+
+  size_t size() const { return regions_.size(); }
+  bool empty() const { return regions_.empty(); }
+
+  const std::map<std::string, Region>& regions() const { return regions_; }
+
+  // Bounding box of all region extents; invalid for an empty instance.
+  Result<Box> BoundingBox() const;
+
+ private:
+  std::map<std::string, Region> regions_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_REGION_INSTANCE_H_

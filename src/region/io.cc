@@ -1,0 +1,84 @@
+#include "src/region/io.h"
+
+#include <sstream>
+#include <vector>
+
+namespace topodb {
+
+std::string WriteInstanceText(const SpatialInstance& instance) {
+  std::ostringstream os;
+  for (const auto& [name, region] : instance.regions()) {
+    os << name << ": (";
+    const Polygon& poly = region.boundary();
+    for (size_t i = 0; i < poly.size(); ++i) {
+      if (i) os << ", ";
+      os << poly.vertex(i).x.ToString() << " " << poly.vertex(i).y.ToString();
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+Status LineError(size_t line, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line + 1) + ": " +
+                            message);
+}
+
+std::string Strip(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Result<SpatialInstance> ParseInstanceText(const std::string& text) {
+  SpatialInstance instance;
+  std::istringstream is(text);
+  std::string raw_line;
+  size_t line_no = 0;
+  for (; std::getline(is, raw_line); ++line_no) {
+    const std::string line = Strip(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return LineError(line_no, "expected 'name: (x y, ...)'");
+    }
+    const std::string name = Strip(line.substr(0, colon));
+    if (name.empty()) return LineError(line_no, "empty region name");
+    std::string rest = Strip(line.substr(colon + 1));
+    if (rest.size() < 2 || rest.front() != '(' || rest.back() != ')') {
+      return LineError(line_no, "expected parenthesized vertex list");
+    }
+    rest = rest.substr(1, rest.size() - 2);
+    std::vector<Point> vertices;
+    std::istringstream vs(rest);
+    std::string pair;
+    while (std::getline(vs, pair, ',')) {
+      std::istringstream ps(pair);
+      std::string xs, ys, extra;
+      if (!(ps >> xs >> ys) || (ps >> extra)) {
+        return LineError(line_no, "expected 'x y' vertex: '" + pair + "'");
+      }
+      Rational x, y;
+      if (!Rational::FromString(xs, &x) || !Rational::FromString(ys, &y)) {
+        return LineError(line_no, "bad coordinate in '" + pair + "'");
+      }
+      vertices.push_back(Point(std::move(x), std::move(y)));
+    }
+    Polygon poly(std::move(vertices));
+    Status valid = poly.Validate();
+    if (!valid.ok()) {
+      return LineError(line_no, name + ": " + valid.message());
+    }
+    const RegionClass cls = Region::Classify(poly);
+    TOPODB_ASSIGN_OR_RETURN(Region region, Region::Make(std::move(poly), cls));
+    TOPODB_RETURN_NOT_OK(instance.AddRegion(name, std::move(region)));
+  }
+  return instance;
+}
+
+}  // namespace topodb

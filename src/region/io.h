@@ -1,0 +1,32 @@
+#ifndef TOPODB_REGION_IO_H_
+#define TOPODB_REGION_IO_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/region/instance.h"
+
+namespace topodb {
+
+// Plain-text serialization for spatial instances. One region per line:
+//
+//   # comment
+//   lake: (20 15, 50 12, 55 35, 30 42, 15 30)
+//   cell: (0 0, 1/2 0, 1/2 1/3, 0 1/3)
+//
+// Coordinates are exact rationals ("7", "-3/4", "1.25"); vertex order may
+// be clockwise or counterclockwise; polygons are validated on load (simple,
+// nonzero area). The writer emits counterclockwise vertex cycles and the
+// structurally tightest region class is re-derived on load, so
+// write/parse round-trips preserve extents exactly.
+
+// Serializes every region of the instance (sorted by name).
+std::string WriteInstanceText(const SpatialInstance& instance);
+
+// Parses the textual format; fails with a line-numbered ParseError on
+// malformed input and InvalidArgument on invalid polygons.
+Result<SpatialInstance> ParseInstanceText(const std::string& text);
+
+}  // namespace topodb
+
+#endif  // TOPODB_REGION_IO_H_

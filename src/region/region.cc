@@ -1,0 +1,79 @@
+#include "src/region/region.h"
+
+#include <utility>
+
+namespace topodb {
+
+const char* RegionClassName(RegionClass cls) {
+  switch (cls) {
+    case RegionClass::kRect: return "Rect";
+    case RegionClass::kRectStar: return "Rect*";
+    case RegionClass::kPoly: return "Poly";
+    case RegionClass::kAlg: return "Alg";
+    case RegionClass::kDisc: return "Disc";
+  }
+  return "?";
+}
+
+Result<Region> Region::Make(Polygon boundary, RegionClass declared_class) {
+  TOPODB_RETURN_NOT_OK(boundary.Validate());
+  boundary.Normalize();
+  switch (declared_class) {
+    case RegionClass::kRect:
+      if (!IsRectangle(boundary)) {
+        return Status::InvalidArgument("declared Rect but not a rectangle");
+      }
+      break;
+    case RegionClass::kRectStar:
+      if (!IsRectilinear(boundary)) {
+        return Status::InvalidArgument(
+            "declared Rect* but boundary is not rectilinear");
+      }
+      break;
+    case RegionClass::kPoly:
+    case RegionClass::kAlg:
+    case RegionClass::kDisc:
+      break;  // Any simple polygon qualifies.
+  }
+  Region region;
+  region.boundary_ = std::move(boundary);
+  region.class_ = declared_class;
+  return region;
+}
+
+Result<Region> Region::MakeRect(const Point& lo, const Point& hi) {
+  if (!(lo.x < hi.x) || !(lo.y < hi.y)) {
+    return Status::InvalidArgument("rectangle needs lo < hi componentwise");
+  }
+  Polygon boundary(
+      {lo, Point(hi.x, lo.y), hi, Point(lo.x, hi.y)});
+  return Make(std::move(boundary), RegionClass::kRect);
+}
+
+Result<Region> Region::MakePoly(std::vector<Point> vertices) {
+  return Make(Polygon(std::move(vertices)), RegionClass::kPoly);
+}
+
+bool Region::IsRectangle(const Polygon& boundary) {
+  if (boundary.size() != 4) return false;
+  if (!IsRectilinear(boundary)) return false;
+  return true;  // 4 axis-parallel edges of a simple polygon: a rectangle.
+}
+
+bool Region::IsRectilinear(const Polygon& boundary) {
+  const size_t n = boundary.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = boundary.vertex(i);
+    const Point& b = boundary.vertex((i + 1) % n);
+    if (a.x != b.x && a.y != b.y) return false;
+  }
+  return true;
+}
+
+RegionClass Region::Classify(const Polygon& boundary) {
+  if (IsRectangle(boundary)) return RegionClass::kRect;
+  if (IsRectilinear(boundary)) return RegionClass::kRectStar;
+  return RegionClass::kPoly;
+}
+
+}  // namespace topodb

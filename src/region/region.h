@@ -1,0 +1,69 @@
+#ifndef TOPODB_REGION_REGION_H_
+#define TOPODB_REGION_REGION_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/geom/polygon.h"
+
+namespace topodb {
+
+// The region taxonomy of the paper (Section 2, Fig 3). Every region is an
+// open, simply connected, nonempty subset of R^2 with connected boundary
+// (an open disc). Classes are nested: Rect < RectStar < Disc and
+// Poly < Alg < Disc.
+enum class RegionClass {
+  kRect,      // Open axis-aligned rectangle.
+  kRectStar,  // Disc that is a finite union of rectangles (rectilinear).
+  kPoly,      // Simple polygon interior.
+  kAlg,       // Semi-algebraic disc; represented by a traced polygonal
+              // boundary with the same invariant (Theorem 3.5 justifies
+              // this representation; see src/algebraic).
+  kDisc,      // Arbitrary disc; concrete instances are polygonal too.
+};
+
+// Human-readable class name ("Rect", "Rect*", "Poly", "Alg", "Disc").
+const char* RegionClassName(RegionClass cls);
+
+// A concrete region: the interior of a simple polygon, tagged with the
+// declared class. The polygon boundary is the region's topological
+// boundary; the open interior is the region's extent ("regions are open
+// sets" in the paper's model).
+class Region {
+ public:
+  Region() = default;
+
+  // Builds and validates a region. Fails if the polygon is not simple or
+  // does not belong to the declared class (e.g. kRect with 5 vertices).
+  static Result<Region> Make(Polygon boundary, RegionClass declared_class);
+
+  // Convenience factories.
+  static Result<Region> MakeRect(const Point& lo, const Point& hi);
+  static Result<Region> MakePoly(std::vector<Point> vertices);
+
+  const Polygon& boundary() const { return boundary_; }
+  RegionClass declared_class() const { return class_; }
+
+  // Membership of a point in interior / boundary / exterior.
+  PointLocation Locate(const Point& p) const { return boundary_.Locate(p); }
+
+  Box BoundingBox() const { return boundary_.BoundingBox(); }
+
+  // Structural classification of the boundary polygon itself, independent
+  // of the declared class. The tightest class the polygon belongs to.
+  static RegionClass Classify(const Polygon& boundary);
+
+  // True iff the polygon is an axis-aligned rectangle.
+  static bool IsRectangle(const Polygon& boundary);
+  // True iff every edge is axis-parallel (rectilinear polygon); these are
+  // exactly the Rect* discs.
+  static bool IsRectilinear(const Polygon& boundary);
+
+ private:
+  Polygon boundary_;
+  RegionClass class_ = RegionClass::kDisc;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_REGION_REGION_H_

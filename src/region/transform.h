@@ -1,0 +1,137 @@
+#ifndef TOPODB_REGION_TRANSFORM_H_
+#define TOPODB_REGION_TRANSFORM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/region/instance.h"
+
+namespace topodb {
+
+// Elements of the permutation groups of Section 2 (Fig 4), acting on
+// rational points, polygons and instances.
+//
+// A transform may bend straight lines only at known vertical/horizontal
+// breakpoints (piecewise structure); ApplyToPolygon subdivides polygon
+// edges at the breakpoint grid before mapping vertices, so the image of a
+// polygon is again a polygon with the same topology.
+class Transform {
+ public:
+  virtual ~Transform() = default;
+
+  virtual Point Apply(const Point& p) const = 0;
+
+  // x-values / y-values where the map stops being affine.
+  virtual std::vector<Rational> XBreakpoints() const { return {}; }
+  virtual std::vector<Rational> YBreakpoints() const { return {}; }
+
+  // Image of a polygon: edges subdivided at breakpoints, vertices mapped.
+  Polygon ApplyToPolygon(const Polygon& poly) const;
+
+  // Image of a region; the declared class is re-derived structurally.
+  Result<Region> ApplyToRegion(const Region& region) const;
+
+  // Image of every region of the instance (names preserved).
+  Result<SpatialInstance> ApplyToInstance(const SpatialInstance& in) const;
+};
+
+// Invertible affine map (x,y) -> (a x + b y + c, d x + e y + f). These are
+// the "linear" maps of the paper; they generate (with the 2-piece maps)
+// the group L of piecewise-linear permutations.
+class AffineTransform : public Transform {
+ public:
+  // Fails unless the determinant a*e - b*d is nonzero.
+  static Result<AffineTransform> Make(Rational a, Rational b, Rational c,
+                                      Rational d, Rational e, Rational f);
+
+  static AffineTransform Identity();
+  static AffineTransform Translation(const Rational& dx, const Rational& dy);
+  static AffineTransform Scale(const Rational& sx, const Rational& sy);
+  // Reflection across the y-axis (orientation-reversing).
+  static AffineTransform MirrorX();
+
+  Point Apply(const Point& p) const override;
+
+  // Composition: (this ∘ other)(p) = this(other(p)).
+  AffineTransform Compose(const AffineTransform& other) const;
+
+  Rational Determinant() const { return a_ * e_ - b_ * d_; }
+
+ private:
+  AffineTransform(Rational a, Rational b, Rational c, Rational d, Rational e,
+                  Rational f)
+      : a_(std::move(a)), b_(std::move(b)), c_(std::move(c)),
+        d_(std::move(d)), e_(std::move(e)), f_(std::move(f)) {}
+
+  Rational a_, b_, c_, d_, e_, f_;
+};
+
+// Strictly monotone piecewise-linear bijection R -> R with rational
+// breakpoints; building block of the symmetry group S.
+class MonotonePl1D {
+ public:
+  // Identity map.
+  MonotonePl1D();
+
+  // Breakpoints xs (strictly increasing) with images ys; ys must be
+  // strictly increasing (increasing map) or strictly decreasing. Outside
+  // the breakpoint range the map continues with the adjacent slope.
+  // With fewer than 2 breakpoints the map is x -> sign * x + offset.
+  static Result<MonotonePl1D> Make(std::vector<Rational> xs,
+                                   std::vector<Rational> ys);
+
+  Rational Apply(const Rational& x) const;
+
+  bool increasing() const { return increasing_; }
+  const std::vector<Rational>& breakpoints() const { return xs_; }
+
+ private:
+  std::vector<Rational> xs_;
+  std::vector<Rational> ys_;
+  bool increasing_ = true;
+};
+
+// An element of S: (x,y) -> (rho1(x), rho2(y)), optionally preceded by the
+// axis swap (x,y) -> (y,x). Maps horizontal/vertical lines to
+// horizontal/vertical lines (Section 2).
+class SymmetryTransform : public Transform {
+ public:
+  SymmetryTransform(MonotonePl1D rho1, MonotonePl1D rho2, bool swap_axes)
+      : rho1_(std::move(rho1)), rho2_(std::move(rho2)), swap_(swap_axes) {}
+
+  Point Apply(const Point& p) const override;
+  std::vector<Rational> XBreakpoints() const override;
+  std::vector<Rational> YBreakpoints() const override;
+
+ private:
+  MonotonePl1D rho1_;
+  MonotonePl1D rho2_;
+  bool swap_;
+};
+
+// A generator of L: continuous 2-piece linear permutation
+//   (x,y) -> if x <= x1 then lambda1(x,y) else lambda2(x,y).
+class TwoPieceLinearTransform : public Transform {
+ public:
+  // Fails unless lambda1 and lambda2 agree on the line x == x1 (continuity)
+  // and both are invertible with determinants of equal sign (bijectivity).
+  static Result<TwoPieceLinearTransform> Make(Rational x1,
+                                              AffineTransform lambda1,
+                                              AffineTransform lambda2);
+
+  Point Apply(const Point& p) const override;
+  std::vector<Rational> XBreakpoints() const override { return {x1_}; }
+
+ private:
+  TwoPieceLinearTransform(Rational x1, AffineTransform l1, AffineTransform l2)
+      : x1_(std::move(x1)), lambda1_(std::move(l1)), lambda2_(std::move(l2)) {}
+
+  Rational x1_;
+  AffineTransform lambda1_;
+  AffineTransform lambda2_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_REGION_TRANSFORM_H_

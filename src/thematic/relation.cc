@@ -1,0 +1,164 @@
+#include "src/thematic/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace topodb {
+
+Result<Table> Table::Make(std::vector<std::string> attributes) {
+  for (const std::string& a : attributes) {
+    if (a.empty()) return Status::InvalidArgument("empty attribute name");
+  }
+  std::vector<std::string> sorted = attributes;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument("duplicate attribute name");
+  }
+  Table table;
+  table.attributes_ = std::move(attributes);
+  return table;
+}
+
+Status Table::Insert(std::vector<std::string> row) {
+  if (row.size() != attributes_.size()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  rows_.insert(std::move(row));
+  return Status::OK();
+}
+
+Result<size_t> Table::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == name) return i;
+  }
+  return Status::NotFound("no attribute named " + name);
+}
+
+Result<Table> Table::SelectEquals(const std::string& attribute,
+                                  const std::string& value) const {
+  TOPODB_ASSIGN_OR_RETURN(size_t idx, AttributeIndex(attribute));
+  Table out = *Make(attributes_);
+  for (const auto& row : rows_) {
+    if (row[idx] == value) out.rows_.insert(row);
+  }
+  return out;
+}
+
+Result<Table> Table::SelectAttrEquals(const std::string& attribute_a,
+                                      const std::string& attribute_b) const {
+  TOPODB_ASSIGN_OR_RETURN(size_t ia, AttributeIndex(attribute_a));
+  TOPODB_ASSIGN_OR_RETURN(size_t ib, AttributeIndex(attribute_b));
+  Table out = *Make(attributes_);
+  for (const auto& row : rows_) {
+    if (row[ia] == row[ib]) out.rows_.insert(row);
+  }
+  return out;
+}
+
+Table Table::SelectWhere(
+    const std::function<bool(const std::vector<std::string>&)>& pred) const {
+  Table out = *Make(attributes_);
+  for (const auto& row : rows_) {
+    if (pred(row)) out.rows_.insert(row);
+  }
+  return out;
+}
+
+Result<Table> Table::Project(
+    const std::vector<std::string>& attributes) const {
+  std::vector<size_t> indices;
+  for (const std::string& a : attributes) {
+    TOPODB_ASSIGN_OR_RETURN(size_t idx, AttributeIndex(a));
+    indices.push_back(idx);
+  }
+  TOPODB_ASSIGN_OR_RETURN(Table out, Make(attributes));
+  for (const auto& row : rows_) {
+    std::vector<std::string> projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(row[idx]);
+    out.rows_.insert(std::move(projected));
+  }
+  return out;
+}
+
+Result<Table> Table::Rename(const std::string& from,
+                            const std::string& to) const {
+  TOPODB_ASSIGN_OR_RETURN(size_t idx, AttributeIndex(from));
+  std::vector<std::string> attributes = attributes_;
+  attributes[idx] = to;
+  TOPODB_ASSIGN_OR_RETURN(Table out, Make(std::move(attributes)));
+  out.rows_ = rows_;
+  return out;
+}
+
+Result<Table> Table::Join(const Table& other) const {
+  // Shared attributes (by name) are the join keys.
+  std::vector<std::pair<size_t, size_t>> keys;
+  std::vector<size_t> other_extra;
+  for (size_t j = 0; j < other.attributes_.size(); ++j) {
+    Result<size_t> here = AttributeIndex(other.attributes_[j]);
+    if (here.ok()) {
+      keys.emplace_back(*here, j);
+    } else {
+      other_extra.push_back(j);
+    }
+  }
+  std::vector<std::string> attributes = attributes_;
+  for (size_t j : other_extra) attributes.push_back(other.attributes_[j]);
+  TOPODB_ASSIGN_OR_RETURN(Table out, Make(std::move(attributes)));
+  for (const auto& left : rows_) {
+    for (const auto& right : other.rows_) {
+      bool match = true;
+      for (const auto& [li, rj] : keys) {
+        if (left[li] != right[rj]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<std::string> joined = left;
+      for (size_t j : other_extra) joined.push_back(right[j]);
+      out.rows_.insert(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<Table> Table::Union(const Table& other) const {
+  if (attributes_ != other.attributes_) {
+    return Status::InvalidArgument("union schema mismatch");
+  }
+  Table out = *this;
+  out.rows_.insert(other.rows_.begin(), other.rows_.end());
+  return out;
+}
+
+Result<Table> Table::Difference(const Table& other) const {
+  if (attributes_ != other.attributes_) {
+    return Status::InvalidArgument("difference schema mismatch");
+  }
+  Table out = *Make(attributes_);
+  for (const auto& row : rows_) {
+    if (!other.rows_.count(row)) out.rows_.insert(row);
+  }
+  return out;
+}
+
+std::string Table::DebugString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i) os << " | ";
+    os << attributes_[i];
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << " | ";
+      os << row[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace topodb

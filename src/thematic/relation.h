@@ -1,0 +1,75 @@
+#ifndef TOPODB_THEMATIC_RELATION_H_
+#define TOPODB_THEMATIC_RELATION_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace topodb {
+
+// A tiny in-memory relational engine: named-attribute tables with set
+// semantics and the classical algebra (select, project, rename, natural
+// join, union, difference). The thematic mapping of Section 3 produces
+// instances over this engine, and Corollary 3.7 style query answering runs
+// on it. Values are strings; tuples are attribute-ordered vectors.
+class Table {
+ public:
+  Table() = default;
+  // Attribute names must be nonempty and distinct.
+  static Result<Table> Make(std::vector<std::string> attributes);
+
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  // Set insert; duplicate tuples are ignored. Fails on arity mismatch.
+  Status Insert(std::vector<std::string> row);
+
+  bool Contains(const std::vector<std::string>& row) const {
+    return rows_.count(row) > 0;
+  }
+
+  // Sorted, deterministic iteration.
+  const std::set<std::vector<std::string>>& rows() const { return rows_; }
+
+  // Index of an attribute, or error.
+  Result<size_t> AttributeIndex(const std::string& name) const;
+
+  // --- Algebra (each returns a new table) ---
+
+  // Rows where attribute == value.
+  Result<Table> SelectEquals(const std::string& attribute,
+                             const std::string& value) const;
+  // Rows where attribute_a == attribute_b.
+  Result<Table> SelectAttrEquals(const std::string& attribute_a,
+                                 const std::string& attribute_b) const;
+  // Rows satisfying an arbitrary predicate.
+  Table SelectWhere(
+      const std::function<bool(const std::vector<std::string>&)>& pred) const;
+
+  // Keeps the given attributes (deduplicating rows).
+  Result<Table> Project(const std::vector<std::string>& attributes) const;
+
+  Result<Table> Rename(const std::string& from, const std::string& to) const;
+
+  // Natural join on all shared attribute names (cartesian product if none).
+  Result<Table> Join(const Table& other) const;
+
+  // Set union / difference; schemas must match exactly.
+  Result<Table> Union(const Table& other) const;
+  Result<Table> Difference(const Table& other) const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<std::string> attributes_;
+  std::set<std::vector<std::string>> rows_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_THEMATIC_RELATION_H_

@@ -1,0 +1,71 @@
+#ifndef TOPODB_THEMATIC_THEMATIC_H_
+#define TOPODB_THEMATIC_THEMATIC_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/invariant/data.h"
+#include "src/thematic/relation.h"
+
+namespace topodb {
+
+// The paper's thematic mapping (Section 3, Fig 9): the topological
+// invariant re-packaged as a relational database over the fixed schema Th.
+// Relations follow the paper:
+//   Regions(region), Vertices(vertex), Edges(edge), Faces(face),
+//   ExteriorFace(face), Endpoints(edge, vertex1, vertex2),
+//   FaceEdges(face, edge), RegionFaces(region, face),
+//   Orientation(dir, vertex, end1, end2).
+// Two faithful refinements (documented in DESIGN.md): orientation tuples
+// range over *edge ends* ("e3+" / "e3-") rather than bare edges, which
+// disambiguates loops and parallel edges, and two auxiliary relations
+// FaceEnds(face, end) and OuterCycle(face, end) record which side of an
+// edge borders a face and which boundary walk is a face's outer one — both
+// recoverable in the paper's prose but needed explicitly for lossless
+// machine reconstruction.
+//
+// Cell labels are *not* stored: RegionFaces determines face labels, and
+// edge/vertex labels are derived (an edge bounds region r iff its two
+// faces differ on r) — exactly the paper's economy.
+struct ThematicInstance {
+  Table regions;
+  Table vertices;
+  Table edges;
+  Table faces;
+  Table exterior_face;
+  Table endpoints;
+  Table face_edges;
+  Table region_faces;
+  Table orientation;
+  Table face_ends;
+  Table outer_cycle;
+
+  // Empty tables with the Th schema.
+  static ThematicInstance Empty();
+
+  std::string DebugString() const;
+};
+
+// Id helpers ("v3", "e5", "e5+", "f2").
+std::string VertexId(int v);
+std::string EdgeId(int e);
+std::string EndId(int dart);
+std::string FaceId(int f);
+
+// The thematic mapping: invariant -> relational instance (Cor 3.7 (i)).
+ThematicInstance ToThematic(const InvariantData& data);
+
+// Lossless reconstruction: relational instance -> invariant. Fails with a
+// descriptive error when the tables are not even a candidate structure
+// (dangling ids, missing endpoint rows, non-functional orientation, ...).
+Result<InvariantData> FromThematic(const ThematicInstance& theme);
+
+// Theorem 3.8: decides whether an instance over Th is the image of a
+// spatial instance under the thematic mapping — i.e. reconstructs and runs
+// the labeled-planar-graph validation. This is the integrity check for
+// direct updates in the topological data model.
+Status ValidateThematic(const ThematicInstance& theme);
+
+}  // namespace topodb
+
+#endif  // TOPODB_THEMATIC_THEMATIC_H_

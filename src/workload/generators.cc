@@ -1,0 +1,135 @@
+#include "src/workload/generators.h"
+
+#include <string>
+#include <vector>
+
+namespace topodb {
+
+namespace {
+
+// Region names "R000", "R001", ... keep map iteration order aligned with
+// creation order.
+std::string RegionName(int index) {
+  std::string digits = std::to_string(index);
+  while (digits.size() < 3) digits.insert(digits.begin(), '0');
+  return "R" + digits;
+}
+
+Status AddRect(SpatialInstance* instance, const std::string& name,
+               int64_t x1, int64_t y1, int64_t x2, int64_t y2) {
+  TOPODB_ASSIGN_OR_RETURN(Region region,
+                          Region::MakeRect(Point(x1, y1), Point(x2, y2)));
+  return instance->AddRegion(name, std::move(region));
+}
+
+}  // namespace
+
+Result<SpatialInstance> ChainInstance(int n) {
+  if (n < 1) return Status::InvalidArgument("need at least one link");
+  SpatialInstance instance;
+  for (int i = 0; i < n; ++i) {
+    // Each rectangle overlaps the next by a third of its width.
+    TOPODB_RETURN_NOT_OK(AddRect(&instance, RegionName(i), 6 * i,
+                                 (i % 2) * 2, 6 * i + 9, 10 + (i % 2) * 2));
+  }
+  return instance;
+}
+
+Result<SpatialInstance> RectGridInstance(int rows, int cols) {
+  if (rows < 1 || cols < 1) {
+    return Status::InvalidArgument("grid must be nonempty");
+  }
+  SpatialInstance instance;
+  int index = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int64_t x = 6 * c;
+      const int64_t y = 6 * r;
+      TOPODB_RETURN_NOT_OK(
+          AddRect(&instance, RegionName(index++), x, y, x + 9, y + 9));
+    }
+  }
+  return instance;
+}
+
+Result<SpatialInstance> NestedRingsInstance(int depth) {
+  if (depth < 1) return Status::InvalidArgument("depth must be positive");
+  SpatialInstance instance;
+  for (int i = 0; i < depth; ++i) {
+    const int64_t inset = 3 * i;
+    const int64_t size = 6 * depth;
+    TOPODB_RETURN_NOT_OK(AddRect(&instance, RegionName(i), inset, inset,
+                                 size - inset, size - inset));
+  }
+  return instance;
+}
+
+Result<SpatialInstance> CombInstance(int teeth) {
+  if (teeth < 1) return Status::InvalidArgument("need at least one tooth");
+  SpatialInstance instance;
+  const int64_t width = 6 * teeth + 2;
+  // The bar.
+  TOPODB_RETURN_NOT_OK(AddRect(&instance, "A", 0, 0, width, 6));
+  // The comb: teeth dipping into the bar, joined by a bridge above it.
+  std::vector<Point> comb;
+  for (int t = 0; t < teeth; ++t) {
+    const int64_t x = 2 + 6 * t;
+    comb.push_back(Point(x, 2));
+    comb.push_back(Point(x + 2, 2));
+    if (t + 1 < teeth) {
+      comb.push_back(Point(x + 2, 8));
+      comb.push_back(Point(x + 6, 8));
+    }
+  }
+  comb.push_back(Point(2 + 6 * (teeth - 1) + 2, 10));
+  comb.push_back(Point(2, 10));
+  // Single tooth: the polygon above reduces to a rectangle outline.
+  Polygon polygon(std::move(comb));
+  TOPODB_ASSIGN_OR_RETURN(Region comb_region,
+                          Region::Make(std::move(polygon),
+                                       RegionClass::kRectStar));
+  TOPODB_RETURN_NOT_OK(instance.AddRegion("B", std::move(comb_region)));
+  return instance;
+}
+
+Result<SpatialInstance> FlowerInstance(int petals) {
+  if (petals < 1 || petals > 200) {
+    return Status::InvalidArgument("petals out of range");
+  }
+  SpatialInstance instance;
+  // Central square, wide enough that each petal overlaps it.
+  const int64_t half = 3 * petals + 4;
+  TOPODB_RETURN_NOT_OK(AddRect(&instance, "R999", -half, -4, half, 4));
+  for (int p = 0; p < petals; ++p) {
+    const int64_t x = -half + 2 + 6 * p;
+    // Petals alternate above and below, each crossing the center strip.
+    if (p % 2 == 0) {
+      TOPODB_RETURN_NOT_OK(
+          AddRect(&instance, RegionName(p), x, -1, x + 3, 9));
+    } else {
+      TOPODB_RETURN_NOT_OK(
+          AddRect(&instance, RegionName(p), x, -9, x + 3, 1));
+    }
+  }
+  return instance;
+}
+
+Result<SpatialInstance> RandomRectInstance(int n, int64_t world,
+                                           uint64_t seed) {
+  if (n < 1 || world < 8) {
+    return Status::InvalidArgument("bad random-instance parameters");
+  }
+  SpatialInstance instance;
+  SplitMix64 rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const int64_t x1 = static_cast<int64_t>(rng.Below(world - 4));
+    const int64_t y1 = static_cast<int64_t>(rng.Below(world - 4));
+    const int64_t w = 2 + static_cast<int64_t>(rng.Below(world / 2));
+    const int64_t h = 2 + static_cast<int64_t>(rng.Below(world / 2));
+    TOPODB_RETURN_NOT_OK(AddRect(&instance, RegionName(i), x1, y1,
+                                 x1 + w, y1 + h));
+  }
+  return instance;
+}
+
+}  // namespace topodb

@@ -1,0 +1,59 @@
+#ifndef TOPODB_WORKLOAD_GENERATORS_H_
+#define TOPODB_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/region/instance.h"
+
+namespace topodb {
+
+// Deterministic instance generators used by benches and property tests.
+// All generators are seed-stable across platforms (SplitMix64).
+
+// Tiny deterministic PRNG.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  // Uniform in [0, bound).
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+// n rectangles in a horizontal chain, each overlapping the next: the
+// arrangement grows linearly (2(n-1) crossing vertices).
+Result<SpatialInstance> ChainInstance(int n);
+
+// rows x cols grid of rectangles, each overlapping its right and lower
+// neighbors: a quadratic-cell workload.
+Result<SpatialInstance> RectGridInstance(int rows, int cols);
+
+// depth nested rectangles A1 contains A2 contains ...: exercises the
+// containment tree (depth components).
+Result<SpatialInstance> NestedRingsInstance(int depth);
+
+// The Fig 1d family: a bar A and a comb-shaped B dipping into it `teeth`
+// times; produces teeth lenses and teeth-1 all-exterior pockets. CombInstance(2)
+// is homeomorphic to Fig 1d.
+Result<SpatialInstance> CombInstance(int teeth);
+
+// petals rectangles arranged around and overlapping a central square.
+Result<SpatialInstance> FlowerInstance(int petals);
+
+// n random axis-aligned rectangles in a [0, world]^2 integer grid.
+// Coordinates are odd/even staggered to avoid massive degeneracy while
+// still producing shared corners and edges occasionally.
+Result<SpatialInstance> RandomRectInstance(int n, int64_t world,
+                                           uint64_t seed);
+
+}  // namespace topodb
+
+#endif  // TOPODB_WORKLOAD_GENERATORS_H_

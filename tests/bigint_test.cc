@@ -1,0 +1,209 @@
+#include "src/base/bigint.h"
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace topodb {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{-9999}, INT64_MAX, INT64_MIN, INT64_MIN + 1}) {
+    BigInt b(v);
+    int64_t back = 0;
+    ASSERT_TRUE(b.ToInt64(&back)) << v;
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(BigIntTest, Int64Overflow) {
+  BigInt big = BigInt(INT64_MAX) + BigInt(1);
+  int64_t out = 0;
+  EXPECT_FALSE(big.ToInt64(&out));
+  BigInt small = BigInt(INT64_MIN) - BigInt(1);
+  EXPECT_FALSE(small.ToInt64(&out));
+  // INT64_MIN itself fits.
+  EXPECT_TRUE(BigInt(INT64_MIN).ToInt64(&out));
+  EXPECT_EQ(out, INT64_MIN);
+}
+
+TEST(BigIntTest, DecimalParseAndPrint) {
+  const char* cases[] = {
+      "0", "1", "-1", "123456789", "-123456789",
+      "340282366920938463463374607431768211456",   // 2^128
+      "-340282366920938463463374607431768211455",  // -(2^128 - 1)
+  };
+  for (const char* s : cases) {
+    BigInt b(s);
+    EXPECT_EQ(b.ToString(), s);
+  }
+}
+
+TEST(BigIntTest, ParseRejectsGarbage) {
+  BigInt out;
+  EXPECT_FALSE(BigInt::FromString("", &out));
+  EXPECT_FALSE(BigInt::FromString("-", &out));
+  EXPECT_FALSE(BigInt::FromString("+", &out));
+  EXPECT_FALSE(BigInt::FromString("12a3", &out));
+  EXPECT_FALSE(BigInt::FromString(" 12", &out));
+}
+
+TEST(BigIntTest, ParseNormalizesZeros) {
+  BigInt out;
+  ASSERT_TRUE(BigInt::FromString("-000", &out));
+  EXPECT_TRUE(out.is_zero());
+  EXPECT_EQ(out.sign(), 0);
+  ASSERT_TRUE(BigInt::FromString("0007", &out));
+  EXPECT_EQ(out.ToString(), "7");
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a("4294967295");  // 2^32 - 1
+  BigInt one(1);
+  EXPECT_EQ((a + one).ToString(), "4294967296");
+  BigInt b("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((b + one).ToString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, SubtractionBorrowsAndFlipsSign) {
+  BigInt a(100);
+  BigInt b(250);
+  EXPECT_EQ((a - b).ToString(), "-150");
+  EXPECT_EQ((b - a).ToString(), "150");
+  EXPECT_TRUE((a - a).is_zero());
+}
+
+TEST(BigIntTest, MultiplicationSchoolbook) {
+  BigInt a("123456789123456789");
+  BigInt b("987654321987654321");
+  EXPECT_EQ((a * b).ToString(), "121932631356500531347203169112635269");
+  EXPECT_EQ((a * BigInt(0)).ToString(), "0");
+  EXPECT_EQ((a * BigInt(-1)).ToString(), "-123456789123456789");
+}
+
+TEST(BigIntTest, DivModTruncatesTowardZero) {
+  struct Case {
+    int64_t a, b, q, r;
+  } cases[] = {
+      {7, 2, 3, 1},   {-7, 2, -3, -1}, {7, -2, -3, 1}, {-7, -2, 3, -1},
+      {6, 3, 2, 0},   {0, 5, 0, 0},    {1, 7, 0, 1},   {-1, 7, 0, -1},
+  };
+  for (const Case& c : cases) {
+    BigInt q, r;
+    BigInt::DivMod(BigInt(c.a), BigInt(c.b), &q, &r);
+    int64_t qi = 0, ri = 0;
+    ASSERT_TRUE(q.ToInt64(&qi));
+    ASSERT_TRUE(r.ToInt64(&ri));
+    EXPECT_EQ(qi, c.q) << c.a << "/" << c.b;
+    EXPECT_EQ(ri, c.r) << c.a << "%" << c.b;
+  }
+}
+
+TEST(BigIntTest, DivModLargeOperands) {
+  BigInt a("340282366920938463463374607431768211456");  // 2^128
+  BigInt b("18446744073709551616");                     // 2^64
+  BigInt q, r;
+  BigInt::DivMod(a, b, &q, &r);
+  EXPECT_EQ(q.ToString(), "18446744073709551616");
+  EXPECT_TRUE(r.is_zero());
+  BigInt::DivMod(a + BigInt(12345), b, &q, &r);
+  EXPECT_EQ(q.ToString(), "18446744073709551616");
+  EXPECT_EQ(r.ToString(), "12345");
+}
+
+TEST(BigIntTest, DivisionIdentityRandomized) {
+  std::mt19937_64 rng(20260705);
+  for (int iter = 0; iter < 500; ++iter) {
+    int64_t ai = static_cast<int64_t>(rng());
+    int64_t bi = static_cast<int64_t>(rng() % 1000003) - 500000;
+    if (bi == 0) bi = 17;
+    BigInt a(ai), b(bi);
+    // Exercise multi-limb paths too.
+    a = a * BigInt(static_cast<int64_t>(rng() % 100000 + 1));
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.Abs(), b.Abs());
+    // Remainder sign matches dividend sign (or is zero).
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.sign(), a.sign());
+    }
+  }
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToString(), "5");
+  EXPECT_EQ(BigInt::Gcd(BigInt(5), BigInt(0)).ToString(), "5");
+  EXPECT_TRUE(BigInt::Gcd(BigInt(0), BigInt(0)).is_zero());
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToString(), "1");
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  BigInt values[] = {BigInt("-100000000000000000000"), BigInt(-5), BigInt(0),
+                     BigInt(3), BigInt("100000000000000000000")};
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(values[i] < values[j], i < j);
+      EXPECT_EQ(values[i] == values[j], i == j);
+      EXPECT_EQ(values[i] >= values[j], i >= j);
+    }
+  }
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0);
+  EXPECT_EQ(BigInt(1).BitLength(), 1);
+  EXPECT_EQ(BigInt(2).BitLength(), 2);
+  EXPECT_EQ(BigInt(255).BitLength(), 8);
+  EXPECT_EQ(BigInt(256).BitLength(), 9);
+  EXPECT_EQ(BigInt("18446744073709551616").BitLength(), 65);  // 2^64
+}
+
+TEST(BigIntTest, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(BigInt(0).ToDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(BigInt(-42).ToDouble(), -42.0);
+  double big = BigInt("18446744073709551616").ToDouble();
+  EXPECT_NEAR(big, 1.8446744073709552e19, 1e4);
+}
+
+TEST(BigIntTest, StreamOutput) {
+  std::ostringstream os;
+  os << BigInt(-123);
+  EXPECT_EQ(os.str(), "-123");
+}
+
+TEST(BigIntTest, HashConsistentWithEquality) {
+  BigInt a("123456789123456789");
+  BigInt b = BigInt("123456789123456788") + BigInt(1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(BigIntTest, AdditionAlgebraRandomized) {
+  std::mt19937_64 rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    BigInt a(static_cast<int64_t>(rng()));
+    BigInt b(static_cast<int64_t>(rng()));
+    BigInt c(static_cast<int64_t>(rng()));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + BigInt(0), a);
+    EXPECT_EQ(a - a, BigInt(0));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+}  // namespace
+}  // namespace topodb

@@ -1,0 +1,338 @@
+#include "src/arrangement/cell_complex.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/region/fixtures.h"
+
+namespace topodb {
+namespace {
+
+// Multiset of face label strings, e.g. {"--", "o-", "-o", "oo"}.
+std::multiset<std::string> FaceLabels(const CellComplex& complex) {
+  std::multiset<std::string> labels;
+  for (const auto& face : complex.faces()) {
+    labels.insert(LabelString(face.label));
+  }
+  return labels;
+}
+
+// Checks structural invariants every cell complex must satisfy.
+void CheckWellFormed(const CellComplex& complex) {
+  const auto& darts = complex.darts();
+  ASSERT_EQ(darts.size(), 2 * complex.edges().size());
+  for (size_t d = 0; d < darts.size(); ++d) {
+    EXPECT_EQ(darts[darts[d].twin].twin, static_cast<int>(d));
+    EXPECT_NE(darts[d].face, -1);
+    EXPECT_EQ(darts[darts[d].next_ccw].prev_ccw, static_cast<int>(d));
+    // Face walk is a permutation cycle.
+    EXPECT_EQ(darts[darts[d].next_in_face].face, darts[d].face);
+  }
+  // Each vertex's rotation covers exactly its darts.
+  size_t dart_count = 0;
+  for (const auto& vertex : complex.vertices()) {
+    dart_count += vertex.darts.size();
+    for (int d : vertex.darts) {
+      EXPECT_EQ(darts[d].origin,
+                static_cast<int>(&vertex - complex.vertices().data()));
+    }
+  }
+  EXPECT_EQ(dart_count, darts.size());
+  // Exactly one unbounded face, and it is the exterior face.
+  int unbounded = 0;
+  for (const auto& face : complex.faces()) {
+    if (face.unbounded) ++unbounded;
+  }
+  EXPECT_EQ(unbounded, 1);
+  EXPECT_TRUE(complex.faces()[complex.exterior_face()].unbounded);
+  // Exterior face labeled all-exterior.
+  for (Sign s : complex.faces()[complex.exterior_face()].label) {
+    EXPECT_EQ(s, Sign::kExterior);
+  }
+  // Labels of the two faces across an edge differ exactly on the owners.
+  for (size_t e = 0; e < complex.edges().size(); ++e) {
+    auto [lf, rf] = complex.EdgeFaces(static_cast<int>(e));
+    const auto& left = complex.faces()[lf].label;
+    const auto& right = complex.faces()[rf].label;
+    const auto& owners = complex.edges()[e].owners;
+    for (size_t r = 0; r < left.size(); ++r) {
+      const bool owned =
+          std::find(owners.begin(), owners.end(), static_cast<int>(r)) !=
+          owners.end();
+      EXPECT_EQ(left[r] != right[r], owned);
+    }
+  }
+}
+
+TEST(CellComplexTest, EmptyInstance) {
+  Result<CellComplex> complex = CellComplex::Build(SpatialInstance());
+  ASSERT_TRUE(complex.ok());
+  EXPECT_EQ(complex->vertices().size(), 0u);
+  EXPECT_EQ(complex->edges().size(), 0u);
+  EXPECT_EQ(complex->faces().size(), 1u);
+  EXPECT_EQ(complex->exterior_face(), 0);
+}
+
+TEST(CellComplexTest, SingleRegionDegenerate) {
+  // The paper's degenerate case: one region. We anchor the vertex-free
+  // boundary cycle with one artificial vertex, giving 1 vertex, 1 loop
+  // edge, 2 faces.
+  Result<CellComplex> complex = CellComplex::Build(SingleRegionInstance());
+  ASSERT_TRUE(complex.ok());
+  CheckWellFormed(*complex);
+  EXPECT_EQ(complex->vertices().size(), 1u);
+  EXPECT_EQ(complex->edges().size(), 1u);
+  EXPECT_EQ(complex->faces().size(), 2u);
+  EXPECT_TRUE(complex->IsConnected());
+  EXPECT_TRUE(complex->IsSimple());
+  EXPECT_EQ(FaceLabels(*complex), (std::multiset<std::string>{"-", "o"}));
+  // Loop edge: both endpoints are the anchor vertex.
+  auto [u, v] = complex->EdgeEndpoints(0);
+  EXPECT_EQ(u, v);
+  EXPECT_EQ(LabelString(complex->edges()[0].label), "b");
+  EXPECT_EQ(LabelString(complex->vertices()[0].label), "b");
+}
+
+TEST(CellComplexTest, Fig1cMatchesFig5) {
+  // The paper's Fig 5: instance Fig 1c has two vertices, four edges, four
+  // faces.
+  Result<CellComplex> complex = CellComplex::Build(Fig1cInstance());
+  ASSERT_TRUE(complex.ok());
+  CheckWellFormed(*complex);
+  EXPECT_EQ(complex->vertices().size(), 2u);
+  EXPECT_EQ(complex->edges().size(), 4u);
+  EXPECT_EQ(complex->faces().size(), 4u);
+  EXPECT_TRUE(complex->IsConnected());
+  EXPECT_TRUE(complex->IsSimple());
+  EXPECT_EQ(FaceLabels(*complex),
+            (std::multiset<std::string>{"--", "o-", "-o", "oo"}));
+  // Vertices are the two boundary crossings, labeled boundary-boundary.
+  for (const auto& vertex : complex->vertices()) {
+    EXPECT_EQ(LabelString(vertex.label), "bb");
+    EXPECT_EQ(vertex.darts.size(), 4u);
+  }
+  // Edge labels: each boundary is split into an arc inside and an arc
+  // outside the other region.
+  std::multiset<std::string> edge_labels;
+  for (const auto& edge : complex->edges()) {
+    edge_labels.insert(LabelString(edge.label));
+  }
+  EXPECT_EQ(edge_labels,
+            (std::multiset<std::string>{"b-", "bo", "-b", "ob"}));
+}
+
+TEST(CellComplexTest, Fig1dHasPocket) {
+  Result<CellComplex> complex = CellComplex::Build(Fig1dInstance());
+  ASSERT_TRUE(complex.ok());
+  CheckWellFormed(*complex);
+  EXPECT_EQ(complex->vertices().size(), 4u);
+  EXPECT_EQ(complex->edges().size(), 8u);
+  EXPECT_EQ(complex->faces().size(), 6u);
+  EXPECT_TRUE(complex->IsConnected());
+  // Two faces labeled exterior-to-all: the unbounded face and the pocket.
+  EXPECT_EQ(FaceLabels(*complex),
+            (std::multiset<std::string>{"--", "--", "o-", "-o", "oo", "oo"}));
+  // The exterior face is determined by unboundedness, not by its label.
+  int all_minus = 0;
+  for (const auto& face : complex->faces()) {
+    if (LabelString(face.label) == "--") ++all_minus;
+  }
+  EXPECT_EQ(all_minus, 2);
+}
+
+TEST(CellComplexTest, Fig1aTripleOverlay) {
+  Result<CellComplex> complex = CellComplex::Build(Fig1aInstance());
+  ASSERT_TRUE(complex.ok());
+  CheckWellFormed(*complex);
+  EXPECT_EQ(complex->vertices().size(), 6u);
+  EXPECT_EQ(complex->edges().size(), 12u);
+  EXPECT_EQ(complex->faces().size(), 8u);
+  // All eight label combinations occur: the instance realizes the full
+  // Venn diagram of three regions.
+  EXPECT_EQ(FaceLabels(*complex),
+            (std::multiset<std::string>{"---", "o--", "-o-", "--o", "oo-",
+                                        "o-o", "-oo", "ooo"}));
+}
+
+TEST(CellComplexTest, Fig1bNoTripleFace) {
+  Result<CellComplex> complex = CellComplex::Build(Fig1bInstance());
+  ASSERT_TRUE(complex.ok());
+  CheckWellFormed(*complex);
+  EXPECT_TRUE(complex->IsConnected());
+  // Euler's formula for connected instances.
+  EXPECT_EQ(complex->faces().size(),
+            complex->edges().size() - complex->vertices().size() + 2);
+  // No face is interior to all three regions, but every pairwise
+  // combination occurs.
+  std::multiset<std::string> labels = FaceLabels(*complex);
+  EXPECT_EQ(labels.count("ooo"), 0u);
+  EXPECT_GE(labels.count("oo-"), 1u);
+  EXPECT_GE(labels.count("o-o"), 1u);
+  EXPECT_GE(labels.count("-oo"), 1u);
+}
+
+TEST(CellComplexTest, NestedInstanceContainment) {
+  Result<CellComplex> complex = CellComplex::Build(NestedInstance());
+  ASSERT_TRUE(complex.ok());
+  CheckWellFormed(*complex);
+  EXPECT_EQ(complex->vertices().size(), 2u);  // Two anchors.
+  EXPECT_EQ(complex->edges().size(), 2u);
+  EXPECT_EQ(complex->faces().size(), 3u);
+  EXPECT_FALSE(complex->IsConnected());
+  EXPECT_EQ(complex->SkeletonComponentCount(), 2);
+  EXPECT_FALSE(complex->IsSimple());
+  EXPECT_EQ(FaceLabels(*complex),
+            (std::multiset<std::string>{"--", "o-", "oo"}));
+  // The ring face (A interior, B exterior) has two boundary cycles.
+  for (const auto& face : complex->faces()) {
+    if (LabelString(face.label) == "o-") {
+      EXPECT_EQ(face.cycle_darts.size(), 2u);
+    } else {
+      EXPECT_EQ(face.cycle_darts.size(), 1u);
+    }
+  }
+}
+
+TEST(CellComplexTest, DisjointPair) {
+  Result<CellComplex> complex = CellComplex::Build(DisjointPairInstance());
+  ASSERT_TRUE(complex.ok());
+  CheckWellFormed(*complex);
+  EXPECT_EQ(complex->SkeletonComponentCount(), 2);
+  EXPECT_EQ(complex->faces().size(), 3u);
+  // The unbounded face has both hole cycles.
+  EXPECT_EQ(complex->faces()[complex->exterior_face()].cycle_darts.size(),
+            2u);
+  EXPECT_EQ(FaceLabels(*complex),
+            (std::multiset<std::string>{"--", "o-", "-o"}));
+}
+
+TEST(CellComplexTest, Fig7bTangentDiamonds) {
+  Result<CellComplex> complex = CellComplex::Build(Fig7bInstance());
+  ASSERT_TRUE(complex.ok());
+  CheckWellFormed(*complex);
+  EXPECT_EQ(complex->vertices().size(), 1u);
+  EXPECT_EQ(complex->edges().size(), 4u);
+  EXPECT_EQ(complex->faces().size(), 5u);
+  EXPECT_TRUE(complex->IsConnected());
+  EXPECT_FALSE(complex->IsSimple());  // Exterior boundary pinches 4 times.
+  EXPECT_EQ(complex->vertices()[0].darts.size(), 8u);
+  EXPECT_EQ(LabelString(complex->vertices()[0].label), "bbbb");
+  // All four edges are loops at the origin vertex.
+  for (size_t e = 0; e < 4; ++e) {
+    auto [u, v] = complex->EdgeEndpoints(static_cast<int>(e));
+    EXPECT_EQ(u, 0);
+    EXPECT_EQ(v, 0);
+  }
+}
+
+TEST(CellComplexTest, Fig7aTwoComponents) {
+  Result<CellComplex> i = CellComplex::Build(Fig7aInstance());
+  Result<CellComplex> ip = CellComplex::Build(Fig7aPrimeInstance());
+  ASSERT_TRUE(i.ok());
+  ASSERT_TRUE(ip.ok());
+  CheckWellFormed(*i);
+  CheckWellFormed(*ip);
+  EXPECT_EQ(i->SkeletonComponentCount(), 2);
+  EXPECT_EQ(ip->SkeletonComponentCount(), 2);
+  // Mirroring preserves all counts and labels.
+  EXPECT_EQ(i->vertices().size(), ip->vertices().size());
+  EXPECT_EQ(i->edges().size(), ip->edges().size());
+  EXPECT_EQ(i->faces().size(), ip->faces().size());
+  EXPECT_EQ(FaceLabels(*i), FaceLabels(*ip));
+}
+
+TEST(CellComplexTest, SharedBoundaryArc) {
+  // Two rectangles sharing a boundary segment: the shared arc is one edge
+  // owned by both regions (meet relation).
+  SpatialInstance instance;
+  ASSERT_TRUE(instance
+                  .AddRegion("A", *Region::MakeRect(Point(0, 0), Point(4, 4)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("B", *Region::MakeRect(Point(4, 1), Point(8, 3)))
+                  .ok());
+  Result<CellComplex> complex = CellComplex::Build(instance);
+  ASSERT_TRUE(complex.ok());
+  CheckWellFormed(*complex);
+  // One edge owned by both regions.
+  int shared = 0;
+  for (const auto& edge : complex->edges()) {
+    if (edge.owners.size() == 2) {
+      ++shared;
+      EXPECT_EQ(LabelString(edge.label), "bb");
+    }
+  }
+  EXPECT_EQ(shared, 1);
+  EXPECT_EQ(FaceLabels(*complex),
+            (std::multiset<std::string>{"--", "o-", "-o"}));
+  EXPECT_TRUE(complex->IsConnected());
+}
+
+TEST(CellComplexTest, CornerTouch) {
+  // Two squares meeting at exactly one corner point.
+  SpatialInstance instance;
+  ASSERT_TRUE(instance
+                  .AddRegion("A", *Region::MakeRect(Point(0, 0), Point(2, 2)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("B", *Region::MakeRect(Point(2, 2), Point(4, 4)))
+                  .ok());
+  Result<CellComplex> complex = CellComplex::Build(instance);
+  ASSERT_TRUE(complex.ok());
+  CheckWellFormed(*complex);
+  EXPECT_EQ(complex->vertices().size(), 1u);
+  EXPECT_EQ(complex->edges().size(), 2u);  // Two loops at the touch point.
+  EXPECT_EQ(complex->faces().size(), 3u);
+  EXPECT_EQ(LabelString(complex->vertices()[0].label), "bb");
+}
+
+TEST(CellComplexTest, TJunction) {
+  // B's corner lies in the interior of A's edge: a degree-4 vertex whose
+  // incident arcs have mixed owners, no crossing into A.
+  SpatialInstance instance;
+  ASSERT_TRUE(instance
+                  .AddRegion("A", *Region::MakeRect(Point(0, 0), Point(4, 4)))
+                  .ok());
+  ASSERT_TRUE(instance.AddRegion(
+      "B", *Region::MakePoly({Point(4, 2), Point(7, 0), Point(7, 5)})).ok());
+  Result<CellComplex> complex = CellComplex::Build(instance);
+  ASSERT_TRUE(complex.ok());
+  CheckWellFormed(*complex);
+  // Vertex at (4,2).
+  bool found = false;
+  for (const auto& vertex : complex->vertices()) {
+    if (vertex.point == Point(4, 2)) {
+      found = true;
+      EXPECT_EQ(vertex.darts.size(), 4u);
+      EXPECT_EQ(LabelString(vertex.label), "bb");
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(FaceLabels(*complex),
+            (std::multiset<std::string>{"--", "o-", "-o"}));
+}
+
+TEST(CellComplexTest, DebugStringMentionsCounts) {
+  Result<CellComplex> complex = CellComplex::Build(Fig1cInstance());
+  ASSERT_TRUE(complex.ok());
+  std::string dump = complex->DebugString();
+  EXPECT_NE(dump.find("2 vertices"), std::string::npos);
+  EXPECT_NE(dump.find("4 edges"), std::string::npos);
+  EXPECT_NE(dump.find("4 faces"), std::string::npos);
+}
+
+TEST(CellComplexTest, RegionIndexLookup) {
+  Result<CellComplex> complex = CellComplex::Build(Fig1aInstance());
+  ASSERT_TRUE(complex.ok());
+  EXPECT_EQ(complex->region_index("A"), 0);
+  EXPECT_EQ(complex->region_index("B"), 1);
+  EXPECT_EQ(complex->region_index("C"), 2);
+  EXPECT_EQ(complex->region_index("Z"), -1);
+}
+
+}  // namespace
+}  // namespace topodb

@@ -1,0 +1,119 @@
+#include "src/query/definability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/query/eval.h"
+#include "src/region/fixtures.h"
+#include "src/region/transform.h"
+
+namespace topodb {
+namespace {
+
+InvariantData Inv(const SpatialInstance& instance) {
+  Result<InvariantData> data = ComputeInvariant(instance);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return std::move(data).value();
+}
+
+// Evaluates sigma_I on instance J.
+bool Satisfies(const SpatialInstance& j, const FormulaPtr& sigma) {
+  Result<QueryEngine> engine = QueryEngine::Build(j);
+  EXPECT_TRUE(engine.ok());
+  Result<bool> result = engine->Evaluate(sigma);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() && *result;
+}
+
+TEST(DefinabilityTest, InstanceSatisfiesItsOwnSentence) {
+  // Theorem 5.6: I |= f(I).
+  for (const SpatialInstance& instance :
+       {Fig1cInstance(), Fig1dInstance(), SingleRegionInstance(),
+        NestedInstance(), DisjointPairInstance()}) {
+    Result<FormulaPtr> sigma = DefiningSentence(Inv(instance));
+    ASSERT_TRUE(sigma.ok());
+    EXPECT_TRUE(Satisfies(instance, *sigma));
+  }
+}
+
+TEST(DefinabilityTest, TransformedCopiesSatisfy) {
+  // Homeomorphic copies satisfy sigma_I (Prop 5.1: sigma_I defines the
+  // equivalence class).
+  SpatialInstance base = Fig1cInstance();
+  FormulaPtr sigma = *DefiningSentence(Inv(base));
+  AffineTransform map = *AffineTransform::Make(2, 1, -3, 0, 1, 5);
+  EXPECT_TRUE(Satisfies(*map.ApplyToInstance(base), sigma));
+  EXPECT_TRUE(
+      Satisfies(*AffineTransform::MirrorX().ApplyToInstance(base), sigma));
+}
+
+TEST(DefinabilityTest, SeparatesFig1cFromFig1d) {
+  FormulaPtr sigma_c = *DefiningSentence(Inv(Fig1cInstance()));
+  FormulaPtr sigma_d = *DefiningSentence(Inv(Fig1dInstance()));
+  EXPECT_TRUE(Satisfies(Fig1cInstance(), sigma_c));
+  EXPECT_FALSE(Satisfies(Fig1dInstance(), sigma_c));
+  EXPECT_TRUE(Satisfies(Fig1dInstance(), sigma_d));
+  EXPECT_FALSE(Satisfies(Fig1cInstance(), sigma_d));
+}
+
+TEST(DefinabilityTest, SeparatesNestingFromDisjointness) {
+  FormulaPtr sigma_nested = *DefiningSentence(Inv(NestedInstance()));
+  EXPECT_TRUE(Satisfies(NestedInstance(), sigma_nested));
+  EXPECT_FALSE(Satisfies(DisjointPairInstance(), sigma_nested));
+}
+
+TEST(DefinabilityTest, SeparatesDifferentNames) {
+  SpatialInstance a;
+  ASSERT_TRUE(a.AddRegion("A", *Region::MakeRect(Point(0, 0), Point(4, 4)))
+                  .ok());
+  SpatialInstance z;
+  ASSERT_TRUE(z.AddRegion("Z", *Region::MakeRect(Point(0, 0), Point(4, 4)))
+                  .ok());
+  FormulaPtr sigma_a = *DefiningSentence(Inv(a));
+  EXPECT_TRUE(Satisfies(a, sigma_a));
+  // The name check fails before any region lookup can error.
+  EXPECT_FALSE(Satisfies(z, sigma_a));
+}
+
+TEST(DefinabilityTest, SeparatesCellCounts) {
+  // Fig 1a vs Fig 1b differ in cell counts; sigma separates them.
+  FormulaPtr sigma_a = *DefiningSentence(Inv(Fig1aInstance()));
+  EXPECT_TRUE(Satisfies(Fig1aInstance(), sigma_a));
+  EXPECT_FALSE(Satisfies(Fig1bInstance(), sigma_a));
+}
+
+TEST(DefinabilityTest, EmptyInstanceSentence) {
+  FormulaPtr sigma = *DefiningSentence(Inv(SpatialInstance()));
+  EXPECT_TRUE(Satisfies(SpatialInstance(), sigma));
+  EXPECT_FALSE(Satisfies(SingleRegionInstance(), sigma));
+}
+
+TEST(DefinabilityTest, SentenceIsPolynomiallySized) {
+  // Theorem 5.6: f(I) computable in polynomial time; the sentence grows
+  // polynomially with the invariant.
+  InvariantData small = Inv(Fig1cInstance());
+  InvariantData larger = Inv(Fig1dInstance());
+  FormulaPtr sigma_small = *DefiningSentence(small);
+  FormulaPtr sigma_larger = *DefiningSentence(larger);
+  const size_t len_small = sigma_small->ToString().size();
+  const size_t len_larger = sigma_larger->ToString().size();
+  EXPECT_GT(len_larger, len_small);
+  EXPECT_LT(len_larger, 200000u);
+}
+
+TEST(BoundaryPartTest, PredicateSemantics) {
+  Result<QueryEngine> engine = QueryEngine::Build(Fig1cInstance());
+  ASSERT_TRUE(engine.ok());
+  // Some cell lies on A's boundary; no cell is boundarypart of A and
+  // subset of A at once.
+  EXPECT_TRUE(*engine->Evaluate("exists cell c . boundarypart(c, A)"));
+  EXPECT_FALSE(*engine->Evaluate(
+      "exists cell c . boundarypart(c, A) and subset(c, A)"));
+  // A itself is not part of its own boundary.
+  EXPECT_FALSE(*engine->Evaluate("boundarypart(A, A)"));
+  // Parser accepts the predicate name.
+  Result<FormulaPtr> parsed = ParseQuery("boundarypart(A, B)");
+  EXPECT_TRUE(parsed.ok());
+}
+
+}  // namespace
+}  // namespace topodb

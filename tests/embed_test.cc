@@ -1,0 +1,136 @@
+#include "src/embed/embed.h"
+
+#include <gtest/gtest.h>
+
+#include "src/invariant/canonical.h"
+#include "src/invariant/validate.h"
+#include "src/region/fixtures.h"
+
+namespace topodb {
+namespace {
+
+InvariantData Inv(const SpatialInstance& instance) {
+  Result<InvariantData> data = ComputeInvariant(instance);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return std::move(data).value();
+}
+
+// The Theorem 3.5 round trip: reconstruct a polygonal instance from the
+// invariant alone and verify it has the same invariant.
+void CheckRoundTrip(const SpatialInstance& instance, const char* what) {
+  InvariantData data = Inv(instance);
+  Result<SpatialInstance> rebuilt = ReconstructPolyInstance(data);
+  ASSERT_TRUE(rebuilt.ok()) << what << ": " << rebuilt.status().ToString();
+  // Every reconstructed region is a valid polygon with the right name.
+  EXPECT_EQ(rebuilt->names(), instance.names()) << what;
+  InvariantData back = Inv(*rebuilt);
+  EXPECT_TRUE(Isomorphic(data, back)) << what;
+}
+
+TEST(EmbedTest, SingleRegion) {
+  CheckRoundTrip(SingleRegionInstance(), "single square");
+}
+
+TEST(EmbedTest, Fig1c) { CheckRoundTrip(Fig1cInstance(), "fig 1c"); }
+
+TEST(EmbedTest, Fig1d) { CheckRoundTrip(Fig1dInstance(), "fig 1d"); }
+
+TEST(EmbedTest, Fig1a) { CheckRoundTrip(Fig1aInstance(), "fig 1a"); }
+
+TEST(EmbedTest, Fig1b) { CheckRoundTrip(Fig1bInstance(), "fig 1b"); }
+
+TEST(EmbedTest, Fig6) { CheckRoundTrip(Fig6Instance(), "fig 6"); }
+
+TEST(EmbedTest, Fig7bTangentDiamonds) {
+  // Loops at a cut vertex: exercises truncation.
+  CheckRoundTrip(Fig7bInstance(), "fig 7b");
+  CheckRoundTrip(Fig7bPrimeInstance(), "fig 7b prime");
+}
+
+TEST(EmbedTest, DisjointComponents) {
+  CheckRoundTrip(DisjointPairInstance(), "disjoint pair");
+}
+
+TEST(EmbedTest, NestedComponents) {
+  // Exercises child placement inside a bounded face.
+  CheckRoundTrip(NestedInstance(), "nested");
+}
+
+TEST(EmbedTest, Fig7aTwoChiralComponents) {
+  CheckRoundTrip(Fig7aInstance(), "fig 7a");
+  CheckRoundTrip(Fig7aPrimeInstance(), "fig 7a prime");
+}
+
+TEST(EmbedTest, DeeplyNested) {
+  // Three levels: C inside B inside A, plus a sibling D inside A.
+  SpatialInstance instance;
+  ASSERT_TRUE(instance
+                  .AddRegion("A", *Region::MakeRect(Point(0, 0), Point(40, 40)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("B", *Region::MakeRect(Point(4, 4), Point(24, 24)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("C", *Region::MakeRect(Point(8, 8), Point(16, 16)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("D", *Region::MakeRect(Point(28, 4), Point(36, 12)))
+                  .ok());
+  CheckRoundTrip(instance, "deeply nested");
+}
+
+TEST(EmbedTest, TwoChildrenInSameFace) {
+  // Two separate discs inside the pocket-less interior of A.
+  SpatialInstance instance;
+  ASSERT_TRUE(instance
+                  .AddRegion("A", *Region::MakeRect(Point(0, 0), Point(40, 40)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("B", *Region::MakeRect(Point(4, 4), Point(10, 10)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("C", *Region::MakeRect(Point(20, 20), Point(26, 26)))
+                  .ok());
+  CheckRoundTrip(instance, "two children one face");
+}
+
+TEST(EmbedTest, ReconstructionFromEvertedInvariantDiffers) {
+  // Reconstruct from the everted Fig 6 invariant: the result must realize
+  // the everted structure, not the original.
+  InvariantData data = Inv(Fig6Instance());
+  int pocket = -1;
+  for (size_t f = 0; f < data.faces.size(); ++f) {
+    if (!data.faces[f].unbounded &&
+        LabelString(data.faces[f].label) == "---") {
+      pocket = static_cast<int>(f);
+    }
+  }
+  ASSERT_NE(pocket, -1);
+  InvariantData everted = *data.WithExteriorFace(pocket);
+  Result<SpatialInstance> rebuilt = ReconstructPolyInstance(everted);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  InvariantData back = Inv(*rebuilt);
+  EXPECT_TRUE(Isomorphic(everted, back));
+  EXPECT_FALSE(Isomorphic(data, back));
+  // And the reconstruction is itself a valid invariant realization.
+  EXPECT_TRUE(ValidateInvariant(back).ok());
+}
+
+TEST(EmbedTest, EmptyInstance) {
+  Result<SpatialInstance> rebuilt =
+      ReconstructPolyInstance(Inv(SpatialInstance()));
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(rebuilt->empty());
+}
+
+TEST(EmbedTest, OutputIsPolygonalAndValid) {
+  Result<SpatialInstance> rebuilt =
+      ReconstructPolyInstance(Inv(Fig1cInstance()));
+  ASSERT_TRUE(rebuilt.ok());
+  for (const auto& [name, region] : rebuilt->regions()) {
+    EXPECT_TRUE(region.boundary().Validate().ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace topodb

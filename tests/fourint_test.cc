@@ -1,0 +1,170 @@
+#include "src/fourint/four_intersection.h"
+
+#include <gtest/gtest.h>
+
+#include "src/region/fixtures.h"
+
+namespace topodb {
+namespace {
+
+SpatialInstance Pair(Region a, Region b) {
+  SpatialInstance instance;
+  EXPECT_TRUE(instance.AddRegion("A", std::move(a)).ok());
+  EXPECT_TRUE(instance.AddRegion("B", std::move(b)).ok());
+  return instance;
+}
+
+FourIntRelation RelateAB(const SpatialInstance& instance) {
+  Result<FourIntRelation> r = Relate(instance, "A", "B");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+// One canonical configuration per relation (the paper's Fig 2 catalogue).
+
+TEST(FourIntTest, Disjoint) {
+  SpatialInstance instance = Pair(*Region::MakeRect(Point(0, 0), Point(2, 2)),
+                                  *Region::MakeRect(Point(5, 0), Point(7, 2)));
+  EXPECT_EQ(RelateAB(instance), FourIntRelation::kDisjoint);
+}
+
+TEST(FourIntTest, MeetAlongEdge) {
+  SpatialInstance instance = Pair(*Region::MakeRect(Point(0, 0), Point(2, 2)),
+                                  *Region::MakeRect(Point(2, 0), Point(4, 2)));
+  EXPECT_EQ(RelateAB(instance), FourIntRelation::kMeet);
+}
+
+TEST(FourIntTest, MeetAtCorner) {
+  SpatialInstance instance = Pair(*Region::MakeRect(Point(0, 0), Point(2, 2)),
+                                  *Region::MakeRect(Point(2, 2), Point(4, 4)));
+  EXPECT_EQ(RelateAB(instance), FourIntRelation::kMeet);
+}
+
+TEST(FourIntTest, Overlap) {
+  SpatialInstance instance = Pair(*Region::MakeRect(Point(0, 0), Point(4, 4)),
+                                  *Region::MakeRect(Point(2, 2), Point(6, 6)));
+  EXPECT_EQ(RelateAB(instance), FourIntRelation::kOverlap);
+}
+
+TEST(FourIntTest, Equal) {
+  SpatialInstance instance = Pair(*Region::MakeRect(Point(0, 0), Point(4, 4)),
+                                  *Region::MakeRect(Point(0, 0), Point(4, 4)));
+  EXPECT_EQ(RelateAB(instance), FourIntRelation::kEqual);
+}
+
+TEST(FourIntTest, EqualDifferentShapeDescriptions) {
+  // Equality is about point sets: an L-shaped Rect* described with extra
+  // collinear vertices equals its plain description.
+  Region a = *Region::MakePoly({Point(0, 0), Point(4, 0), Point(4, 4),
+                                Point(0, 4)});
+  Region b = *Region::MakePoly({Point(0, 0), Point(2, 0), Point(4, 0),
+                                Point(4, 4), Point(0, 4)});
+  EXPECT_EQ(RelateAB(Pair(a, b)), FourIntRelation::kEqual);
+}
+
+TEST(FourIntTest, ContainsAndInside) {
+  SpatialInstance instance = Pair(*Region::MakeRect(Point(0, 0), Point(8, 8)),
+                                  *Region::MakeRect(Point(2, 2), Point(4, 4)));
+  EXPECT_EQ(RelateAB(instance), FourIntRelation::kContains);
+  Result<FourIntRelation> inverse = Relate(instance, "B", "A");
+  ASSERT_TRUE(inverse.ok());
+  EXPECT_EQ(*inverse, FourIntRelation::kInside);
+}
+
+TEST(FourIntTest, CoversAndCoveredBy) {
+  // B inside A sharing part of A's boundary.
+  SpatialInstance instance = Pair(*Region::MakeRect(Point(0, 0), Point(8, 8)),
+                                  *Region::MakeRect(Point(0, 2), Point(4, 4)));
+  EXPECT_EQ(RelateAB(instance), FourIntRelation::kCovers);
+  Result<FourIntRelation> inverse = Relate(instance, "B", "A");
+  ASSERT_TRUE(inverse.ok());
+  EXPECT_EQ(*inverse, FourIntRelation::kCoveredBy);
+}
+
+TEST(FourIntTest, InverseHelper) {
+  EXPECT_EQ(Inverse(FourIntRelation::kContains), FourIntRelation::kInside);
+  EXPECT_EQ(Inverse(FourIntRelation::kCoveredBy), FourIntRelation::kCovers);
+  EXPECT_EQ(Inverse(FourIntRelation::kOverlap), FourIntRelation::kOverlap);
+  EXPECT_EQ(Inverse(FourIntRelation::kDisjoint), FourIntRelation::kDisjoint);
+}
+
+TEST(FourIntTest, RelationNames) {
+  EXPECT_STREQ(FourIntRelationName(FourIntRelation::kOverlap), "overlap");
+  EXPECT_STREQ(FourIntRelationName(FourIntRelation::kCoveredBy),
+               "coveredBy");
+}
+
+TEST(FourIntTest, InverseConsistencyOnFixtures) {
+  // relate(A,B) is always the inverse of relate(B,A).
+  for (const SpatialInstance& instance :
+       {Fig1aInstance(), Fig1bInstance(), Fig1cInstance(), Fig1dInstance(),
+        NestedInstance(), Fig7bInstance()}) {
+    const auto names = instance.names();
+    for (size_t x = 0; x < names.size(); ++x) {
+      for (size_t y = x + 1; y < names.size(); ++y) {
+        Result<FourIntRelation> fwd = Relate(instance, names[x], names[y]);
+        Result<FourIntRelation> bwd = Relate(instance, names[y], names[x]);
+        ASSERT_TRUE(fwd.ok());
+        ASSERT_TRUE(bwd.ok());
+        EXPECT_EQ(Inverse(*fwd), *bwd);
+      }
+    }
+  }
+}
+
+TEST(FourIntTest, PaperFig1Equivalences) {
+  // The paper's headline: Fig 1a/1b and Fig 1c/1d are 4-intersection
+  // equivalent (yet not homeomorphic; see invariant tests).
+  Result<bool> ab = FourIntEquivalent(Fig1aInstance(), Fig1bInstance());
+  ASSERT_TRUE(ab.ok());
+  EXPECT_TRUE(*ab);
+  Result<bool> cd = FourIntEquivalent(Fig1cInstance(), Fig1dInstance());
+  ASSERT_TRUE(cd.ok());
+  EXPECT_TRUE(*cd);
+  // All pairs in Fig 1a overlap.
+  SpatialInstance a = Fig1aInstance();
+  for (const char* x : {"A", "B", "C"}) {
+    for (const char* y : {"A", "B", "C"}) {
+      if (std::string(x) == y) continue;
+      EXPECT_EQ(*Relate(a, x, y), FourIntRelation::kOverlap);
+    }
+  }
+}
+
+TEST(FourIntTest, NotEquivalentWhenARelationDiffers) {
+  SpatialInstance nested = NestedInstance();     // A contains B.
+  SpatialInstance disjoint = DisjointPairInstance();
+  Result<bool> eq = FourIntEquivalent(nested, disjoint);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+}
+
+TEST(FourIntTest, NotEquivalentOnDifferentNames) {
+  Result<bool> eq = FourIntEquivalent(Fig1aInstance(), Fig1cInstance());
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+}
+
+TEST(FourIntTest, MatrixDirectly) {
+  SpatialInstance instance = Pair(*Region::MakeRect(Point(0, 0), Point(4, 4)),
+                                  *Region::MakeRect(Point(2, 2), Point(6, 6)));
+  Result<CellComplex> complex = CellComplex::Build(instance);
+  ASSERT_TRUE(complex.ok());
+  FourIntersectionMatrix m = ComputeMatrix(*complex, 0, 1);
+  EXPECT_TRUE(m.boundary_boundary);
+  EXPECT_TRUE(m.interior_interior);
+  EXPECT_TRUE(m.boundary_a_interior_b);
+  EXPECT_TRUE(m.interior_a_boundary_b);
+  // Unrealizable combination rejected.
+  FourIntersectionMatrix bad;
+  bad.interior_interior = false;
+  bad.boundary_a_interior_b = true;
+  EXPECT_FALSE(ClassifyMatrix(bad).ok());
+}
+
+TEST(FourIntTest, RelateMissingRegionFails) {
+  EXPECT_FALSE(Relate(Fig1cInstance(), "A", "Z").ok());
+}
+
+}  // namespace
+}  // namespace topodb

@@ -1,0 +1,281 @@
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/geom/box.h"
+#include "src/geom/point.h"
+#include "src/geom/polygon.h"
+#include "src/geom/predicates.h"
+
+namespace topodb {
+namespace {
+
+TEST(PredicatesTest, OrientationSigns) {
+  Point a(0, 0), b(1, 0), c(0, 1);
+  EXPECT_EQ(Orientation(a, b, c), 1);   // Left turn.
+  EXPECT_EQ(Orientation(a, c, b), -1);  // Right turn.
+  EXPECT_EQ(Orientation(a, b, Point(2, 0)), 0);  // Collinear.
+}
+
+TEST(PredicatesTest, OrientationExactOnNearDegenerate) {
+  // A classic double-precision failure case: tiny offsets from a line.
+  Point a(Rational(0), Rational(0));
+  Point b(Rational(1'000'000'000), Rational(1'000'000'000));
+  Point c(Rational(BigInt("2000000000000000001"), BigInt("2000000000")),
+          Rational(1'000'000'000));
+  // c.x is 1e9 + 1/(2e9): infinitesimally right of the line y == x.
+  EXPECT_EQ(Orientation(a, b, c), -1);
+}
+
+TEST(PredicatesTest, OnSegment) {
+  Point a(0, 0), b(4, 4);
+  EXPECT_TRUE(OnSegment(Point(2, 2), a, b));
+  EXPECT_TRUE(OnSegment(a, a, b));
+  EXPECT_TRUE(OnSegment(b, a, b));
+  EXPECT_FALSE(OnSegment(Point(5, 5), a, b));
+  EXPECT_FALSE(OnSegment(Point(2, 3), a, b));
+  EXPECT_TRUE(StrictlyInsideSegment(Point(1, 1), a, b));
+  EXPECT_FALSE(StrictlyInsideSegment(a, a, b));
+}
+
+TEST(PredicatesTest, SegmentIntersectionProper) {
+  auto r = IntersectSegments(Point(0, 0), Point(4, 4), Point(0, 4),
+                             Point(4, 0));
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kPoint);
+  EXPECT_EQ(r.p0, Point(2, 2));
+}
+
+TEST(PredicatesTest, SegmentIntersectionRationalPoint) {
+  auto r = IntersectSegments(Point(0, 0), Point(3, 1), Point(0, 1),
+                             Point(3, 0));
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kPoint);
+  EXPECT_EQ(r.p0, Point(Rational(3, 2), Rational(1, 2)));
+}
+
+TEST(PredicatesTest, SegmentIntersectionAtEndpoint) {
+  auto r = IntersectSegments(Point(0, 0), Point(2, 2), Point(2, 2),
+                             Point(4, 0));
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kPoint);
+  EXPECT_EQ(r.p0, Point(2, 2));
+}
+
+TEST(PredicatesTest, SegmentIntersectionTTouch) {
+  auto r = IntersectSegments(Point(0, 0), Point(4, 0), Point(2, 0),
+                             Point(2, 3));
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kPoint);
+  EXPECT_EQ(r.p0, Point(2, 0));
+}
+
+TEST(PredicatesTest, SegmentIntersectionNone) {
+  EXPECT_EQ(IntersectSegments(Point(0, 0), Point(1, 0), Point(0, 1),
+                              Point(1, 1))
+                .kind,
+            SegmentIntersection::Kind::kNone);
+  // Parallel, non-collinear.
+  EXPECT_EQ(IntersectSegments(Point(0, 0), Point(2, 2), Point(0, 1),
+                              Point(2, 3))
+                .kind,
+            SegmentIntersection::Kind::kNone);
+  // Collinear but disjoint.
+  EXPECT_EQ(IntersectSegments(Point(0, 0), Point(1, 1), Point(2, 2),
+                              Point(3, 3))
+                .kind,
+            SegmentIntersection::Kind::kNone);
+}
+
+TEST(PredicatesTest, SegmentIntersectionCollinearOverlap) {
+  auto r = IntersectSegments(Point(0, 0), Point(4, 0), Point(2, 0),
+                             Point(6, 0));
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kOverlap);
+  EXPECT_EQ(r.p0, Point(2, 0));
+  EXPECT_EQ(r.p1, Point(4, 0));
+}
+
+TEST(PredicatesTest, SegmentIntersectionCollinearTouchPoint) {
+  auto r = IntersectSegments(Point(0, 0), Point(2, 0), Point(2, 0),
+                             Point(5, 0));
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kPoint);
+  EXPECT_EQ(r.p0, Point(2, 0));
+}
+
+TEST(PredicatesTest, SegmentIntersectionDegenerate) {
+  // Point-segment.
+  auto r = IntersectSegments(Point(1, 1), Point(1, 1), Point(0, 0),
+                             Point(2, 2));
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kPoint);
+  EXPECT_EQ(r.p0, Point(1, 1));
+  // Point off segment.
+  EXPECT_EQ(IntersectSegments(Point(3, 1), Point(3, 1), Point(0, 0),
+                              Point(2, 2))
+                .kind,
+            SegmentIntersection::Kind::kNone);
+}
+
+TEST(PredicatesTest, CcwDirectionOrder) {
+  // Eight compass directions in counterclockwise order from +x.
+  std::vector<Point> dirs = {Point(1, 0),  Point(1, 1),   Point(0, 1),
+                             Point(-1, 1), Point(-1, 0),  Point(-1, -1),
+                             Point(0, -1), Point(1, -1)};
+  for (size_t i = 0; i < dirs.size(); ++i) {
+    for (size_t j = 0; j < dirs.size(); ++j) {
+      EXPECT_EQ(CcwDirectionLess(dirs[i], dirs[j]), i < j)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(PredicatesTest, CcwDirectionScaleInvariant) {
+  EXPECT_FALSE(CcwDirectionLess(Point(2, 2), Point(1, 1)));
+  EXPECT_FALSE(CcwDirectionLess(Point(1, 1), Point(2, 2)));
+  EXPECT_TRUE(SameDirection(Point(1, 1), Point(3, 3)));
+  EXPECT_FALSE(SameDirection(Point(1, 1), Point(-1, -1)));
+}
+
+Polygon UnitSquare() {
+  return Polygon({Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)});
+}
+
+TEST(PolygonTest, SignedAreaAndOrientation) {
+  Polygon sq = UnitSquare();
+  EXPECT_EQ(sq.SignedArea2(), Rational(32));
+  EXPECT_TRUE(sq.IsCounterClockwise());
+  Polygon cw({Point(0, 0), Point(0, 4), Point(4, 4), Point(4, 0)});
+  EXPECT_FALSE(cw.IsCounterClockwise());
+  cw.Normalize();
+  EXPECT_TRUE(cw.IsCounterClockwise());
+}
+
+TEST(PolygonTest, ValidateAcceptsSimple) {
+  EXPECT_TRUE(UnitSquare().Validate().ok());
+  // Non-convex but simple (L-shape).
+  Polygon ell({Point(0, 0), Point(4, 0), Point(4, 2), Point(2, 2),
+               Point(2, 4), Point(0, 4)});
+  EXPECT_TRUE(ell.Validate().ok());
+}
+
+TEST(PolygonTest, ValidateRejectsDegenerate) {
+  EXPECT_FALSE(Polygon({Point(0, 0), Point(1, 0)}).Validate().ok());
+  EXPECT_FALSE(Polygon({Point(0, 0), Point(1, 0), Point(1, 0)})
+                   .Validate()
+                   .ok());  // Zero-length edge.
+  // Bowtie self-intersection.
+  Polygon bowtie({Point(0, 0), Point(2, 2), Point(2, 0), Point(0, 2)});
+  EXPECT_FALSE(bowtie.Validate().ok());
+  // Collinear spike (zero area).
+  Polygon spike({Point(0, 0), Point(2, 0), Point(4, 0)});
+  EXPECT_FALSE(spike.Validate().ok());
+  // Pinch: boundary touches itself at a vertex.
+  Polygon pinch({Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 0),
+                 Point(-2, 2), Point(-2, 0)});
+  EXPECT_FALSE(pinch.Validate().ok());
+}
+
+TEST(PolygonTest, LocateSquare) {
+  Polygon sq = UnitSquare();
+  EXPECT_EQ(sq.Locate(Point(2, 2)), PointLocation::kInterior);
+  EXPECT_EQ(sq.Locate(Point(0, 0)), PointLocation::kBoundary);
+  EXPECT_EQ(sq.Locate(Point(2, 0)), PointLocation::kBoundary);
+  EXPECT_EQ(sq.Locate(Point(2, 4)), PointLocation::kBoundary);
+  EXPECT_EQ(sq.Locate(Point(5, 2)), PointLocation::kExterior);
+  EXPECT_EQ(sq.Locate(Point(-1, -1)), PointLocation::kExterior);
+  // Ray through a vertex from the interior-line: exactness check.
+  EXPECT_EQ(sq.Locate(Point(2, Rational(1, 3))), PointLocation::kInterior);
+}
+
+TEST(PolygonTest, LocateNonConvexWithHorizontalEdges) {
+  // Staircase: horizontal edges aligned with query rays.
+  Polygon stair({Point(0, 0), Point(6, 0), Point(6, 2), Point(4, 2),
+                 Point(4, 4), Point(2, 4), Point(2, 6), Point(0, 6)});
+  ASSERT_TRUE(stair.Validate().ok());
+  EXPECT_EQ(stair.Locate(Point(1, 1)), PointLocation::kInterior);
+  EXPECT_EQ(stair.Locate(Point(5, 1)), PointLocation::kInterior);
+  EXPECT_EQ(stair.Locate(Point(5, 3)), PointLocation::kExterior);
+  EXPECT_EQ(stair.Locate(Point(3, 3)), PointLocation::kInterior);
+  EXPECT_EQ(stair.Locate(Point(3, 5)), PointLocation::kExterior);
+  EXPECT_EQ(stair.Locate(Point(1, 5)), PointLocation::kInterior);
+  EXPECT_EQ(stair.Locate(Point(3, 2)), PointLocation::kInterior);
+  EXPECT_EQ(stair.Locate(Point(5, 2)), PointLocation::kBoundary);
+}
+
+TEST(PolygonTest, InteriorPointIsInterior) {
+  std::vector<Polygon> polys = {
+      UnitSquare(),
+      Polygon({Point(0, 0), Point(4, 0), Point(4, 2), Point(2, 2),
+               Point(2, 4), Point(0, 4)}),
+      // Thin sliver triangle.
+      Polygon({Point(0, 0), Point(100, 1), Point(100, 0)}),
+      // Star-ish concave polygon.
+      Polygon({Point(0, 0), Point(10, 4), Point(20, 0), Point(12, 10),
+               Point(20, 20), Point(10, 16), Point(0, 20), Point(8, 10)}),
+  };
+  for (const Polygon& poly : polys) {
+    ASSERT_TRUE(poly.Validate().ok());
+    Point ip = poly.InteriorPoint();
+    EXPECT_EQ(poly.Locate(ip), PointLocation::kInterior);
+  }
+}
+
+TEST(PolygonTest, BoundingBox) {
+  Box box = UnitSquare().BoundingBox();
+  EXPECT_EQ(box.min, Point(0, 0));
+  EXPECT_EQ(box.max, Point(4, 4));
+  EXPECT_TRUE(box.Contains(Point(2, 2)));
+  EXPECT_FALSE(box.Contains(Point(5, 2)));
+}
+
+TEST(BoxTest, IntersectsAndUnion) {
+  Box a = Box::FromPoints(Point(0, 0), Point(2, 2));
+  Box b = Box::FromPoints(Point(1, 1), Point(3, 3));
+  Box c = Box::FromPoints(Point(5, 5), Point(6, 6));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching boxes intersect (closed boxes).
+  Box d = Box::FromPoints(Point(2, 0), Point(3, 2));
+  EXPECT_TRUE(a.Intersects(d));
+  Box u = a.Union(c);
+  EXPECT_EQ(u.min, Point(0, 0));
+  EXPECT_EQ(u.max, Point(6, 6));
+}
+
+TEST(PolygonTest, LocateAgreesWithWindingRandomized) {
+  // Property: for random query points and a fixed non-convex polygon, the
+  // crossing-number location agrees with a brute-force winding computation
+  // done in exact arithmetic.
+  Polygon poly({Point(0, 0), Point(8, 2), Point(16, 0), Point(12, 8),
+                Point(16, 16), Point(8, 12), Point(0, 16), Point(5, 8)});
+  ASSERT_TRUE(poly.Validate().ok());
+  std::mt19937_64 rng(42);
+  const auto& v = poly.vertices();
+  const size_t n = v.size();
+  for (int iter = 0; iter < 400; ++iter) {
+    Point p(static_cast<int64_t>(rng() % 37) - 10,
+            static_cast<int64_t>(rng() % 37) - 10);
+    bool on_boundary = false;
+    for (size_t i = 0; i < n && !on_boundary; ++i) {
+      on_boundary = OnSegment(p, v[i], v[(i + 1) % n]);
+    }
+    if (on_boundary) {
+      EXPECT_EQ(poly.Locate(p), PointLocation::kBoundary);
+      continue;
+    }
+    // Winding number via summed orientation-signed crossings of the
+    // vertical upward ray (independent implementation).
+    int winding = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Point& a = v[i];
+      const Point& b = v[(i + 1) % n];
+      if (a.x <= p.x) {
+        if (b.x > p.x && Orientation(a, b, p) > 0) ++winding;
+      } else {
+        if (b.x <= p.x && Orientation(a, b, p) < 0) --winding;
+      }
+    }
+    PointLocation expected =
+        winding != 0 ? PointLocation::kInterior : PointLocation::kExterior;
+    EXPECT_EQ(poly.Locate(p), expected) << p.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace topodb

@@ -1,0 +1,93 @@
+#include "src/invariant/graph_iso.h"
+
+#include <gtest/gtest.h>
+
+#include "src/invariant/canonical.h"
+#include "src/region/fixtures.h"
+#include "src/region/transform.h"
+
+namespace topodb {
+namespace {
+
+InvariantData Inv(const SpatialInstance& instance) {
+  Result<InvariantData> data = ComputeInvariant(instance);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return std::move(data).value();
+}
+
+TEST(GraphIsoTest, SelfIsomorphic) {
+  for (const SpatialInstance& instance :
+       {Fig1aInstance(), Fig1dInstance(), Fig7bInstance(), NestedInstance()}) {
+    InvariantData data = Inv(instance);
+    EXPECT_TRUE(GraphIsomorphic(data, data));
+  }
+}
+
+TEST(GraphIsoTest, TransformedCopiesIsomorphic) {
+  AffineTransform t = *AffineTransform::Make(2, 0, 3, 1, 1, -5);
+  for (const SpatialInstance& instance : {Fig1cInstance(), Fig1bInstance()}) {
+    Result<SpatialInstance> image = t.ApplyToInstance(instance);
+    ASSERT_TRUE(image.ok());
+    EXPECT_TRUE(GraphIsomorphic(Inv(instance), Inv(*image)));
+  }
+}
+
+TEST(GraphIsoTest, DistinguishesFig1Pairs) {
+  // G_I still separates Fig 1a/1b and 1c/1d (the 4-intersection relations
+  // alone do not; see fourint tests).
+  EXPECT_FALSE(GraphIsomorphic(Inv(Fig1aInstance()), Inv(Fig1bInstance())));
+  EXPECT_FALSE(GraphIsomorphic(Inv(Fig1cInstance()), Inv(Fig1dInstance())));
+}
+
+TEST(GraphIsoTest, Fig7aGraphsIsomorphicButInvariantsNot) {
+  // The paper's Fig 7a: G_I and G_I' are isomorphic, yet the instances are
+  // not topologically equivalent — the orientation relation O is needed.
+  InvariantData i = Inv(Fig7aInstance());
+  InvariantData ip = Inv(Fig7aPrimeInstance());
+  EXPECT_TRUE(GraphIsomorphic(i, ip));
+  EXPECT_FALSE(Isomorphic(i, ip));
+}
+
+TEST(GraphIsoTest, Fig7bGraphsIsomorphicButInvariantsNot) {
+  InvariantData i = Inv(Fig7bInstance());
+  InvariantData ip = Inv(Fig7bPrimeInstance());
+  EXPECT_TRUE(GraphIsomorphic(i, ip));
+  EXPECT_FALSE(Isomorphic(i, ip));
+}
+
+TEST(GraphIsoTest, Fig6ExteriorDistinguishedAtGraphLevel) {
+  // G_I includes f0: the everted structure is separated by GraphIsomorphic
+  // with the exterior marker, but not without it.
+  InvariantData data = Inv(Fig6Instance());
+  int pocket = -1;
+  for (size_t f = 0; f < data.faces.size(); ++f) {
+    if (!data.faces[f].unbounded &&
+        LabelString(data.faces[f].label) == "---") {
+      pocket = static_cast<int>(f);
+    }
+  }
+  ASSERT_NE(pocket, -1);
+  InvariantData everted = *data.WithExteriorFace(pocket);
+  GraphIsoOptions with_exterior;
+  EXPECT_FALSE(GraphIsomorphic(data, everted, with_exterior));
+  GraphIsoOptions no_exterior;
+  no_exterior.include_exterior = false;
+  EXPECT_TRUE(GraphIsomorphic(data, everted, no_exterior));
+}
+
+TEST(GraphIsoTest, DifferentNamesNotIsomorphic) {
+  SpatialInstance a;
+  ASSERT_TRUE(a.AddRegion("A", *Region::MakeRect(Point(0, 0), Point(2, 2)))
+                  .ok());
+  SpatialInstance b;
+  ASSERT_TRUE(b.AddRegion("B", *Region::MakeRect(Point(0, 0), Point(2, 2)))
+                  .ok());
+  EXPECT_FALSE(GraphIsomorphic(Inv(a), Inv(b)));
+}
+
+TEST(GraphIsoTest, DifferentSizesNotIsomorphic) {
+  EXPECT_FALSE(GraphIsomorphic(Inv(Fig1cInstance()), Inv(Fig1aInstance())));
+}
+
+}  // namespace
+}  // namespace topodb

@@ -1,0 +1,90 @@
+#include "src/region/io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/invariant/canonical.h"
+#include "src/region/fixtures.h"
+
+namespace topodb {
+namespace {
+
+TEST(IoTest, WriteParseRoundTripPreservesExtents) {
+  for (const SpatialInstance& instance :
+       {Fig1aInstance(), Fig1bInstance(), Fig1cInstance(), Fig1dInstance(),
+        Fig6Instance(), Fig7bInstance(), NestedInstance()}) {
+    std::string text = WriteInstanceText(instance);
+    Result<SpatialInstance> back = ParseInstanceText(text);
+    ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+    ASSERT_EQ(back->names(), instance.names());
+    for (const auto& name : instance.names()) {
+      const Region* original = *instance.ext(name);
+      const Region* parsed = *back->ext(name);
+      EXPECT_EQ(parsed->boundary().vertices(),
+                original->boundary().vertices())
+          << name;
+    }
+    // And therefore the invariants are identical.
+    EXPECT_TRUE(Isomorphic(*ComputeInvariant(instance),
+                           *ComputeInvariant(*back)));
+  }
+}
+
+TEST(IoTest, ParsesRationalAndDecimalCoordinates) {
+  Result<SpatialInstance> instance = ParseInstanceText(
+      "# a comment\n"
+      "\n"
+      "A: (0 0, 1/2 0, 1/2 1/3, 0 1/3)\n"
+      "B: (2.5 0, 3 0, 3 -0.25, 2.5 -0.25)\n");
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  EXPECT_EQ(instance->size(), 2u);
+  const Region* a = *instance->ext("A");
+  EXPECT_EQ(a->BoundingBox().max, Point(Rational(1, 2), Rational(1, 3)));
+  const Region* b = *instance->ext("B");
+  EXPECT_EQ(b->BoundingBox().min, Point(Rational(5, 2), Rational(-1, 4)));
+  // Classes re-derived structurally.
+  EXPECT_EQ(a->declared_class(), RegionClass::kRect);
+}
+
+TEST(IoTest, WriterEmitsParsableHeaderlessText) {
+  std::string text = WriteInstanceText(Fig1cInstance());
+  EXPECT_NE(text.find("A: ("), std::string::npos);
+  EXPECT_NE(text.find("B: ("), std::string::npos);
+}
+
+TEST(IoTest, ParseErrorsAreLineNumbered) {
+  Result<SpatialInstance> missing_colon = ParseInstanceText("A (0 0, 1 0)\n");
+  EXPECT_FALSE(missing_colon.ok());
+  EXPECT_NE(missing_colon.status().message().find("line 1"),
+            std::string::npos);
+  Result<SpatialInstance> bad_coord =
+      ParseInstanceText("A: (0 0, 1 0, x 1)\n");
+  EXPECT_FALSE(bad_coord.ok());
+  Result<SpatialInstance> bad_vertex =
+      ParseInstanceText("ok: (0 0, 4 0, 4 4)\nB: (0 0 7, 1 0, 1 1)\n");
+  EXPECT_FALSE(bad_vertex.ok());
+  EXPECT_NE(bad_vertex.status().message().find("line 2"), std::string::npos);
+  Result<SpatialInstance> no_parens = ParseInstanceText("A: 0 0, 1 0, 1 1\n");
+  EXPECT_FALSE(no_parens.ok());
+  Result<SpatialInstance> empty_name = ParseInstanceText(": (0 0, 1 0, 1 1)\n");
+  EXPECT_FALSE(empty_name.ok());
+}
+
+TEST(IoTest, RejectsInvalidPolygons) {
+  // Bowtie.
+  EXPECT_FALSE(ParseInstanceText("A: (0 0, 2 2, 2 0, 0 2)\n").ok());
+  // Too few vertices.
+  EXPECT_FALSE(ParseInstanceText("A: (0 0, 1 0)\n").ok());
+  // Duplicate names.
+  EXPECT_FALSE(
+      ParseInstanceText("A: (0 0, 4 0, 4 4)\nA: (8 8, 9 8, 9 9)\n").ok());
+}
+
+TEST(IoTest, EmptyTextIsEmptyInstance) {
+  Result<SpatialInstance> instance = ParseInstanceText("# nothing here\n");
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(instance->empty());
+  EXPECT_EQ(WriteInstanceText(*instance), "");
+}
+
+}  // namespace
+}  // namespace topodb

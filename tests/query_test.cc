@@ -1,0 +1,270 @@
+#include "src/query/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "src/query/parser.h"
+#include "src/region/fixtures.h"
+
+namespace topodb {
+namespace {
+
+// Example 4.1: phi separates Fig 1a from Fig 1b.
+constexpr char kTripleIntersection[] =
+    "exists region r . subset(r, A) and subset(r, B) and subset(r, C)";
+
+// Example 4.2: "A n B is topologically connected".
+constexpr char kIntersectionConnected[] =
+    "forall region r . forall region s . "
+    "(subset(r, A) and subset(r, B) and subset(s, A) and subset(s, B)) "
+    "implies "
+    "exists region t . subset(t, A) and subset(t, B) and connect(t, r) "
+    "and connect(t, s)";
+
+bool Ask(const SpatialInstance& instance, const std::string& query) {
+  Result<QueryEngine> engine = QueryEngine::Build(instance);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  Result<bool> result = engine->Evaluate(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << " for " << query;
+  return result.ok() && *result;
+}
+
+// --- Parser ---
+
+TEST(ParserTest, RoundTripsSimpleFormulas) {
+  Result<FormulaPtr> f = ParseQuery("connect(A, B)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->ToString(), "connect(A, B)");
+  f = ParseQuery("not connect(A, B) and disjoint(B, C)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->ToString(),
+            "(not (connect(A, B)) and disjoint(B, C))");
+}
+
+TEST(ParserTest, QuantifierBodyExtendsRight) {
+  Result<FormulaPtr> f =
+      ParseQuery("exists region r . connect(r, A) and connect(r, B)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->kind, Formula::Kind::kExists);
+  EXPECT_EQ((*f)->body->kind, Formula::Kind::kAnd);
+}
+
+TEST(ParserTest, PrecedenceNotAndOrImplies) {
+  Result<FormulaPtr> f =
+      ParseQuery("connect(A,B) or connect(B,C) and not connect(A,C) "
+                 "implies true");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->kind, Formula::Kind::kImplies);
+  EXPECT_EQ((*f)->left->kind, Formula::Kind::kOr);
+}
+
+TEST(ParserTest, BoundVsFreeIdentifiers) {
+  Result<FormulaPtr> f = ParseQuery("exists region r . connect(r, A)");
+  ASSERT_TRUE(f.ok());
+  const Formula& atom = *(*f)->body;
+  EXPECT_EQ(atom.lhs.kind, Term::Kind::kVariable);
+  EXPECT_EQ(atom.rhs.kind, Term::Kind::kNameConstant);
+}
+
+TEST(ParserTest, NameEquality) {
+  Result<FormulaPtr> f =
+      ParseQuery("exists name a . exists name b . not (a = b)");
+  ASSERT_TRUE(f.ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("connect(A)").ok());
+  EXPECT_FALSE(ParseQuery("connect(A, B").ok());
+  EXPECT_FALSE(ParseQuery("exists r . connect(r, A)").ok());  // Missing kind.
+  EXPECT_FALSE(ParseQuery("exists region . connect(A, B)").ok());
+  EXPECT_FALSE(ParseQuery("exists region r connect(r, A)").ok());  // No dot.
+  EXPECT_FALSE(ParseQuery("connect(A, B) garbage").ok());
+  EXPECT_FALSE(ParseQuery("frobnicate(A, B)").ok());
+  EXPECT_FALSE(ParseQuery("exists region r . exists region r . true").ok());
+  EXPECT_FALSE(ParseQuery("@").ok());
+}
+
+// --- Evaluation: paper examples ---
+
+TEST(QueryTest, Example41SeparatesFig1aFromFig1b) {
+  EXPECT_TRUE(Ask(Fig1aInstance(), kTripleIntersection));
+  EXPECT_FALSE(Ask(Fig1bInstance(), kTripleIntersection));
+}
+
+TEST(QueryTest, Example42SeparatesFig1cFromFig1d) {
+  EXPECT_TRUE(Ask(Fig1cInstance(), kIntersectionConnected));
+  EXPECT_FALSE(Ask(Fig1dInstance(), kIntersectionConnected));
+}
+
+TEST(QueryTest, CellQuantifierTripleIntersection) {
+  // The weak (cell) quantifier also separates Fig 1a / Fig 1b.
+  const char* query =
+      "exists cell c . subset(c, A) and subset(c, B) and subset(c, C)";
+  EXPECT_TRUE(Ask(Fig1aInstance(), query));
+  EXPECT_FALSE(Ask(Fig1bInstance(), query));
+}
+
+TEST(QueryTest, FourIntersectionAtoms) {
+  SpatialInstance nested = NestedInstance();  // A contains B.
+  EXPECT_TRUE(Ask(nested, "contains(A, B)"));
+  EXPECT_TRUE(Ask(nested, "inside(B, A)"));
+  EXPECT_FALSE(Ask(nested, "overlap(A, B)"));
+  EXPECT_FALSE(Ask(nested, "meet(A, B)"));
+  EXPECT_TRUE(Ask(nested, "connect(A, B)"));
+  EXPECT_TRUE(Ask(Fig1cInstance(), "overlap(A, B)"));
+  EXPECT_TRUE(Ask(DisjointPairInstance(), "disjoint(A, B)"));
+  EXPECT_FALSE(Ask(DisjointPairInstance(), "connect(A, B)"));
+}
+
+TEST(QueryTest, CoversAtom) {
+  SpatialInstance instance;
+  ASSERT_TRUE(instance
+                  .AddRegion("A", *Region::MakeRect(Point(0, 0), Point(8, 8)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("B", *Region::MakeRect(Point(0, 2), Point(4, 4)))
+                  .ok());
+  EXPECT_TRUE(Ask(instance, "covers(A, B)"));
+  EXPECT_TRUE(Ask(instance, "coveredBy(B, A)"));
+  EXPECT_FALSE(Ask(instance, "contains(A, B)"));
+}
+
+TEST(QueryTest, EqualAtom) {
+  SpatialInstance instance;
+  ASSERT_TRUE(instance
+                  .AddRegion("A", *Region::MakeRect(Point(0, 0), Point(4, 4)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("B", *Region::MakeRect(Point(0, 0), Point(4, 4)))
+                  .ok());
+  EXPECT_TRUE(Ask(instance, "equal(A, B)"));
+  EXPECT_TRUE(Ask(instance, "subset(A, B) and subset(B, A)"));
+}
+
+TEST(QueryTest, NameQuantifiers) {
+  // "Some two distinct regions overlap".
+  const char* some_overlap =
+      "exists name a . exists name b . not (a = b) and overlap(a, b)";
+  EXPECT_TRUE(Ask(Fig1cInstance(), some_overlap));
+  EXPECT_FALSE(Ask(DisjointPairInstance(), some_overlap));
+  // "All pairs of distinct regions overlap".
+  const char* all_overlap =
+      "forall name a . forall name b . (not (a = b)) implies overlap(a, b)";
+  EXPECT_TRUE(Ask(Fig1aInstance(), all_overlap));
+  EXPECT_FALSE(Ask(NestedInstance(), all_overlap));
+}
+
+TEST(QueryTest, PathQueryBetweenDisjointRegions) {
+  // A disc region connecting A and B exists (through the exterior or any
+  // face chain).
+  SpatialInstance instance = DisjointPairInstance();
+  EXPECT_TRUE(
+      Ask(instance, "exists region r . connect(r, A) and connect(r, B)"));
+}
+
+TEST(QueryTest, QuantifiedRegionsAreDiscs) {
+  // In the nested instance, the face between A's boundary and B's boundary
+  // is an annulus: no *single* quantified region equals it, but its
+  // completion union B's disc is a disc. Sanity: there is a region
+  // containing B and contained in A.
+  const char* query =
+      "exists region r . subset(B, r) and subset(r, A) and not equal(r, B)";
+  EXPECT_TRUE(Ask(NestedInstance(), query));
+  // But no region is inside A, disjoint from B, and surrounds B — such a
+  // value would be the annulus, which is not a disc. We approximate this
+  // check: every region inside A avoiding B's closure must also avoid
+  // "surrounding": here any disc inside A disjoint from closure(B) simply
+  // does not exist because the only available face is the annulus.
+  const char* annulus_query =
+      "exists region r . subset(r, A) and disjoint(r, B)";
+  EXPECT_FALSE(Ask(NestedInstance(), annulus_query));
+}
+
+TEST(QueryTest, TrueFalseLiterals) {
+  EXPECT_TRUE(Ask(Fig1cInstance(), "true"));
+  EXPECT_FALSE(Ask(Fig1cInstance(), "false"));
+  EXPECT_TRUE(Ask(Fig1cInstance(), "false implies false"));
+  EXPECT_TRUE(Ask(Fig1cInstance(), "connect(A, B) iff connect(B, A)"));
+}
+
+TEST(QueryTest, UnknownRegionNameFails) {
+  Result<QueryEngine> engine = QueryEngine::Build(Fig1cInstance());
+  ASSERT_TRUE(engine.ok());
+  Result<bool> result = engine->Evaluate("connect(A, Z)");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryTest, BudgetExhaustion) {
+  Result<QueryEngine> engine = QueryEngine::Build(Fig1aInstance());
+  ASSERT_TRUE(engine.ok());
+  EvalOptions options;
+  options.max_region_candidates = 2;
+  // A forall over regions cannot finish with a 2-candidate budget (and
+  // cannot short-circuit since the body holds for all discs).
+  Result<bool> result = engine->Evaluate(
+      "forall region r . connect(r, r)", options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueryTest, ExistsShortCircuitsUnderTinyBudget) {
+  Result<QueryEngine> engine = QueryEngine::Build(Fig1aInstance());
+  ASSERT_TRUE(engine.ok());
+  EvalOptions options;
+  options.max_region_candidates = 3;
+  // The very first candidate (a single face) already satisfies the body.
+  Result<bool> result =
+      engine->Evaluate("exists region r . connect(r, r)", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(*result);
+}
+
+TEST(QueryTest, ConnectIsReflexiveAndSymmetricOnValues) {
+  for (const char* query :
+       {"connect(A, A)", "connect(A, B) iff connect(B, A)",
+        "subset(A, A)", "equal(A, A)"}) {
+    EXPECT_TRUE(Ask(Fig1cInstance(), query)) << query;
+  }
+}
+
+TEST(QueryTest, DiscValueChecker) {
+  // Direct checks of the quantifier range on the nested instance: faces
+  // are [B-inner disc, annulus(A minus B), exterior] in some order.
+  Result<QueryEngine> engine = QueryEngine::Build(NestedInstance());
+  ASSERT_TRUE(engine.ok());
+  const auto& faces = engine->complex().faces();
+  ASSERT_EQ(faces.size(), 3u);
+  int annulus = -1, inner = -1, outer = -1;
+  for (size_t f = 0; f < faces.size(); ++f) {
+    std::string label = LabelString(faces[f].label);
+    if (label == "o-") annulus = static_cast<int>(f);
+    if (label == "oo") inner = static_cast<int>(f);
+    if (label == "--") outer = static_cast<int>(f);
+  }
+  ASSERT_NE(annulus, -1);
+  std::vector<char> completed;
+  std::vector<char> pick(3, 0);
+  pick[annulus] = 1;
+  EXPECT_FALSE(engine->IsDiscValue(pick, &completed));  // Annulus: hole.
+  pick.assign(3, 0);
+  pick[inner] = 1;
+  EXPECT_TRUE(engine->IsDiscValue(pick, &completed));
+  pick.assign(3, 0);
+  pick[outer] = 1;
+  EXPECT_FALSE(engine->IsDiscValue(pick, &completed));  // Plane minus disc.
+  // Annulus + inner = open disc (B's closure absorbed).
+  pick.assign(3, 0);
+  pick[annulus] = 1;
+  pick[inner] = 1;
+  EXPECT_TRUE(engine->IsDiscValue(pick, &completed));
+  // Everything = the whole plane, a disc.
+  pick.assign(3, 1);
+  EXPECT_TRUE(engine->IsDiscValue(pick, &completed));
+  // Empty set is not a region.
+  pick.assign(3, 0);
+  EXPECT_FALSE(engine->IsDiscValue(pick, &completed));
+}
+
+}  // namespace
+}  // namespace topodb

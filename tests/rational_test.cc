@@ -1,0 +1,145 @@
+#include "src/base/rational.h"
+
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace topodb {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_TRUE(zero.is_integer());
+}
+
+TEST(RationalTest, ReducesToLowestTerms) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num().ToString(), "3");
+  EXPECT_EQ(r.den().ToString(), "2");
+  EXPECT_EQ(r.ToString(), "3/2");
+}
+
+TEST(RationalTest, DenominatorAlwaysPositive) {
+  Rational r(1, -2);
+  EXPECT_EQ(r.ToString(), "-1/2");
+  EXPECT_TRUE(r.den().is_positive());
+  Rational s(-3, -6);
+  EXPECT_EQ(s.ToString(), "1/2");
+}
+
+TEST(RationalTest, ZeroNormalizesDenominator) {
+  Rational r(0, 17);
+  EXPECT_EQ(r.den().ToString(), "1");
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2);
+  Rational third(1, 3);
+  EXPECT_EQ((half + third).ToString(), "5/6");
+  EXPECT_EQ((half - third).ToString(), "1/6");
+  EXPECT_EQ((half * third).ToString(), "1/6");
+  EXPECT_EQ((half / third).ToString(), "3/2");
+  EXPECT_EQ((-half).ToString(), "-1/2");
+}
+
+TEST(RationalTest, ComparisonCrossesDenominators) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 3), Rational(2));
+  EXPECT_LT(Rational(-5), Rational(1, 1000000));
+}
+
+TEST(RationalTest, ParseForms) {
+  Rational r;
+  ASSERT_TRUE(Rational::FromString("42", &r));
+  EXPECT_EQ(r, Rational(42));
+  ASSERT_TRUE(Rational::FromString("-7/14", &r));
+  EXPECT_EQ(r, Rational(-1, 2));
+  ASSERT_TRUE(Rational::FromString("1.25", &r));
+  EXPECT_EQ(r, Rational(5, 4));
+  ASSERT_TRUE(Rational::FromString("-0.5", &r));
+  EXPECT_EQ(r, Rational(-1, 2));
+  ASSERT_TRUE(Rational::FromString(".5", &r));
+  EXPECT_EQ(r, Rational(1, 2));
+}
+
+TEST(RationalTest, ParseRejectsGarbage) {
+  Rational r;
+  EXPECT_FALSE(Rational::FromString("", &r));
+  EXPECT_FALSE(Rational::FromString("1/0", &r));
+  EXPECT_FALSE(Rational::FromString("1/", &r));
+  EXPECT_FALSE(Rational::FromString("a/2", &r));
+  EXPECT_FALSE(Rational::FromString("1.", &r));
+  EXPECT_FALSE(Rational::FromString("1.2.3", &r));
+}
+
+TEST(RationalTest, MinMaxAbs) {
+  Rational a(-3, 2);
+  Rational b(1, 4);
+  EXPECT_EQ(Rational::Min(a, b), a);
+  EXPECT_EQ(Rational::Max(a, b), b);
+  EXPECT_EQ(a.Abs(), Rational(3, 2));
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).ToDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-1, 4).ToDouble(), -0.25);
+  EXPECT_NEAR(Rational(1, 3).ToDouble(), 1.0 / 3.0, 1e-15);
+}
+
+TEST(RationalTest, StreamOutput) {
+  std::ostringstream os;
+  os << Rational(22, 7);
+  EXPECT_EQ(os.str(), "22/7");
+}
+
+TEST(RationalTest, FieldAxiomsRandomized) {
+  std::mt19937_64 rng(101);
+  auto random_rational = [&rng]() {
+    int64_t num = static_cast<int64_t>(rng() % 2001) - 1000;
+    int64_t den = static_cast<int64_t>(rng() % 1000) + 1;
+    return Rational(num, den);
+  };
+  for (int iter = 0; iter < 300; ++iter) {
+    Rational a = random_rational();
+    Rational b = random_rational();
+    Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + (-a), Rational(0));
+    if (!a.is_zero()) {
+      EXPECT_EQ(a / a, Rational(1));
+      EXPECT_EQ((b / a) * a, b);
+    }
+  }
+}
+
+TEST(RationalTest, OrderingCompatibleWithArithmeticRandomized) {
+  std::mt19937_64 rng(555);
+  for (int iter = 0; iter < 300; ++iter) {
+    Rational a(static_cast<int64_t>(rng() % 2001) - 1000,
+               static_cast<int64_t>(rng() % 997) + 1);
+    Rational b(static_cast<int64_t>(rng() % 2001) - 1000,
+               static_cast<int64_t>(rng() % 997) + 1);
+    if (a < b) {
+      EXPECT_GT(b - a, Rational(0));
+      Rational mid = (a + b) / Rational(2);
+      EXPECT_LT(a, mid);
+      EXPECT_LT(mid, b);
+    }
+  }
+}
+
+TEST(RationalTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Rational(2, 4).Hash(), Rational(1, 2).Hash());
+}
+
+}  // namespace
+}  // namespace topodb

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "src/region/fixtures.h"
+#include "src/region/instance.h"
+#include "src/region/region.h"
+#include "src/region/transform.h"
+
+namespace topodb {
+namespace {
+
+TEST(RegionTest, MakeRectProducesRectClass) {
+  Result<Region> r = Region::MakeRect(Point(0, 0), Point(4, 2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->declared_class(), RegionClass::kRect);
+  EXPECT_EQ(r->boundary().size(), 4u);
+  EXPECT_TRUE(r->boundary().IsCounterClockwise());
+}
+
+TEST(RegionTest, MakeRectRejectsEmpty) {
+  EXPECT_FALSE(Region::MakeRect(Point(4, 0), Point(0, 2)).ok());
+  EXPECT_FALSE(Region::MakeRect(Point(0, 0), Point(0, 2)).ok());
+}
+
+TEST(RegionTest, MakeRejectsClassMismatch) {
+  Polygon tri({Point(0, 0), Point(4, 0), Point(2, 3)});
+  EXPECT_FALSE(Region::Make(tri, RegionClass::kRect).ok());
+  EXPECT_FALSE(Region::Make(tri, RegionClass::kRectStar).ok());
+  EXPECT_TRUE(Region::Make(tri, RegionClass::kPoly).ok());
+}
+
+TEST(RegionTest, MakeRejectsNonSimple) {
+  Polygon bowtie({Point(0, 0), Point(2, 2), Point(2, 0), Point(0, 2)});
+  EXPECT_FALSE(Region::Make(bowtie, RegionClass::kPoly).ok());
+}
+
+TEST(RegionTest, ClassifyHierarchy) {
+  Polygon rect({Point(0, 0), Point(4, 0), Point(4, 2), Point(0, 2)});
+  EXPECT_EQ(Region::Classify(rect), RegionClass::kRect);
+  Polygon ell({Point(0, 0), Point(4, 0), Point(4, 2), Point(2, 2),
+               Point(2, 4), Point(0, 4)});
+  EXPECT_EQ(Region::Classify(ell), RegionClass::kRectStar);
+  Polygon tri({Point(0, 0), Point(4, 0), Point(2, 3)});
+  EXPECT_EQ(Region::Classify(tri), RegionClass::kPoly);
+}
+
+TEST(RegionTest, LocateOpenRegionSemantics) {
+  Region r = *Region::MakeRect(Point(0, 0), Point(4, 4));
+  EXPECT_EQ(r.Locate(Point(2, 2)), PointLocation::kInterior);
+  EXPECT_EQ(r.Locate(Point(0, 2)), PointLocation::kBoundary);
+  EXPECT_EQ(r.Locate(Point(-1, 2)), PointLocation::kExterior);
+}
+
+TEST(RegionClassNameTest, AllNames) {
+  EXPECT_STREQ(RegionClassName(RegionClass::kRect), "Rect");
+  EXPECT_STREQ(RegionClassName(RegionClass::kRectStar), "Rect*");
+  EXPECT_STREQ(RegionClassName(RegionClass::kPoly), "Poly");
+  EXPECT_STREQ(RegionClassName(RegionClass::kAlg), "Alg");
+  EXPECT_STREQ(RegionClassName(RegionClass::kDisc), "Disc");
+}
+
+TEST(InstanceTest, AddLookupRemove) {
+  SpatialInstance instance;
+  EXPECT_TRUE(
+      instance.AddRegion("A", *Region::MakeRect(Point(0, 0), Point(1, 1)))
+          .ok());
+  EXPECT_FALSE(
+      instance.AddRegion("A", *Region::MakeRect(Point(0, 0), Point(1, 1)))
+          .ok());
+  EXPECT_TRUE(instance.HasRegion("A"));
+  EXPECT_TRUE(instance.ext("A").ok());
+  EXPECT_FALSE(instance.ext("Z").ok());
+  EXPECT_EQ(instance.names(), std::vector<std::string>{"A"});
+  EXPECT_TRUE(instance.RemoveRegion("A").ok());
+  EXPECT_FALSE(instance.RemoveRegion("A").ok());
+  EXPECT_TRUE(instance.empty());
+}
+
+TEST(InstanceTest, NamesSorted) {
+  SpatialInstance instance = Fig1aInstance();
+  std::vector<std::string> expected = {"A", "B", "C"};
+  EXPECT_EQ(instance.names(), expected);
+}
+
+TEST(InstanceTest, BoundingBox) {
+  SpatialInstance instance = Fig1cInstance();
+  Result<Box> box = instance.BoundingBox();
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box->min, Point(0, -2));
+  EXPECT_EQ(box->max, Point(12, 8));
+  EXPECT_FALSE(SpatialInstance().BoundingBox().ok());
+}
+
+// --- Fixture sanity: the set-level facts the paper states about Fig 1. ---
+
+PointLocation LocateIn(const SpatialInstance& inst, const std::string& name,
+                       const Point& p) {
+  return (*inst.ext(name))->Locate(p);
+}
+
+bool InteriorAll(const SpatialInstance& inst, const Point& p) {
+  for (const auto& name : inst.names()) {
+    if (LocateIn(inst, name, p) != PointLocation::kInterior) return false;
+  }
+  return true;
+}
+
+TEST(FixtureTest, Fig1aHasTripleIntersection) {
+  SpatialInstance inst = Fig1aInstance();
+  EXPECT_TRUE(InteriorAll(inst, Point(7, 5)));
+}
+
+TEST(FixtureTest, Fig1bPairwiseOverlapNoTriple) {
+  SpatialInstance inst = Fig1bInstance();
+  // Pairwise overlap witnesses.
+  EXPECT_EQ(LocateIn(inst, "A", Point(10, 1)), PointLocation::kInterior);
+  EXPECT_EQ(LocateIn(inst, "B", Point(10, 1)), PointLocation::kInterior);
+  EXPECT_EQ(LocateIn(inst, "A", Point(2, 1)), PointLocation::kInterior);
+  EXPECT_EQ(LocateIn(inst, "C", Point(2, 1)), PointLocation::kInterior);
+  Point bc(Rational(13, 2), Rational(10));  // In the B/C crossing lens.
+  EXPECT_EQ(LocateIn(inst, "B", bc), PointLocation::kInterior);
+  EXPECT_EQ(LocateIn(inst, "C", bc), PointLocation::kInterior);
+  // No triple point on a probe grid.
+  for (int x = -2; x <= 14; ++x) {
+    for (int y = -2; y <= 14; ++y) {
+      EXPECT_FALSE(InteriorAll(inst, Point(x, y)))
+          << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(FixtureTest, Fig1cOverlap) {
+  SpatialInstance inst = Fig1cInstance();
+  EXPECT_EQ(LocateIn(inst, "A", Point(6, 3)), PointLocation::kInterior);
+  EXPECT_EQ(LocateIn(inst, "B", Point(6, 3)), PointLocation::kInterior);
+  EXPECT_EQ(LocateIn(inst, "A", Point(2, 7)), PointLocation::kInterior);
+  EXPECT_EQ(LocateIn(inst, "B", Point(2, 7)), PointLocation::kExterior);
+}
+
+TEST(FixtureTest, Fig1dTwoLensesAndPocket) {
+  SpatialInstance inst = Fig1dInstance();
+  // Lens witnesses.
+  EXPECT_TRUE(InteriorAll(inst, Point(3, 4)));
+  EXPECT_TRUE(InteriorAll(inst, Point(11, 4)));
+  // Between the lenses: inside A only.
+  EXPECT_EQ(LocateIn(inst, "A", Point(7, 4)), PointLocation::kInterior);
+  EXPECT_EQ(LocateIn(inst, "B", Point(7, 4)), PointLocation::kExterior);
+  // The pocket: outside both, yet bounded.
+  EXPECT_EQ(LocateIn(inst, "A", Point(7, 7)), PointLocation::kExterior);
+  EXPECT_EQ(LocateIn(inst, "B", Point(7, 7)), PointLocation::kExterior);
+}
+
+TEST(FixtureTest, Fig7bDiamondsMeetOnlyAtOrigin) {
+  SpatialInstance inst = Fig7bInstance();
+  for (const auto& name : inst.names()) {
+    EXPECT_EQ(LocateIn(inst, name, Point(0, 0)), PointLocation::kBoundary)
+        << name;
+  }
+  // Interiors are pairwise disjoint: probe a few points.
+  for (int x = -4; x <= 4; ++x) {
+    for (int y = -4; y <= 4; ++y) {
+      int count = 0;
+      for (const auto& name : inst.names()) {
+        if (LocateIn(inst, name, Point(x, y)) == PointLocation::kInterior) {
+          ++count;
+        }
+      }
+      EXPECT_LE(count, 1);
+    }
+  }
+}
+
+// --- Transforms ---
+
+TEST(TransformTest, AffineBasics) {
+  AffineTransform t = AffineTransform::Translation(Rational(2), Rational(3));
+  EXPECT_EQ(t.Apply(Point(1, 1)), Point(3, 4));
+  AffineTransform s = AffineTransform::Scale(Rational(2), Rational(1));
+  EXPECT_EQ(s.Apply(Point(3, 5)), Point(6, 5));
+  AffineTransform c = t.Compose(s);  // translate after scale
+  EXPECT_EQ(c.Apply(Point(3, 5)), Point(8, 8));
+  EXPECT_FALSE(AffineTransform::Make(1, 2, 0, 2, 4, 0).ok());  // Singular.
+}
+
+TEST(TransformTest, AffineMapsRectToParallelogram) {
+  Region rect = *Region::MakeRect(Point(0, 0), Point(2, 2));
+  AffineTransform shear = *AffineTransform::Make(1, 1, 0, 0, 1, 0);
+  Result<Region> image = shear.ApplyToRegion(rect);
+  ASSERT_TRUE(image.ok());
+  // A sheared rectangle is no longer Rect (Fig 4: Rect not L-invariant).
+  EXPECT_EQ(image->declared_class(), RegionClass::kPoly);
+}
+
+TEST(TransformTest, MonotonePl1D) {
+  MonotonePl1D id;
+  EXPECT_EQ(id.Apply(Rational(7, 3)), Rational(7, 3));
+  // Increasing map with a slope change at x=0: x for x<=0, 2x for x>0.
+  MonotonePl1D kink = *MonotonePl1D::Make(
+      {Rational(-1), Rational(0), Rational(1)},
+      {Rational(-1), Rational(0), Rational(2)});
+  EXPECT_EQ(kink.Apply(Rational(-5)), Rational(-5));
+  EXPECT_EQ(kink.Apply(Rational(1, 2)), Rational(1));
+  EXPECT_EQ(kink.Apply(Rational(3)), Rational(6));
+  // Decreasing map.
+  MonotonePl1D dec = *MonotonePl1D::Make({Rational(0), Rational(1)},
+                                         {Rational(10), Rational(8)});
+  EXPECT_EQ(dec.Apply(Rational(2)), Rational(6));
+  EXPECT_FALSE(dec.increasing());
+  // Invalid: not strictly monotone.
+  EXPECT_FALSE(
+      MonotonePl1D::Make({Rational(0), Rational(1)}, {Rational(0), Rational(0)})
+          .ok());
+  EXPECT_FALSE(
+      MonotonePl1D::Make({Rational(1), Rational(0)}, {Rational(0), Rational(1)})
+          .ok());
+}
+
+TEST(TransformTest, SymmetryKeepsRectClass) {
+  // Fig 4: Rect is S-invariant. A kinked monotone map on x keeps axis
+  // alignment, so rectangles stay rectangles.
+  MonotonePl1D kink = *MonotonePl1D::Make(
+      {Rational(0), Rational(1), Rational(2)},
+      {Rational(0), Rational(3), Rational(4)});
+  SymmetryTransform sym(kink, MonotonePl1D(), /*swap_axes=*/false);
+  Region rect = *Region::MakeRect(Point(0, 0), Point(2, 2));
+  Result<Region> image = sym.ApplyToRegion(rect);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->declared_class(), RegionClass::kRect);
+  // And the extent is what the map says: [0,2]x[0,2] -> [0,4]x[0,2].
+  EXPECT_EQ(image->BoundingBox().max, Point(4, 2));
+}
+
+TEST(TransformTest, SymmetryWithSwapKeepsRectilinear) {
+  MonotonePl1D id;
+  SymmetryTransform swap(id, id, /*swap_axes=*/true);
+  Polygon ell({Point(0, 0), Point(4, 0), Point(4, 2), Point(2, 2),
+               Point(2, 4), Point(0, 4)});
+  Region region = *Region::Make(ell, RegionClass::kRectStar);
+  Result<Region> image = swap.ApplyToRegion(region);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->declared_class(), RegionClass::kRectStar);
+}
+
+TEST(TransformTest, SymmetryBendsNonAxisEdges) {
+  // Fig 4: Poly is NOT S-invariant as a straight-line class, but our
+  // piecewise-linear symmetry elements keep images polygonal by
+  // subdividing at breakpoints. A diagonal edge crossing a kink becomes
+  // two edges.
+  MonotonePl1D kink = *MonotonePl1D::Make(
+      {Rational(0), Rational(1), Rational(2)},
+      {Rational(0), Rational(3), Rational(4)});
+  SymmetryTransform sym(kink, MonotonePl1D(), /*swap_axes=*/false);
+  Polygon tri({Point(0, 0), Point(2, 0), Point(2, 2)});
+  Polygon image = sym.ApplyToPolygon(tri);
+  // Hypotenuse from (2,2) to (0,0) crosses x==1: one extra vertex.
+  EXPECT_EQ(image.size(), 4u);
+  EXPECT_TRUE(image.Validate().ok());
+}
+
+TEST(TransformTest, TwoPieceLinearContinuityEnforced) {
+  AffineTransform left = AffineTransform::Identity();
+  // Right piece: x -> 2x - 1 matches identity at x == 1.
+  AffineTransform right = *AffineTransform::Make(2, 0, -1, 0, 1, 0);
+  Result<TwoPieceLinearTransform> good =
+      TwoPieceLinearTransform::Make(Rational(1), left, right);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->Apply(Point(Rational(1, 2), Rational(0))),
+            Point(Rational(1, 2), Rational(0)));
+  EXPECT_EQ(good->Apply(Point(3, 5)), Point(5, 5));
+  // Discontinuous pieces rejected.
+  AffineTransform bad_right = *AffineTransform::Make(2, 0, 0, 0, 1, 0);
+  EXPECT_FALSE(
+      TwoPieceLinearTransform::Make(Rational(1), left, bad_right).ok());
+  // Orientation-flipping pieces rejected.
+  AffineTransform mirror = *AffineTransform::Make(-1, 0, 2, 0, 1, 0);
+  EXPECT_FALSE(TwoPieceLinearTransform::Make(Rational(1), left, mirror).ok());
+}
+
+TEST(TransformTest, TwoPieceKeepsPolygonSimple) {
+  AffineTransform left = AffineTransform::Identity();
+  AffineTransform right = *AffineTransform::Make(3, 0, -2, 0, 1, 0);
+  TwoPieceLinearTransform t =
+      *TwoPieceLinearTransform::Make(Rational(1), left, right);
+  Polygon tri({Point(0, 0), Point(4, 0), Point(4, 4)});
+  Polygon image = t.ApplyToPolygon(tri);
+  EXPECT_TRUE(image.Validate().ok());
+  // Vertices beyond the seam get stretched: (4,0) -> (10,0).
+  Box box = image.BoundingBox();
+  EXPECT_EQ(box.max.x, Rational(10));
+}
+
+TEST(TransformTest, InstanceMappingPreservesNames) {
+  SpatialInstance inst = Fig1aInstance();
+  AffineTransform t = AffineTransform::Translation(Rational(100), Rational(0));
+  Result<SpatialInstance> image = t.ApplyToInstance(inst);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->names(), inst.names());
+  EXPECT_EQ((*image->ext("A"))->BoundingBox().min, Point(100, 0));
+}
+
+}  // namespace
+}  // namespace topodb

@@ -1,0 +1,132 @@
+#include "src/thematic/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace topodb {
+namespace {
+
+Table People() {
+  Table t = *Table::Make({"name", "city"});
+  EXPECT_TRUE(t.Insert({"ann", "paris"}).ok());
+  EXPECT_TRUE(t.Insert({"bob", "tokyo"}).ok());
+  EXPECT_TRUE(t.Insert({"cyd", "paris"}).ok());
+  return t;
+}
+
+TEST(TableTest, MakeRejectsBadSchemas) {
+  EXPECT_FALSE(Table::Make({"a", "a"}).ok());
+  EXPECT_FALSE(Table::Make({"a", ""}).ok());
+  EXPECT_TRUE(Table::Make({}).ok());  // Nullary relations are fine.
+}
+
+TEST(TableTest, InsertSetSemantics) {
+  Table t = People();
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.Insert({"ann", "paris"}).ok());
+  EXPECT_EQ(t.size(), 3u);  // Duplicate ignored.
+  EXPECT_FALSE(t.Insert({"only-one-column"}).ok());
+  EXPECT_TRUE(t.Contains({"bob", "tokyo"}));
+  EXPECT_FALSE(t.Contains({"bob", "paris"}));
+}
+
+TEST(TableTest, SelectEquals) {
+  Result<Table> parisians = People().SelectEquals("city", "paris");
+  ASSERT_TRUE(parisians.ok());
+  EXPECT_EQ(parisians->size(), 2u);
+  EXPECT_FALSE(People().SelectEquals("nope", "x").ok());
+}
+
+TEST(TableTest, SelectAttrEquals) {
+  Table t = *Table::Make({"a", "b"});
+  ASSERT_TRUE(t.Insert({"1", "1"}).ok());
+  ASSERT_TRUE(t.Insert({"1", "2"}).ok());
+  Result<Table> diag = t.SelectAttrEquals("a", "b");
+  ASSERT_TRUE(diag.ok());
+  EXPECT_EQ(diag->size(), 1u);
+}
+
+TEST(TableTest, SelectWhere) {
+  Table longer = People().SelectWhere(
+      [](const std::vector<std::string>& row) { return row[0] < "c"; });
+  EXPECT_EQ(longer.size(), 2u);
+}
+
+TEST(TableTest, ProjectDeduplicates) {
+  Result<Table> cities = People().Project({"city"});
+  ASSERT_TRUE(cities.ok());
+  EXPECT_EQ(cities->size(), 2u);
+  EXPECT_TRUE(cities->Contains({"paris"}));
+  // Reordering columns.
+  Result<Table> swapped = People().Project({"city", "name"});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_TRUE(swapped->Contains({"tokyo", "bob"}));
+}
+
+TEST(TableTest, Rename) {
+  Result<Table> renamed = People().Rename("city", "location");
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(renamed->AttributeIndex("location").ok());
+  EXPECT_FALSE(renamed->AttributeIndex("city").ok());
+  EXPECT_FALSE(People().Rename("nope", "x").ok());
+}
+
+TEST(TableTest, NaturalJoin) {
+  Table capitals = *Table::Make({"city", "country"});
+  ASSERT_TRUE(capitals.Insert({"paris", "france"}).ok());
+  ASSERT_TRUE(capitals.Insert({"tokyo", "japan"}).ok());
+  Result<Table> joined = People().Join(capitals);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 3u);
+  EXPECT_TRUE(joined->Contains({"ann", "paris", "france"}));
+  EXPECT_TRUE(joined->Contains({"bob", "tokyo", "japan"}));
+}
+
+TEST(TableTest, JoinWithoutSharedAttributesIsProduct) {
+  Table flags = *Table::Make({"flag"});
+  ASSERT_TRUE(flags.Insert({"x"}).ok());
+  ASSERT_TRUE(flags.Insert({"y"}).ok());
+  Result<Table> product = People().Join(flags);
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product->size(), 6u);
+}
+
+TEST(TableTest, UnionAndDifference) {
+  Table a = *Table::Make({"x"});
+  ASSERT_TRUE(a.Insert({"1"}).ok());
+  ASSERT_TRUE(a.Insert({"2"}).ok());
+  Table b = *Table::Make({"x"});
+  ASSERT_TRUE(b.Insert({"2"}).ok());
+  ASSERT_TRUE(b.Insert({"3"}).ok());
+  Result<Table> u = a.Union(b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 3u);
+  Result<Table> d = a.Difference(b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 1u);
+  EXPECT_TRUE(d->Contains({"1"}));
+  Table mismatched = *Table::Make({"y"});
+  EXPECT_FALSE(a.Union(mismatched).ok());
+  EXPECT_FALSE(a.Difference(mismatched).ok());
+}
+
+TEST(TableTest, ComposedQuery) {
+  // "Countries with a person": project(join(People, Capitals), country).
+  Table capitals = *Table::Make({"city", "country"});
+  ASSERT_TRUE(capitals.Insert({"paris", "france"}).ok());
+  ASSERT_TRUE(capitals.Insert({"rome", "italy"}).ok());
+  Result<Table> joined = People().Join(capitals);
+  ASSERT_TRUE(joined.ok());
+  Result<Table> countries = joined->Project({"country"});
+  ASSERT_TRUE(countries.ok());
+  EXPECT_EQ(countries->size(), 1u);
+  EXPECT_TRUE(countries->Contains({"france"}));
+}
+
+TEST(TableTest, DebugStringContainsHeaderAndRows) {
+  std::string dump = People().DebugString();
+  EXPECT_NE(dump.find("name | city"), std::string::npos);
+  EXPECT_NE(dump.find("ann | paris"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topodb

@@ -1,0 +1,115 @@
+#include "src/invariant/s_invariant.h"
+
+#include <gtest/gtest.h>
+
+#include "src/invariant/canonical.h"
+#include "src/region/fixtures.h"
+#include "src/region/transform.h"
+
+namespace topodb {
+namespace {
+
+SpatialInstance TwoRects(const Point& b_lo, const Point& b_hi) {
+  SpatialInstance instance;
+  EXPECT_TRUE(instance
+                  .AddRegion("A", *Region::MakeRect(Point(0, 0), Point(1, 1)))
+                  .ok());
+  EXPECT_TRUE(instance.AddRegion("B", *Region::MakeRect(b_lo, b_hi)).ok());
+  return instance;
+}
+
+TEST(SInvariantTest, RejectsNonRectilinear) {
+  SpatialInstance instance;
+  ASSERT_TRUE(instance
+                  .AddRegion("A", *Region::MakePoly({Point(0, 0), Point(4, 0),
+                                                     Point(2, 3)}))
+                  .ok());
+  EXPECT_FALSE(SInvariant::Compute(instance).ok());
+}
+
+TEST(SInvariantTest, SelfEquivalent) {
+  SpatialInstance instance = TwoRects(Point(2, 0), Point(3, 1));
+  Result<SInvariant> a = SInvariant::Compute(instance);
+  Result<SInvariant> b = SInvariant::Compute(instance);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->EquivalentTo(*b));
+}
+
+TEST(SInvariantTest, InvariantUnderSymmetryTransforms) {
+  SpatialInstance base = TwoRects(Point(2, 0), Point(3, 1));
+  Result<SInvariant> original = SInvariant::Compute(base);
+  ASSERT_TRUE(original.ok());
+  // Monotone kinked map on x, identity on y.
+  MonotonePl1D kink = *MonotonePl1D::Make(
+      {Rational(0), Rational(1), Rational(2), Rational(3)},
+      {Rational(0), Rational(5), Rational(6), Rational(10)});
+  SymmetryTransform stretch(kink, MonotonePl1D(), /*swap_axes=*/false);
+  Result<SpatialInstance> stretched = stretch.ApplyToInstance(base);
+  ASSERT_TRUE(stretched.ok());
+  EXPECT_TRUE(original->EquivalentTo(*SInvariant::Compute(*stretched)));
+  // Axis swap.
+  SymmetryTransform swap(MonotonePl1D(), MonotonePl1D(), /*swap_axes=*/true);
+  Result<SpatialInstance> swapped = swap.ApplyToInstance(base);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_TRUE(original->EquivalentTo(*SInvariant::Compute(*swapped)));
+  // Decreasing map on x (reflection-like).
+  MonotonePl1D dec = *MonotonePl1D::Make({Rational(0), Rational(1)},
+                                         {Rational(10), Rational(9)});
+  SymmetryTransform reflect(dec, MonotonePl1D(), /*swap_axes=*/false);
+  Result<SpatialInstance> reflected = reflect.ApplyToInstance(base);
+  ASSERT_TRUE(reflected.ok());
+  EXPECT_TRUE(original->EquivalentTo(*SInvariant::Compute(*reflected)));
+}
+
+TEST(SInvariantTest, Fig14AlignedVsDiagonalPair) {
+  // The Fig 14 phenomenon: two H-equivalent instances (two disjoint
+  // squares) that are not S-equivalent — in one the squares share their
+  // y-span; in the other they are diagonal to each other.
+  SpatialInstance aligned = TwoRects(Point(2, 0), Point(3, 1));
+  SpatialInstance diagonal = TwoRects(Point(2, 2), Point(3, 3));
+  // Topologically equivalent...
+  Result<InvariantData> ta = ComputeInvariant(aligned);
+  Result<InvariantData> td = ComputeInvariant(diagonal);
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(td.ok());
+  EXPECT_TRUE(Isomorphic(*ta, *td));
+  // ...but not S-equivalent.
+  Result<SInvariant> sa = SInvariant::Compute(aligned);
+  Result<SInvariant> sd = SInvariant::Compute(diagonal);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sd.ok());
+  EXPECT_FALSE(sa->EquivalentTo(*sd));
+}
+
+TEST(SInvariantTest, OverlapAmountIrrelevant) {
+  // Overlapping pairs with different overlap amounts are S-equivalent: the
+  // grid structure is the same.
+  SpatialInstance small = TwoRects(Point(Rational(1, 2), 0),
+                                   Point(Rational(3, 2), 1));
+  SpatialInstance large = TwoRects(Point(Rational(1, 10), 0),
+                                   Point(Rational(11, 10), 1));
+  Result<SInvariant> ss = SInvariant::Compute(small);
+  Result<SInvariant> sl = SInvariant::Compute(large);
+  ASSERT_TRUE(ss.ok());
+  ASSERT_TRUE(sl.ok());
+  EXPECT_TRUE(ss->EquivalentTo(*sl));
+}
+
+TEST(SInvariantTest, GridDimensions) {
+  SpatialInstance instance = TwoRects(Point(2, 0), Point(3, 1));
+  Result<SInvariant> s = SInvariant::Compute(instance);
+  ASSERT_TRUE(s.ok());
+  // xs: 0,1,2,3 -> 3 columns; ys: 0,1 -> 1 row.
+  EXPECT_EQ(s->grid_columns(), 3u);
+  EXPECT_EQ(s->grid_rows(), 1u);
+}
+
+TEST(SInvariantTest, EmptyInstance) {
+  Result<SInvariant> a = SInvariant::Compute(SpatialInstance());
+  Result<SInvariant> b = SInvariant::Compute(SpatialInstance());
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->EquivalentTo(*b));
+}
+
+}  // namespace
+}  // namespace topodb

@@ -1,0 +1,170 @@
+#include "src/thematic/thematic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/invariant/canonical.h"
+#include "src/region/fixtures.h"
+
+namespace topodb {
+namespace {
+
+InvariantData Inv(const SpatialInstance& instance) {
+  Result<InvariantData> data = ComputeInvariant(instance);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return std::move(data).value();
+}
+
+TEST(ThematicTest, Fig9TableShapes) {
+  // The paper's Fig 9: thematic instance of Fig 1c.
+  ThematicInstance theme = ToThematic(Inv(Fig1cInstance()));
+  EXPECT_EQ(theme.regions.size(), 2u);
+  EXPECT_EQ(theme.vertices.size(), 2u);
+  EXPECT_EQ(theme.edges.size(), 4u);
+  EXPECT_EQ(theme.faces.size(), 4u);
+  EXPECT_EQ(theme.exterior_face.size(), 1u);
+  EXPECT_EQ(theme.endpoints.size(), 4u);
+  // Each face has two boundary edges: 8 Face-Edges rows.
+  EXPECT_EQ(theme.face_edges.size(), 8u);
+  // A has two faces (its own part and the lens), likewise B.
+  EXPECT_EQ(theme.region_faces.size(), 4u);
+  // 8 darts, ccw + cw rows each.
+  EXPECT_EQ(theme.orientation.size(), 16u);
+}
+
+TEST(ThematicTest, RoundTripPreservesInvariant) {
+  for (const SpatialInstance& instance :
+       {Fig1aInstance(), Fig1bInstance(), Fig1cInstance(), Fig1dInstance(),
+        Fig6Instance(), Fig7aInstance(), Fig7bInstance(),
+        SingleRegionInstance(), NestedInstance(), DisjointPairInstance()}) {
+    InvariantData data = Inv(instance);
+    ThematicInstance theme = ToThematic(data);
+    Result<InvariantData> back = FromThematic(theme);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(Isomorphic(data, *back)) << data.DebugString();
+    // Labels are re-derived exactly; cells may be renumbered (ids sort as
+    // strings), so compare label multisets.
+    auto label_multiset = [](const auto& cells) {
+      std::multiset<std::string> out;
+      for (const auto& cell : cells) out.insert(LabelString(cell.label));
+      return out;
+    };
+    EXPECT_EQ(label_multiset(back->vertices), label_multiset(data.vertices));
+    EXPECT_EQ(label_multiset(back->edges), label_multiset(data.edges));
+    EXPECT_EQ(label_multiset(back->faces), label_multiset(data.faces));
+  }
+}
+
+TEST(ThematicTest, ValidatesFixtures) {
+  for (const SpatialInstance& instance :
+       {Fig1cInstance(), Fig1dInstance(), NestedInstance()}) {
+    ThematicInstance theme = ToThematic(Inv(instance));
+    EXPECT_TRUE(ValidateThematic(theme).ok());
+  }
+}
+
+TEST(ThematicTest, RejectsDanglingEdgeEndpoint) {
+  ThematicInstance theme = ToThematic(Inv(Fig1cInstance()));
+  ASSERT_TRUE(theme.endpoints.Insert({"e9", "v0", "v1"}).ok());
+  EXPECT_FALSE(ValidateThematic(theme).ok());
+}
+
+TEST(ThematicTest, RejectsMissingEndpoints) {
+  InvariantData data = Inv(Fig1cInstance());
+  ThematicInstance theme = ToThematic(data);
+  // Rebuild endpoints without one row.
+  Table pruned = *Table::Make({"edge", "vertex1", "vertex2"});
+  bool skipped = false;
+  for (const auto& row : theme.endpoints.rows()) {
+    if (!skipped) {
+      skipped = true;
+      continue;
+    }
+    ASSERT_TRUE(pruned.Insert(row).ok());
+  }
+  theme.endpoints = pruned;
+  EXPECT_FALSE(FromThematic(theme).ok());
+}
+
+TEST(ThematicTest, RejectsNonFunctionalOrientation) {
+  ThematicInstance theme = ToThematic(Inv(Fig1cInstance()));
+  // A second ccw successor for e0+.
+  ASSERT_TRUE(theme.orientation.Insert({"ccw", "v0", "e0+", "e0-"}).ok());
+  Result<InvariantData> back = FromThematic(theme);
+  // Either the duplicate makes the relation non-functional or it targets a
+  // different vertex; both are rejected.
+  EXPECT_FALSE(back.ok());
+}
+
+TEST(ThematicTest, RejectsTwoExteriorFaces) {
+  ThematicInstance theme = ToThematic(Inv(Fig1cInstance()));
+  ASSERT_TRUE(theme.exterior_face.Insert({"f0"}).ok());
+  ASSERT_TRUE(theme.exterior_face.Insert({"f1"}).ok());
+  EXPECT_FALSE(FromThematic(theme).ok());
+}
+
+TEST(ThematicTest, RejectsRegionOnUnknownFace) {
+  ThematicInstance theme = ToThematic(Inv(Fig1cInstance()));
+  ASSERT_TRUE(theme.region_faces.Insert({"A", "f99"}).ok());
+  EXPECT_FALSE(ValidateThematic(theme).ok());
+}
+
+TEST(ThematicTest, RejectsRegionWithDisconnectedFaces) {
+  // Claim the exterior face for region A: reconstruction succeeds but the
+  // labeled-planar-graph validation rejects it (region covers f0).
+  InvariantData data = Inv(Fig1cInstance());
+  ThematicInstance theme = ToThematic(data);
+  ASSERT_TRUE(
+      theme.region_faces.Insert({"A", FaceId(data.exterior_face)}).ok());
+  EXPECT_FALSE(ValidateThematic(theme).ok());
+}
+
+TEST(ThematicTest, RejectsInconsistentFaceEdges) {
+  ThematicInstance theme = ToThematic(Inv(Fig1cInstance()));
+  // Find a face-edge pair that is absent and insert it.
+  for (int f = 0; f < 4; ++f) {
+    for (int e = 0; e < 4; ++e) {
+      std::vector<std::string> row = {FaceId(f), EdgeId(e)};
+      if (!theme.face_edges.Contains(row)) {
+        ASSERT_TRUE(theme.face_edges.Insert(row).ok());
+        EXPECT_FALSE(FromThematic(theme).ok());
+        return;
+      }
+    }
+  }
+  FAIL() << "face_edges was already complete?";
+}
+
+TEST(ThematicTest, RelationalQueriesOnTheme) {
+  // Cor 3.7 flavor: classical queries against thematic(I). "Faces of
+  // region A" and "edges on the boundary of those faces".
+  ThematicInstance theme = ToThematic(Inv(Fig1cInstance()));
+  Result<Table> a_faces = theme.region_faces.SelectEquals("region", "A");
+  ASSERT_TRUE(a_faces.ok());
+  EXPECT_EQ(a_faces->size(), 2u);
+  Result<Table> a_face_edges = a_faces->Join(theme.face_edges);
+  ASSERT_TRUE(a_face_edges.ok());
+  Result<Table> edges = a_face_edges->Project({"edge"});
+  ASSERT_TRUE(edges.ok());
+  // The lens face and the A-only face share B's inner arc, so their union
+  // has 3 distinct boundary edges.
+  EXPECT_EQ(edges->size(), 3u);
+}
+
+TEST(ThematicTest, IdHelpers) {
+  EXPECT_EQ(VertexId(3), "v3");
+  EXPECT_EQ(EdgeId(0), "e0");
+  EXPECT_EQ(EndId(0), "e0+");
+  EXPECT_EQ(EndId(1), "e0-");
+  EXPECT_EQ(EndId(5), "e2-");
+  EXPECT_EQ(FaceId(2), "f2");
+}
+
+TEST(ThematicTest, DebugStringShowsRelations) {
+  ThematicInstance theme = ToThematic(Inv(Fig1cInstance()));
+  std::string dump = theme.DebugString();
+  EXPECT_NE(dump.find("Regions:"), std::string::npos);
+  EXPECT_NE(dump.find("Orientation:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topodb

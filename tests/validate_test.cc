@@ -1,0 +1,199 @@
+#include "src/invariant/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/invariant/data.h"
+#include "src/region/fixtures.h"
+
+namespace topodb {
+namespace {
+
+InvariantData Inv(const SpatialInstance& instance) {
+  Result<InvariantData> data = ComputeInvariant(instance);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return std::move(data).value();
+}
+
+TEST(ValidateTest, AcceptsAllFixtureInvariants) {
+  for (const SpatialInstance& instance :
+       {Fig1aInstance(), Fig1bInstance(), Fig1cInstance(), Fig1dInstance(),
+        Fig6Instance(), Fig7aInstance(), Fig7aPrimeInstance(),
+        Fig7bInstance(), Fig7bPrimeInstance(), SingleRegionInstance(),
+        NestedInstance(), DisjointPairInstance()}) {
+    InvariantData data = Inv(instance);
+    EXPECT_TRUE(ValidateInvariant(data).ok())
+        << ValidateInvariant(data).ToString() << " for "
+        << data.DebugString();
+  }
+}
+
+TEST(ValidateTest, AcceptsEmpty) {
+  EXPECT_TRUE(ValidateInvariant(Inv(SpatialInstance())).ok());
+}
+
+TEST(ValidateTest, RejectsBrokenRotation) {
+  // Condition (4): splitting a vertex rotation into two orbits. In Fig 1c
+  // each vertex has 4 darts in one cycle; swapping two successors makes
+  // two 2-cycles.
+  InvariantData data = Inv(Fig1cInstance());
+  // Find a vertex with four darts and rewire.
+  std::vector<std::vector<int>> darts_at(data.vertices.size());
+  for (int d = 0; d < data.num_darts(); ++d) {
+    darts_at[data.Origin(d)].push_back(d);
+  }
+  ASSERT_EQ(darts_at[0].size(), 4u);
+  int d0 = darts_at[0][0];
+  int d1 = data.next_ccw[d0];
+  int d2 = data.next_ccw[d1];
+  int d3 = data.next_ccw[d2];
+  // Two 2-cycles: d0 <-> d1 and d2 <-> d3.
+  data.next_ccw[d0] = d1;
+  data.next_ccw[d1] = d0;
+  data.next_ccw[d2] = d3;
+  data.next_ccw[d3] = d2;
+  EXPECT_FALSE(ValidateInvariant(data).ok());
+}
+
+TEST(ValidateTest, RejectsNonPlanarRotation) {
+  // Condition (6): perturbing the rotation at a vertex changes the face
+  // walks; the resulting embedding violates Euler's formula (positive
+  // genus) or breaks face assignments — either way it is rejected.
+  InvariantData data = Inv(Fig1cInstance());
+  std::vector<std::vector<int>> darts_at(data.vertices.size());
+  for (int d = 0; d < data.num_darts(); ++d) {
+    darts_at[data.Origin(d)].push_back(d);
+  }
+  int a = darts_at[0][0];
+  int b = data.next_ccw[a];
+  int c = data.next_ccw[b];
+  int d = data.next_ccw[c];
+  // Swap the order of b and c in the cyclic rotation: a -> c -> b -> d.
+  data.next_ccw[a] = c;
+  data.next_ccw[c] = b;
+  data.next_ccw[b] = d;
+  EXPECT_FALSE(ValidateInvariant(data).ok());
+}
+
+TEST(ValidateTest, RejectsFaceAssignmentDrift) {
+  // Condition (5): face must be constant along each boundary walk.
+  InvariantData data = Inv(Fig1cInstance());
+  int d = 0;
+  int other_face = (data.face_of_dart[d] + 1) % data.faces.size();
+  data.face_of_dart[d] = other_face;
+  EXPECT_FALSE(ValidateInvariant(data).ok());
+}
+
+TEST(ValidateTest, RejectsTwoUnboundedFaces) {
+  InvariantData data = Inv(Fig1dInstance());
+  for (auto& face : data.faces) face.unbounded = true;
+  EXPECT_FALSE(ValidateInvariant(data).ok());
+}
+
+TEST(ValidateTest, RejectsMislabeledExterior) {
+  InvariantData data = Inv(Fig1cInstance());
+  data.faces[data.exterior_face].label[0] = Sign::kInterior;
+  EXPECT_FALSE(ValidateInvariant(data).ok());
+}
+
+TEST(ValidateTest, RejectsBoundaryLabeledFace) {
+  InvariantData data = Inv(Fig1cInstance());
+  for (auto& face : data.faces) {
+    if (!face.unbounded) {
+      face.label[0] = Sign::kBoundary;
+      break;
+    }
+  }
+  EXPECT_FALSE(ValidateInvariant(data).ok());
+}
+
+TEST(ValidateTest, RejectsIncoherentEdgeLabel) {
+  InvariantData data = Inv(Fig1cInstance());
+  // Flip a non-boundary component of an edge label.
+  for (auto& edge : data.edges) {
+    for (size_t r = 0; r < edge.label.size(); ++r) {
+      if (edge.label[r] == Sign::kExterior) {
+        edge.label[r] = Sign::kInterior;
+        EXPECT_FALSE(ValidateInvariant(data).ok());
+        return;
+      }
+    }
+  }
+  FAIL() << "no mutable edge label found";
+}
+
+TEST(ValidateTest, RejectsVertexLabelMismatch) {
+  InvariantData data = Inv(Fig1cInstance());
+  data.vertices[0].label[0] = Sign::kExterior;  // Was boundary.
+  EXPECT_FALSE(ValidateInvariant(data).ok());
+}
+
+TEST(ValidateTest, RejectsEmptyRegion) {
+  // A region whose label never appears as interior.
+  InvariantData data = Inv(Fig1cInstance());
+  for (auto& face : data.faces) {
+    if (face.label[1] == Sign::kInterior) face.label[1] = Sign::kExterior;
+  }
+  EXPECT_FALSE(ValidateInvariant(data).ok());
+}
+
+TEST(ValidateTest, RejectsRegionCoveringExterior) {
+  InvariantData data = Inv(Fig1cInstance());
+  // Invert region 0 everywhere: now it "contains" the exterior face.
+  for (auto& face : data.faces) {
+    if (face.label[0] == Sign::kInterior) face.label[0] = Sign::kExterior;
+    else face.label[0] = Sign::kInterior;
+  }
+  for (auto& edge : data.edges) {
+    if (edge.label[0] == Sign::kInterior) edge.label[0] = Sign::kExterior;
+    else if (edge.label[0] == Sign::kExterior) edge.label[0] = Sign::kInterior;
+  }
+  for (auto& vertex : data.vertices) {
+    if (vertex.label[0] == Sign::kInterior) vertex.label[0] = Sign::kExterior;
+    else if (vertex.label[0] == Sign::kExterior) {
+      vertex.label[0] = Sign::kInterior;
+    }
+  }
+  EXPECT_FALSE(ValidateInvariant(data).ok());
+}
+
+TEST(ValidateTest, RejectsEdgeOnNoBoundary) {
+  InvariantData data = Inv(Fig1cInstance());
+  for (size_t r = 0; r < data.edges[0].label.size(); ++r) {
+    if (data.edges[0].label[r] == Sign::kBoundary) {
+      data.edges[0].label[r] =
+          data.faces[data.face_of_dart[0]].label[r];
+    }
+  }
+  EXPECT_FALSE(ValidateInvariant(data).ok());
+}
+
+TEST(ValidateTest, RejectsOuterCycleOffFace) {
+  InvariantData data = Inv(Fig1dInstance());
+  for (auto& face : data.faces) {
+    if (face.outer_cycle_dart >= 0) {
+      // Point the outer cycle at a dart of a different face.
+      for (int d = 0; d < data.num_darts(); ++d) {
+        if (data.face_of_dart[d] != data.face_of_dart[face.outer_cycle_dart]) {
+          face.outer_cycle_dart = d;
+          EXPECT_FALSE(ValidateInvariant(data).ok());
+          return;
+        }
+      }
+    }
+  }
+  FAIL() << "no bounded face found";
+}
+
+TEST(ValidateTest, EulerHoldsOnFixtures) {
+  // Connected fixtures satisfy |F| = |E| - |V| + 2 globally.
+  for (const SpatialInstance& instance :
+       {Fig1aInstance(), Fig1bInstance(), Fig1cInstance(), Fig1dInstance(),
+        Fig7bInstance()}) {
+    InvariantData data = Inv(instance);
+    ASSERT_EQ(data.ComponentCount(), 1);
+    EXPECT_EQ(data.faces.size(), data.edges.size() - data.vertices.size() + 2);
+  }
+}
+
+}  // namespace
+}  // namespace topodb

@@ -1,0 +1,101 @@
+#include "src/workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/invariant/canonical.h"
+#include "src/invariant/validate.h"
+#include "src/region/fixtures.h"
+
+namespace topodb {
+namespace {
+
+TEST(WorkloadTest, SplitMixDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+  SplitMix64 c(43);
+  EXPECT_NE(SplitMix64(42).Next(), c.Next());
+}
+
+TEST(WorkloadTest, ChainCellCountsLinear) {
+  for (int n : {1, 2, 5, 9}) {
+    Result<SpatialInstance> instance = ChainInstance(n);
+    ASSERT_TRUE(instance.ok());
+    Result<InvariantData> data = ComputeInvariant(*instance);
+    ASSERT_TRUE(data.ok());
+    EXPECT_TRUE(ValidateInvariant(*data).ok());
+    if (n > 1) {
+      // Each adjacent staggered pair crosses at exactly 2 points.
+      EXPECT_EQ(data->vertices.size(), 2u * (n - 1));
+    }
+  }
+}
+
+TEST(WorkloadTest, CombMatchesFig1Family) {
+  // CombInstance(1) is homeomorphic to Fig 1c, CombInstance(2) to Fig 1d.
+  Result<SpatialInstance> one = CombInstance(1);
+  Result<SpatialInstance> two = CombInstance(2);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_TRUE(Isomorphic(*ComputeInvariant(*one),
+                         *ComputeInvariant(Fig1cInstance())));
+  EXPECT_TRUE(Isomorphic(*ComputeInvariant(*two),
+                         *ComputeInvariant(Fig1dInstance())));
+  // Teeth count is a topological invariant of the family.
+  EXPECT_FALSE(Isomorphic(*ComputeInvariant(*CombInstance(3)),
+                          *ComputeInvariant(*CombInstance(4))));
+}
+
+TEST(WorkloadTest, CombPocketCount) {
+  for (int teeth : {1, 2, 3, 5}) {
+    Result<SpatialInstance> instance = CombInstance(teeth);
+    ASSERT_TRUE(instance.ok());
+    Result<InvariantData> data = ComputeInvariant(*instance);
+    ASSERT_TRUE(data.ok());
+    int pockets = 0;
+    for (const auto& face : data->faces) {
+      if (!face.unbounded && LabelString(face.label) == "--") ++pockets;
+    }
+    EXPECT_EQ(pockets, teeth - 1);
+  }
+}
+
+TEST(WorkloadTest, NestedRingsContainmentChain) {
+  Result<SpatialInstance> instance = NestedRingsInstance(4);
+  ASSERT_TRUE(instance.ok());
+  Result<InvariantData> data = ComputeInvariant(*instance);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->ComponentCount(), 4);
+  EXPECT_TRUE(ValidateInvariant(*data).ok());
+}
+
+TEST(WorkloadTest, GridAndFlowerValidate) {
+  Result<SpatialInstance> grid = RectGridInstance(3, 3);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_TRUE(ValidateInvariant(*ComputeInvariant(*grid)).ok());
+  Result<SpatialInstance> flower = FlowerInstance(5);
+  ASSERT_TRUE(flower.ok());
+  EXPECT_TRUE(ValidateInvariant(*ComputeInvariant(*flower)).ok());
+}
+
+TEST(WorkloadTest, RandomInstancesValidateAcrossSeeds) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Result<SpatialInstance> instance = RandomRectInstance(6, 40, seed);
+    ASSERT_TRUE(instance.ok());
+    Result<InvariantData> data = ComputeInvariant(*instance);
+    ASSERT_TRUE(data.ok()) << "seed " << seed;
+    EXPECT_TRUE(ValidateInvariant(*data).ok()) << "seed " << seed;
+  }
+}
+
+TEST(WorkloadTest, GeneratorsRejectBadParameters) {
+  EXPECT_FALSE(ChainInstance(0).ok());
+  EXPECT_FALSE(RectGridInstance(0, 3).ok());
+  EXPECT_FALSE(NestedRingsInstance(0).ok());
+  EXPECT_FALSE(CombInstance(0).ok());
+  EXPECT_FALSE(FlowerInstance(0).ok());
+  EXPECT_FALSE(RandomRectInstance(0, 40, 1).ok());
+  EXPECT_FALSE(RandomRectInstance(5, 2, 1).ok());
+}
+
+}  // namespace
+}  // namespace topodb
