@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_invariant.dir/bench_fig01_invariant.cc.o"
+  "CMakeFiles/bench_fig01_invariant.dir/bench_fig01_invariant.cc.o.d"
+  "bench_fig01_invariant"
+  "bench_fig01_invariant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_invariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

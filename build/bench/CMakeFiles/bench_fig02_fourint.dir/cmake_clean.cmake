@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_fourint.dir/bench_fig02_fourint.cc.o"
+  "CMakeFiles/bench_fig02_fourint.dir/bench_fig02_fourint.cc.o.d"
+  "bench_fig02_fourint"
+  "bench_fig02_fourint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_fourint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_groups.dir/bench_fig04_groups.cc.o"
+  "CMakeFiles/bench_fig04_groups.dir/bench_fig04_groups.cc.o.d"
+  "bench_fig04_groups"
+  "bench_fig04_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_cellcomplex.dir/bench_fig05_cellcomplex.cc.o"
+  "CMakeFiles/bench_fig05_cellcomplex.dir/bench_fig05_cellcomplex.cc.o.d"
+  "bench_fig05_cellcomplex"
+  "bench_fig05_cellcomplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_cellcomplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_thematic.dir/bench_fig09_thematic.cc.o"
+  "CMakeFiles/bench_fig09_thematic.dir/bench_fig09_thematic.cc.o.d"
+  "bench_fig09_thematic"
+  "bench_fig09_thematic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_thematic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_languages.dir/bench_fig11_languages.cc.o"
+  "CMakeFiles/bench_fig11_languages.dir/bench_fig11_languages.cc.o.d"
+  "bench_fig11_languages"
+  "bench_fig11_languages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_languages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

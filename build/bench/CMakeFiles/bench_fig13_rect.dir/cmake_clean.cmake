@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_rect.dir/bench_fig13_rect.cc.o"
+  "CMakeFiles/bench_fig13_rect.dir/bench_fig13_rect.cc.o.d"
+  "bench_fig13_rect"
+  "bench_fig13_rect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_rect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

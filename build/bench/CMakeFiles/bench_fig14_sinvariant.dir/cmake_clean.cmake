@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_sinvariant.dir/bench_fig14_sinvariant.cc.o"
+  "CMakeFiles/bench_fig14_sinvariant.dir/bench_fig14_sinvariant.cc.o.d"
+  "bench_fig14_sinvariant"
+  "bench_fig14_sinvariant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_sinvariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm34_isomorphism.dir/bench_thm34_isomorphism.cc.o"
+  "CMakeFiles/bench_thm34_isomorphism.dir/bench_thm34_isomorphism.cc.o.d"
+  "bench_thm34_isomorphism"
+  "bench_thm34_isomorphism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm34_isomorphism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

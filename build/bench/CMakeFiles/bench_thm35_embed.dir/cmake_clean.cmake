@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm35_embed.dir/bench_thm35_embed.cc.o"
+  "CMakeFiles/bench_thm35_embed.dir/bench_thm35_embed.cc.o.d"
+  "bench_thm35_embed"
+  "bench_thm35_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm35_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

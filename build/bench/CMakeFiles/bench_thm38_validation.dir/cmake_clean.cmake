@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm38_validation.dir/bench_thm38_validation.cc.o"
+  "CMakeFiles/bench_thm38_validation.dir/bench_thm38_validation.cc.o.d"
+  "bench_thm38_validation"
+  "bench_thm38_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm38_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_thm61_encoding.cc" "bench/CMakeFiles/bench_thm61_encoding.dir/bench_thm61_encoding.cc.o" "gcc" "bench/CMakeFiles/bench_thm61_encoding.dir/bench_thm61_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebraic/CMakeFiles/topodb_algebraic.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrangement/CMakeFiles/topodb_arrangement.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/topodb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/topodb_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/fourint/CMakeFiles/topodb_fourint.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/topodb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/invariant/CMakeFiles/topodb_invariant.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/topodb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/reason/CMakeFiles/topodb_reason.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/topodb_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/thematic/CMakeFiles/topodb_thematic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/topodb_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm61_encoding.dir/bench_thm61_encoding.cc.o"
+  "CMakeFiles/bench_thm61_encoding.dir/bench_thm61_encoding.cc.o.d"
+  "bench_thm61_encoding"
+  "bench_thm61_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm61_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_pla.dir/census_pla.cpp.o"
+  "CMakeFiles/census_pla.dir/census_pla.cpp.o.d"
+  "census_pla"
+  "census_pla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_pla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_landuse.dir/gis_landuse.cpp.o"
+  "CMakeFiles/gis_landuse.dir/gis_landuse.cpp.o.d"
+  "gis_landuse"
+  "gis_landuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_landuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

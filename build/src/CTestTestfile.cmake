@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("geom")
+subdirs("region")
+subdirs("arrangement")
+subdirs("invariant")
+subdirs("fourint")
+subdirs("thematic")
+subdirs("query")
+subdirs("embed")
+subdirs("algebraic")
+subdirs("reason")
+subdirs("workload")

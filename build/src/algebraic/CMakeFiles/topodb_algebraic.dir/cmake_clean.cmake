@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_algebraic.dir/polynomial.cc.o"
+  "CMakeFiles/topodb_algebraic.dir/polynomial.cc.o.d"
+  "CMakeFiles/topodb_algebraic.dir/trace.cc.o"
+  "CMakeFiles/topodb_algebraic.dir/trace.cc.o.d"
+  "libtopodb_algebraic.a"
+  "libtopodb_algebraic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_algebraic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_arrangement.dir/cell_complex.cc.o"
+  "CMakeFiles/topodb_arrangement.dir/cell_complex.cc.o.d"
+  "libtopodb_arrangement.a"
+  "libtopodb_arrangement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_arrangement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

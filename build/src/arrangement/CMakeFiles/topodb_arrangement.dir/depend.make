@@ -1,0 +1,2 @@
+# Empty dependencies file for topodb_arrangement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_base.dir/bigint.cc.o"
+  "CMakeFiles/topodb_base.dir/bigint.cc.o.d"
+  "CMakeFiles/topodb_base.dir/rational.cc.o"
+  "CMakeFiles/topodb_base.dir/rational.cc.o.d"
+  "libtopodb_base.a"
+  "libtopodb_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_embed.dir/embed.cc.o"
+  "CMakeFiles/topodb_embed.dir/embed.cc.o.d"
+  "libtopodb_embed.a"
+  "libtopodb_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_fourint.dir/four_intersection.cc.o"
+  "CMakeFiles/topodb_fourint.dir/four_intersection.cc.o.d"
+  "libtopodb_fourint.a"
+  "libtopodb_fourint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_fourint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtopodb_fourint.a"
+)

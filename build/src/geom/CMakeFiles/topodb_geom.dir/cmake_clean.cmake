@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_geom.dir/point.cc.o"
+  "CMakeFiles/topodb_geom.dir/point.cc.o.d"
+  "CMakeFiles/topodb_geom.dir/polygon.cc.o"
+  "CMakeFiles/topodb_geom.dir/polygon.cc.o.d"
+  "CMakeFiles/topodb_geom.dir/predicates.cc.o"
+  "CMakeFiles/topodb_geom.dir/predicates.cc.o.d"
+  "libtopodb_geom.a"
+  "libtopodb_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/invariant/canonical.cc" "src/invariant/CMakeFiles/topodb_invariant.dir/canonical.cc.o" "gcc" "src/invariant/CMakeFiles/topodb_invariant.dir/canonical.cc.o.d"
+  "/root/repo/src/invariant/data.cc" "src/invariant/CMakeFiles/topodb_invariant.dir/data.cc.o" "gcc" "src/invariant/CMakeFiles/topodb_invariant.dir/data.cc.o.d"
+  "/root/repo/src/invariant/graph_iso.cc" "src/invariant/CMakeFiles/topodb_invariant.dir/graph_iso.cc.o" "gcc" "src/invariant/CMakeFiles/topodb_invariant.dir/graph_iso.cc.o.d"
+  "/root/repo/src/invariant/s_invariant.cc" "src/invariant/CMakeFiles/topodb_invariant.dir/s_invariant.cc.o" "gcc" "src/invariant/CMakeFiles/topodb_invariant.dir/s_invariant.cc.o.d"
+  "/root/repo/src/invariant/validate.cc" "src/invariant/CMakeFiles/topodb_invariant.dir/validate.cc.o" "gcc" "src/invariant/CMakeFiles/topodb_invariant.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arrangement/CMakeFiles/topodb_arrangement.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/topodb_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/topodb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/topodb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_invariant.dir/canonical.cc.o"
+  "CMakeFiles/topodb_invariant.dir/canonical.cc.o.d"
+  "CMakeFiles/topodb_invariant.dir/data.cc.o"
+  "CMakeFiles/topodb_invariant.dir/data.cc.o.d"
+  "CMakeFiles/topodb_invariant.dir/graph_iso.cc.o"
+  "CMakeFiles/topodb_invariant.dir/graph_iso.cc.o.d"
+  "CMakeFiles/topodb_invariant.dir/s_invariant.cc.o"
+  "CMakeFiles/topodb_invariant.dir/s_invariant.cc.o.d"
+  "CMakeFiles/topodb_invariant.dir/validate.cc.o"
+  "CMakeFiles/topodb_invariant.dir/validate.cc.o.d"
+  "libtopodb_invariant.a"
+  "libtopodb_invariant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_invariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_query.dir/ast.cc.o"
+  "CMakeFiles/topodb_query.dir/ast.cc.o.d"
+  "CMakeFiles/topodb_query.dir/definability.cc.o"
+  "CMakeFiles/topodb_query.dir/definability.cc.o.d"
+  "CMakeFiles/topodb_query.dir/eval.cc.o"
+  "CMakeFiles/topodb_query.dir/eval.cc.o.d"
+  "CMakeFiles/topodb_query.dir/parser.cc.o"
+  "CMakeFiles/topodb_query.dir/parser.cc.o.d"
+  "CMakeFiles/topodb_query.dir/rect_eval.cc.o"
+  "CMakeFiles/topodb_query.dir/rect_eval.cc.o.d"
+  "libtopodb_query.a"
+  "libtopodb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

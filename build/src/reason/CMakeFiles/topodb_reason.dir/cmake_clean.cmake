@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_reason.dir/network.cc.o"
+  "CMakeFiles/topodb_reason.dir/network.cc.o.d"
+  "libtopodb_reason.a"
+  "libtopodb_reason.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_reason.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

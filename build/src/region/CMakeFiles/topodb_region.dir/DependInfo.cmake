@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/region/fixtures.cc" "src/region/CMakeFiles/topodb_region.dir/fixtures.cc.o" "gcc" "src/region/CMakeFiles/topodb_region.dir/fixtures.cc.o.d"
+  "/root/repo/src/region/instance.cc" "src/region/CMakeFiles/topodb_region.dir/instance.cc.o" "gcc" "src/region/CMakeFiles/topodb_region.dir/instance.cc.o.d"
+  "/root/repo/src/region/io.cc" "src/region/CMakeFiles/topodb_region.dir/io.cc.o" "gcc" "src/region/CMakeFiles/topodb_region.dir/io.cc.o.d"
+  "/root/repo/src/region/region.cc" "src/region/CMakeFiles/topodb_region.dir/region.cc.o" "gcc" "src/region/CMakeFiles/topodb_region.dir/region.cc.o.d"
+  "/root/repo/src/region/transform.cc" "src/region/CMakeFiles/topodb_region.dir/transform.cc.o" "gcc" "src/region/CMakeFiles/topodb_region.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/topodb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/topodb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

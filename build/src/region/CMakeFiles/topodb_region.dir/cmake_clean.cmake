@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_region.dir/fixtures.cc.o"
+  "CMakeFiles/topodb_region.dir/fixtures.cc.o.d"
+  "CMakeFiles/topodb_region.dir/instance.cc.o"
+  "CMakeFiles/topodb_region.dir/instance.cc.o.d"
+  "CMakeFiles/topodb_region.dir/io.cc.o"
+  "CMakeFiles/topodb_region.dir/io.cc.o.d"
+  "CMakeFiles/topodb_region.dir/region.cc.o"
+  "CMakeFiles/topodb_region.dir/region.cc.o.d"
+  "CMakeFiles/topodb_region.dir/transform.cc.o"
+  "CMakeFiles/topodb_region.dir/transform.cc.o.d"
+  "libtopodb_region.a"
+  "libtopodb_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_thematic.dir/relation.cc.o"
+  "CMakeFiles/topodb_thematic.dir/relation.cc.o.d"
+  "CMakeFiles/topodb_thematic.dir/thematic.cc.o"
+  "CMakeFiles/topodb_thematic.dir/thematic.cc.o.d"
+  "libtopodb_thematic.a"
+  "libtopodb_thematic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_thematic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

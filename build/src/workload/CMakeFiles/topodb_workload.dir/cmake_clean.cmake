@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topodb_workload.dir/generators.cc.o"
+  "CMakeFiles/topodb_workload.dir/generators.cc.o.d"
+  "libtopodb_workload.a"
+  "libtopodb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topodb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/definability_test.dir/definability_test.cc.o"
+  "CMakeFiles/definability_test.dir/definability_test.cc.o.d"
+  "definability_test"
+  "definability_test.pdb"
+  "definability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/definability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

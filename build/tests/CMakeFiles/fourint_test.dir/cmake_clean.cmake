@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourint_test.dir/fourint_test.cc.o"
+  "CMakeFiles/fourint_test.dir/fourint_test.cc.o.d"
+  "fourint_test"
+  "fourint_test.pdb"
+  "fourint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_iso_test.dir/graph_iso_test.cc.o"
+  "CMakeFiles/graph_iso_test.dir/graph_iso_test.cc.o.d"
+  "graph_iso_test"
+  "graph_iso_test.pdb"
+  "graph_iso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_iso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

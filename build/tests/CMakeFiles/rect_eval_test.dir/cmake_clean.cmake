@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rect_eval_test.dir/rect_eval_test.cc.o"
+  "CMakeFiles/rect_eval_test.dir/rect_eval_test.cc.o.d"
+  "rect_eval_test"
+  "rect_eval_test.pdb"
+  "rect_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rect_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

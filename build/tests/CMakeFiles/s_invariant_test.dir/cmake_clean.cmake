@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s_invariant_test.dir/s_invariant_test.cc.o"
+  "CMakeFiles/s_invariant_test.dir/s_invariant_test.cc.o.d"
+  "s_invariant_test"
+  "s_invariant_test.pdb"
+  "s_invariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thematic_test.dir/thematic_test.cc.o"
+  "CMakeFiles/thematic_test.dir/thematic_test.cc.o.d"
+  "thematic_test"
+  "thematic_test.pdb"
+  "thematic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thematic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
