@@ -32,7 +32,7 @@ void ReportFig1() {
   for (auto& [name, a, b] : pairs) {
     const bool fourint = Unwrap(FourIntEquivalent(a, b));
     const bool homeo =
-        Isomorphic(Unwrap(ComputeInvariant(a)), Unwrap(ComputeInvariant(b)));
+        *Isomorphic(Unwrap(ComputeInvariant(a)), Unwrap(ComputeInvariant(b)));
     std::printf("%-16s | %-18s | %-16s\n", name, fourint ? "yes" : "no",
                 homeo ? "yes" : "no");
   }
@@ -56,7 +56,7 @@ void ReportFig6and7() {
   std::printf("%-22s | %-12s | %-12s | %-10s\n", "Fig6 vs everted",
               GraphIsomorphic(fig6, everted, no_exterior) ? "iso" : "differ",
               GraphIsomorphic(fig6, everted) ? "iso" : "differ",
-              Isomorphic(fig6, everted) ? "iso" : "differ");
+              *Isomorphic(fig6, everted) ? "iso" : "differ");
   // Fig 7: identical G_I, different orientation.
   struct Pair {
     const char* name;
@@ -71,7 +71,7 @@ void ReportFig6and7() {
     std::printf("%-22s | %-12s | %-12s | %-10s\n", name,
                 GraphIsomorphic(ia, ib, no_exterior) ? "iso" : "differ",
                 GraphIsomorphic(ia, ib) ? "iso" : "differ",
-                Isomorphic(ia, ib) ? "iso" : "differ");
+                *Isomorphic(ia, ib) ? "iso" : "differ");
   }
 }
 
@@ -101,7 +101,7 @@ void BM_EquivalenceComb(benchmark::State& state) {
   InvariantData b = Unwrap(ComputeInvariant(
       Unwrap(shear.ApplyToInstance(Unwrap(CombInstance(k))))));
   for (auto _ : state) {
-    bool equal = Isomorphic(a, b);
+    bool equal = *Isomorphic(a, b);
     if (!equal) state.SkipWithError("equivalent combs not recognized");
     benchmark::DoNotOptimize(equal);
   }

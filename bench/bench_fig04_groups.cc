@@ -150,7 +150,7 @@ void BM_GenericityCheck(benchmark::State& state) {
   AffineTransform shear = Unwrap(AffineTransform::Make(1, 1, 0, 0, 1, 0));
   SpatialInstance image = Unwrap(shear.ApplyToInstance(base));
   for (auto _ : state) {
-    bool equal = Isomorphic(Unwrap(ComputeInvariant(base)),
+    bool equal = *Isomorphic(Unwrap(ComputeInvariant(base)),
                             Unwrap(ComputeInvariant(image)));
     benchmark::DoNotOptimize(equal);
   }

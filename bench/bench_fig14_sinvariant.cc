@@ -28,7 +28,7 @@ void ReportFig14() {
   bench::Header("Fig 14: S-equivalence is finer than H-equivalence");
   SpatialInstance aligned = TwoSquares(6, 0);    // Shared y-span.
   SpatialInstance diagonal = TwoSquares(6, 6);   // No shared span.
-  const bool h_equiv = Isomorphic(Unwrap(ComputeInvariant(aligned)),
+  const bool h_equiv = *Isomorphic(Unwrap(ComputeInvariant(aligned)),
                                   Unwrap(ComputeInvariant(diagonal)));
   SInvariant sa = Unwrap(SInvariant::Compute(aligned));
   SInvariant sd = Unwrap(SInvariant::Compute(diagonal));

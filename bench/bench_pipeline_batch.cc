@@ -1,0 +1,179 @@
+// The batched invariant pipeline (src/pipeline/): old-vs-new timings for
+// the arrangement broad phase (all-pairs baseline vs uniform grid), the
+// canonical-string cache on repeated equivalence queries, and the
+// thread-pooled batch API, all on the existing generator workloads.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/topodb.h"
+
+namespace topodb {
+namespace {
+
+using bench::Unwrap;
+
+double TimeMs(const std::function<void()>& fn) {
+  // Best of two runs: enough to shed one-off allocator noise without
+  // making the report slow on the O(n^2) baseline.
+  double best = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void BuildWith(const SpatialInstance& instance, BroadPhase phase) {
+  ArrangementOptions options;
+  options.broad_phase = phase;
+  benchmark::DoNotOptimize(Unwrap(CellComplex::Build(instance, options)));
+}
+
+void ReportBroadPhase() {
+  bench::Header("Arrangement broad phase: all-pairs baseline vs uniform grid");
+  std::printf("%-22s | %10s | %10s | %7s\n", "workload", "all-pairs",
+              "grid", "speedup");
+  std::printf("%-22s | %10s | %10s | %7s\n", "", "(ms)", "(ms)", "");
+  auto row = [](const char* name, const SpatialInstance& instance) {
+    const double all_pairs =
+        TimeMs([&] { BuildWith(instance, BroadPhase::kAllPairs); });
+    const double grid = TimeMs([&] { BuildWith(instance, BroadPhase::kGrid); });
+    std::printf("%-22s | %10.2f | %10.2f | %6.1fx\n", name, all_pairs, grid,
+                grid > 0 ? all_pairs / grid : 0.0);
+  };
+  for (int n : {64, 128, 256, 512}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "chain(%d)", n);
+    row(name, Unwrap(ChainInstance(n)));
+  }
+  for (int n : {64, 128, 256}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "random-rect(%d)", n);
+    row(name, Unwrap(RandomRectInstance(n, 12 * n, 42)));
+  }
+}
+
+void ReportCache() {
+  bench::Header("Canonical-string cache: repeated Isomorphic on one instance");
+  const int kQueries = 50;
+  std::printf("%-22s | %10s | %10s | %7s\n", "instance pair", "uncached",
+              "cached", "speedup");
+  std::printf("%-22s | %10s | %10s | %7s  (%d queries)\n", "", "(ms)", "(ms)",
+              "", kQueries);
+  auto row = [&](const char* name, const InvariantData& a,
+                 const InvariantData& b) {
+    const double uncached = TimeMs([&] {
+      for (int q = 0; q < kQueries; ++q) {
+        benchmark::DoNotOptimize(Unwrap(Isomorphic(a, b)));
+      }
+    });
+    InvariantCache cache;
+    const double cached = TimeMs([&] {
+      for (int q = 0; q < kQueries; ++q) {
+        benchmark::DoNotOptimize(Unwrap(cache.Isomorphic(a, b)));
+      }
+    });
+    std::printf("%-22s | %10.2f | %10.2f | %6.1fx\n", name, uncached, cached,
+                cached > 0 ? uncached / cached : 0.0);
+  };
+  row("comb(8) vs comb(8)",
+      Unwrap(ComputeInvariant(Unwrap(CombInstance(8)))),
+      Unwrap(ComputeInvariant(Unwrap(CombInstance(8)))));
+  row("random(16) vs self",
+      Unwrap(ComputeInvariant(Unwrap(RandomRectInstance(16, 120, 3)))),
+      Unwrap(ComputeInvariant(Unwrap(RandomRectInstance(16, 120, 3)))));
+  row("rings(12) vs rings(12)",
+      Unwrap(ComputeInvariant(Unwrap(NestedRingsInstance(12)))),
+      Unwrap(ComputeInvariant(Unwrap(NestedRingsInstance(12)))));
+}
+
+void ReportBatch() {
+  bench::Header("BatchComputeInvariants: thread scaling on 32 instances");
+  std::vector<SpatialInstance> instances;
+  for (int seed = 1; seed <= 32; ++seed) {
+    instances.push_back(Unwrap(RandomRectInstance(12, 144, seed)));
+  }
+  std::printf("%-22s | %10s\n", "threads", "(ms)");
+  for (int threads : {1, 2, 4, 8}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    const double ms = TimeMs([&] {
+      auto results = BatchComputeInvariants(instances, options);
+      for (const auto& result : results) bench::Check(result.status());
+    });
+    std::printf("%-22d | %10.2f\n", threads, ms);
+  }
+}
+
+void BM_ArrangementAllPairs(benchmark::State& state) {
+  SpatialInstance instance = Unwrap(
+      RandomRectInstance(static_cast<int>(state.range(0)),
+                         12 * state.range(0), 42));
+  for (auto _ : state) BuildWith(instance, BroadPhase::kAllPairs);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ArrangementAllPairs)->RangeMultiplier(2)->Range(16, 128)
+    ->Complexity();
+
+void BM_ArrangementGrid(benchmark::State& state) {
+  SpatialInstance instance = Unwrap(
+      RandomRectInstance(static_cast<int>(state.range(0)),
+                         12 * state.range(0), 42));
+  for (auto _ : state) BuildWith(instance, BroadPhase::kGrid);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ArrangementGrid)->RangeMultiplier(2)->Range(16, 128)
+    ->Complexity();
+
+void BM_IsomorphicUncached(benchmark::State& state) {
+  InvariantData data = Unwrap(ComputeInvariant(Unwrap(CombInstance(8))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(Isomorphic(data, data)));
+  }
+}
+BENCHMARK(BM_IsomorphicUncached);
+
+void BM_IsomorphicCached(benchmark::State& state) {
+  InvariantData data = Unwrap(ComputeInvariant(Unwrap(CombInstance(8))));
+  InvariantCache cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(cache.Isomorphic(data, data)));
+  }
+}
+BENCHMARK(BM_IsomorphicCached);
+
+void BM_BatchThreads(benchmark::State& state) {
+  std::vector<SpatialInstance> instances;
+  for (int seed = 1; seed <= 16; ++seed) {
+    instances.push_back(Unwrap(RandomRectInstance(8, 96, seed)));
+  }
+  BatchOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto results = BatchComputeInvariants(instances, options);
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_BatchThreads)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace topodb
+
+int main(int argc, char** argv) {
+  topodb::ReportBroadPhase();
+  topodb::ReportCache();
+  topodb::ReportBatch();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -27,9 +27,9 @@ void ReportLadder() {
         Unwrap(map.ApplyToInstance(Unwrap(CombInstance(k))))));
     InvariantData c = Unwrap(ComputeInvariant(Unwrap(CombInstance(k + 1))));
     std::printf("comb(%d) vs affine copy      | %s\n", k,
-                Isomorphic(a, b) ? "yes" : "no");
+                *Isomorphic(a, b) ? "yes" : "no");
     std::printf("comb(%d) vs comb(%d)          | %s\n", k, k + 1,
-                Isomorphic(a, c) ? "yes" : "no");
+                *Isomorphic(a, c) ? "yes" : "no");
   }
 }
 
@@ -50,7 +50,7 @@ void BM_IsomorphismPositive(benchmark::State& state) {
   InvariantData b = Unwrap(ComputeInvariant(
       Unwrap(mirror.ApplyToInstance(Unwrap(CombInstance(k))))));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Isomorphic(a, b));
+    benchmark::DoNotOptimize(*Isomorphic(a, b));
   }
   state.SetComplexityN(k);
 }
@@ -62,7 +62,7 @@ void BM_IsomorphismNegative(benchmark::State& state) {
   InvariantData a = Unwrap(ComputeInvariant(Unwrap(CombInstance(k))));
   InvariantData b = Unwrap(ComputeInvariant(Unwrap(CombInstance(k + 1))));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Isomorphic(a, b));
+    benchmark::DoNotOptimize(*Isomorphic(a, b));
   }
   state.SetComplexityN(k);
 }
@@ -82,7 +82,7 @@ void BM_FullIsoFig7a(benchmark::State& state) {
   InvariantData a = Unwrap(ComputeInvariant(Fig7aInstance()));
   InvariantData b = Unwrap(ComputeInvariant(Fig7aPrimeInstance()));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Isomorphic(a, b));
+    benchmark::DoNotOptimize(*Isomorphic(a, b));
   }
 }
 BENCHMARK(BM_FullIsoFig7a);

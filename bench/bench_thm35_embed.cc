@@ -36,7 +36,7 @@ void ReportRoundTrips() {
     InvariantData data = Unwrap(ComputeInvariant(instance));
     Result<SpatialInstance> rebuilt = ReconstructPolyInstance(data);
     bool ok = rebuilt.ok() &&
-              Isomorphic(data, Unwrap(ComputeInvariant(*rebuilt)));
+              *Isomorphic(data, Unwrap(ComputeInvariant(*rebuilt)));
     successes += ok;
     std::printf("%-10s | %8zu | %8zu | %8zu | %s\n", name,
                 data.vertices.size(), data.edges.size(), data.faces.size(),
@@ -70,7 +70,7 @@ void BM_FullRoundTrip(benchmark::State& state) {
   InvariantData data = Unwrap(ComputeInvariant(Unwrap(CombInstance(3))));
   for (auto _ : state) {
     SpatialInstance rebuilt = Unwrap(ReconstructPolyInstance(data));
-    bool ok = Isomorphic(data, Unwrap(ComputeInvariant(rebuilt)));
+    bool ok = *Isomorphic(data, Unwrap(ComputeInvariant(rebuilt)));
     if (!ok) state.SkipWithError("round trip failed");
     benchmark::DoNotOptimize(ok);
   }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a sanitizer pass. Usage: ci/run_ci.sh [--no-sanitizers]
+#
+#   1. Configure + build + full ctest suite in build-ci/ (the same command
+#      sequence as ROADMAP.md's verify step, in a separate tree so a
+#      developer's ./build is left alone).
+#   2. Rebuild the test suite under ASan+UBSan in build-asan/ and run it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local dir=$1; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+echo "==> tier-1: build + ctest"
+run_suite build-ci
+
+if [[ "${1:-}" != "--no-sanitizers" ]]; then
+  echo "==> sanitizers: ASan + UBSan"
+  run_suite build-asan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+fi
+
+echo "==> CI OK"

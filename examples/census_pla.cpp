@@ -87,7 +87,7 @@ int main() {
   std::cout << "reconstructed regions:";
   for (const auto& name : rebuilt.names()) std::cout << " " << name;
   std::cout << "\nround trip invariant matches: "
-            << (Isomorphic(stored, Unwrap(ComputeInvariant(rebuilt)))
+            << (*Isomorphic(stored, Unwrap(ComputeInvariant(rebuilt)))
                     ? "yes"
                     : "no")
             << "\n";

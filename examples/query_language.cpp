@@ -83,13 +83,13 @@ int main() {
   // Invariant-level confirmation (Theorem 3.4 separates both pairs).
   std::cout << "\ninvariant equivalences (Theorem 3.4):\n";
   std::cout << "  Fig1a ~H Fig1b : "
-            << (Isomorphic(Unwrap(ComputeInvariant(abc[0].instance)),
+            << (*Isomorphic(Unwrap(ComputeInvariant(abc[0].instance)),
                            Unwrap(ComputeInvariant(abc[1].instance)))
                     ? "yes"
                     : "no")
             << "\n";
   std::cout << "  Fig1c ~H Fig1d : "
-            << (Isomorphic(Unwrap(ComputeInvariant(ab[0].instance)),
+            << (*Isomorphic(Unwrap(ComputeInvariant(ab[0].instance)),
                            Unwrap(ComputeInvariant(ab[1].instance)))
                     ? "yes"
                     : "no")

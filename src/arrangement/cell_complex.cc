@@ -1,11 +1,14 @@
 #include "src/arrangement/cell_complex.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <queue>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 #include "src/base/check.h"
 #include "src/geom/polygon.h"
@@ -39,13 +42,32 @@ struct ParamLess {
   }
 };
 
+// Conservative double bounds of a rational: the grid broad phase only needs
+// an interval guaranteed to contain the exact value, so a relative pad far
+// wider than ToDouble's rounding error is enough.
+double PadDown(const Rational& r) {
+  const double d = r.ToDouble();
+  return d - (std::abs(d) * 1e-9 + 1e-9);
+}
+double PadUp(const Rational& r) {
+  const double d = r.ToDouble();
+  return d + (std::abs(d) * 1e-9 + 1e-9);
+}
+
+// Padded double bounding box of one segment plus its cell-index range.
+struct GridEntry {
+  double lox, loy, hix, hiy;
+  int ix0, ix1, iy0, iy1;
+};
+
 }  // namespace
 
 // Assembles a CellComplex in stages; see Build() for the pipeline.
 class CellComplexBuilder {
  public:
-  explicit CellComplexBuilder(const SpatialInstance& instance)
-      : instance_(instance) {}
+  CellComplexBuilder(const SpatialInstance& instance,
+                     const ArrangementOptions& options)
+      : instance_(instance), options_(options) {}
 
   Result<CellComplex> Run() {
     complex_.region_names_ = instance_.names();
@@ -99,24 +121,30 @@ class CellComplexBuilder {
       cuts[i].push_back(raw_[i].a);
       cuts[i].push_back(raw_[i].b);
     }
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        SegmentIntersection isect =
-            IntersectSegments(raw_[i].a, raw_[i].b, raw_[j].a, raw_[j].b);
-        switch (isect.kind) {
-          case SegmentIntersection::Kind::kNone:
-            break;
-          case SegmentIntersection::Kind::kPoint:
-            cuts[i].push_back(isect.p0);
-            cuts[j].push_back(isect.p0);
-            break;
-          case SegmentIntersection::Kind::kOverlap:
-            cuts[i].push_back(isect.p0);
-            cuts[i].push_back(isect.p1);
-            cuts[j].push_back(isect.p0);
-            cuts[j].push_back(isect.p1);
-            break;
-        }
+    // Narrow phase shared by both broad phases: exact intersection, cut
+    // points recorded on both segments.
+    auto cut_pair = [&](size_t i, size_t j) {
+      SegmentIntersection isect =
+          IntersectSegments(raw_[i].a, raw_[i].b, raw_[j].a, raw_[j].b);
+      switch (isect.kind) {
+        case SegmentIntersection::Kind::kNone:
+          break;
+        case SegmentIntersection::Kind::kPoint:
+          cuts[i].push_back(isect.p0);
+          cuts[j].push_back(isect.p0);
+          break;
+        case SegmentIntersection::Kind::kOverlap:
+          cuts[i].push_back(isect.p0);
+          cuts[i].push_back(isect.p1);
+          cuts[j].push_back(isect.p0);
+          cuts[j].push_back(isect.p1);
+          break;
+      }
+    };
+    if (options_.broad_phase == BroadPhase::kAllPairs ||
+        !GridCutPairs(cut_pair)) {
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) cut_pair(i, j);
       }
     }
     // Split each raw segment at its cut points and deduplicate pieces.
@@ -145,6 +173,98 @@ class CellComplexBuilder {
       incident_[subsegs_[s].u].push_back(static_cast<int>(s));
       incident_[subsegs_[s].v].push_back(static_cast<int>(s));
     }
+  }
+
+  // Uniform-grid broad phase: buckets candidate pairs by the cells their
+  // padded bounding boxes overlap and feeds each candidate pair to the
+  // exact narrow phase exactly once. The padding makes the double
+  // approximation conservative, so no intersecting pair can be missed;
+  // results are therefore identical to the all-pairs loop. Returns false
+  // (caller falls back to all-pairs) when coordinates exceed the double
+  // range.
+  template <typename CutPair>
+  bool GridCutPairs(const CutPair& cut_pair) {
+    const size_t n = raw_.size();
+    if (n < 2) return true;
+    std::vector<GridEntry> entries(n);
+    double wlox = 0, wloy = 0, whix = 0, whiy = 0;
+    double sum_w = 0, sum_h = 0;
+    for (size_t i = 0; i < n; ++i) {
+      GridEntry& e = entries[i];
+      e.lox = std::min(PadDown(raw_[i].a.x), PadDown(raw_[i].b.x));
+      e.hix = std::max(PadUp(raw_[i].a.x), PadUp(raw_[i].b.x));
+      e.loy = std::min(PadDown(raw_[i].a.y), PadDown(raw_[i].b.y));
+      e.hiy = std::max(PadUp(raw_[i].a.y), PadUp(raw_[i].b.y));
+      if (!std::isfinite(e.lox) || !std::isfinite(e.hix) ||
+          !std::isfinite(e.loy) || !std::isfinite(e.hiy)) {
+        return false;
+      }
+      if (i == 0) {
+        wlox = e.lox; whix = e.hix; wloy = e.loy; whiy = e.hiy;
+      } else {
+        wlox = std::min(wlox, e.lox); whix = std::max(whix, e.hix);
+        wloy = std::min(wloy, e.loy); whiy = std::max(whiy, e.hiy);
+      }
+      sum_w += e.hix - e.lox;
+      sum_h += e.hiy - e.loy;
+    }
+    // Cell size near the average segment extent keeps both the number of
+    // cells a segment overlaps and the bucket occupancy small on typical
+    // workloads.
+    const double cell =
+        std::max({sum_w / n, sum_h / n,
+                  std::max(whix - wlox, whiy - wloy) / 1024.0});
+    auto axis_cells = [cell](double lo, double hi) {
+      if (cell <= 0) return 1;
+      const double span = (hi - lo) / cell;
+      return std::max(1, std::min(1024, static_cast<int>(span) + 1));
+    };
+    const int nx = axis_cells(wlox, whix);
+    const int ny = axis_cells(wloy, whiy);
+    const double inv_cx = whix > wlox ? nx / (whix - wlox) : 0;
+    const double inv_cy = whiy > wloy ? ny / (whiy - wloy) : 0;
+    auto clampi = [](int v, int hi) { return std::max(0, std::min(v, hi)); };
+    std::unordered_map<uint64_t, std::vector<int>> buckets;
+    buckets.reserve(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+      GridEntry& e = entries[i];
+      e.ix0 = clampi(static_cast<int>((e.lox - wlox) * inv_cx), nx - 1);
+      e.ix1 = clampi(static_cast<int>((e.hix - wlox) * inv_cx), nx - 1);
+      e.iy0 = clampi(static_cast<int>((e.loy - wloy) * inv_cy), ny - 1);
+      e.iy1 = clampi(static_cast<int>((e.hiy - wloy) * inv_cy), ny - 1);
+      for (int iy = e.iy0; iy <= e.iy1; ++iy) {
+        for (int ix = e.ix0; ix <= e.ix1; ++ix) {
+          buckets[static_cast<uint64_t>(iy) * nx + ix].push_back(
+              static_cast<int>(i));
+        }
+      }
+    }
+    for (const auto& [key, segs] : buckets) {
+      const int cx = static_cast<int>(key % nx);
+      const int cy = static_cast<int>(key / nx);
+      for (size_t a = 0; a < segs.size(); ++a) {
+        const GridEntry& ea = entries[segs[a]];
+        for (size_t b = a + 1; b < segs.size(); ++b) {
+          const GridEntry& eb = entries[segs[b]];
+          // Skip pairs whose padded boxes are disjoint, and process the
+          // rest only in the lowest-indexed cell both boxes overlap so
+          // each pair is cut exactly once.
+          if (ea.hix < eb.lox || eb.hix < ea.lox || ea.hiy < eb.loy ||
+              eb.hiy < ea.loy) {
+            continue;
+          }
+          if (std::max(ea.ix0, eb.ix0) != cx ||
+              std::max(ea.iy0, eb.iy0) != cy) {
+            continue;
+          }
+          size_t i = static_cast<size_t>(segs[a]);
+          size_t j = static_cast<size_t>(segs[b]);
+          if (i > j) std::swap(i, j);
+          cut_pair(i, j);
+        }
+      }
+    }
+    return true;
   }
 
   void MarkEssentialNodes() {
@@ -462,6 +582,7 @@ class CellComplexBuilder {
   }
 
   const SpatialInstance& instance_;
+  const ArrangementOptions options_;
   CellComplex complex_;
 
   std::vector<RawSeg> raw_;
@@ -480,7 +601,12 @@ class CellComplexBuilder {
 };
 
 Result<CellComplex> CellComplex::Build(const SpatialInstance& instance) {
-  CellComplexBuilder builder(instance);
+  return Build(instance, ArrangementOptions{});
+}
+
+Result<CellComplex> CellComplex::Build(const SpatialInstance& instance,
+                                       const ArrangementOptions& options) {
+  CellComplexBuilder builder(instance, options);
   return builder.Run();
 }
 

@@ -11,6 +11,24 @@
 
 namespace topodb {
 
+// How candidate segment pairs are found during arrangement construction.
+// Both strategies feed the same exact narrow phase (IntersectSegments on
+// rational coordinates), so they produce identical cell complexes; they
+// differ only in running time.
+enum class BroadPhase {
+  // Uniform grid over segment bounding boxes: near-linear on instances
+  // whose segments are short relative to the instance extent (chains,
+  // random rectangles). The default.
+  kGrid,
+  // Test every pair of input segments: O(n^2), kept as the reference
+  // implementation and for workloads that defeat bucketing.
+  kAllPairs,
+};
+
+struct ArrangementOptions {
+  BroadPhase broad_phase = BroadPhase::kGrid;
+};
+
 // The maximal cell complex of a spatial instance (Section 3 of the paper):
 // the planar subdivision induced by all region boundaries, with
 //   - vertices: points where the local boundary structure is not a plain
@@ -73,6 +91,8 @@ class CellComplex {
   // (the instance regions were already validated individually; failures
   // here indicate inconsistent geometry such as zero regions).
   static Result<CellComplex> Build(const SpatialInstance& instance);
+  static Result<CellComplex> Build(const SpatialInstance& instance,
+                                   const ArrangementOptions& options);
 
   const std::vector<std::string>& region_names() const {
     return region_names_;

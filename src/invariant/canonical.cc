@@ -182,6 +182,16 @@ std::string ForestCode(const InvariantData& data, const Precomp& pre,
 
 }  // namespace
 
+std::string EscapeRegionName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '\\' || c == ',') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
 Result<std::string> CanonicalInvariantString(const InvariantData& data,
                                              const CanonicalOptions& options) {
   TOPODB_RETURN_NOT_OK(data.CheckWellFormed());
@@ -190,7 +200,9 @@ Result<std::string> CanonicalInvariantString(const InvariantData& data,
         "exterior-free canonical form requires a connected instance");
   }
   std::string head = "names:";
-  for (const auto& name : data.region_names) head += name + ",";
+  for (const auto& name : data.region_names) {
+    head += EscapeRegionName(name) + ",";
+  }
   head += "#";
   if (data.vertices.empty()) return head + "empty";
   Precomp pre = Precompute(data);
@@ -202,11 +214,10 @@ Result<std::string> CanonicalInvariantString(const InvariantData& data,
   return head + std::min(plain, mirror);
 }
 
-bool Isomorphic(const InvariantData& a, const InvariantData& b) {
-  Result<std::string> ca = CanonicalInvariantString(a);
-  Result<std::string> cb = CanonicalInvariantString(b);
-  TOPODB_CHECK_MSG(ca.ok() && cb.ok(), "invariant not well formed");
-  return *ca == *cb;
+Result<bool> Isomorphic(const InvariantData& a, const InvariantData& b) {
+  TOPODB_ASSIGN_OR_RETURN(std::string ca, CanonicalInvariantString(a));
+  TOPODB_ASSIGN_OR_RETURN(std::string cb, CanonicalInvariantString(b));
+  return ca == cb;
 }
 
 Result<bool> IsomorphicIgnoringExterior(const InvariantData& a,
@@ -218,13 +229,13 @@ Result<bool> IsomorphicIgnoringExterior(const InvariantData& a,
   return ca == cb;
 }
 
-bool IsotopyEquivalent(const InvariantData& a, const InvariantData& b) {
+Result<bool> IsotopyEquivalent(const InvariantData& a,
+                               const InvariantData& b) {
   CanonicalOptions options;
   options.allow_reflection = false;
-  Result<std::string> ca = CanonicalInvariantString(a, options);
-  Result<std::string> cb = CanonicalInvariantString(b, options);
-  TOPODB_CHECK_MSG(ca.ok() && cb.ok(), "invariant not well formed");
-  return *ca == *cb;
+  TOPODB_ASSIGN_OR_RETURN(std::string ca, CanonicalInvariantString(a, options));
+  TOPODB_ASSIGN_OR_RETURN(std::string cb, CanonicalInvariantString(b, options));
+  return ca == cb;
 }
 
 Result<TopologicalInvariant> TopologicalInvariant::Compute(
@@ -239,6 +250,14 @@ Result<TopologicalInvariant> TopologicalInvariant::FromData(
   TOPODB_ASSIGN_OR_RETURN(invariant.canonical_,
                           CanonicalInvariantString(data));
   invariant.data_ = std::move(data);
+  return invariant;
+}
+
+TopologicalInvariant TopologicalInvariant::FromPrecomputed(
+    InvariantData data, std::string canonical) {
+  TopologicalInvariant invariant;
+  invariant.data_ = std::move(data);
+  invariant.canonical_ = std::move(canonical);
   return invariant;
 }
 

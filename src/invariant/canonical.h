@@ -35,6 +35,13 @@ struct CanonicalOptions {
   bool allow_reflection = true;
 };
 
+// Escapes a region name for use in a ','-separated canonical header:
+// '\' becomes "\\" and ',' becomes "\,". The identity on names without
+// those characters, and injective on name *lists* — without it,
+// {"a,b"} and {"a", "b"} would serialize identically and non-isomorphic
+// instances would compare equal.
+std::string EscapeRegionName(const std::string& name);
+
 // Canonical string of the invariant. Deterministic; equal strings iff
 // isomorphic structures (at the chosen level).
 Result<std::string> CanonicalInvariantString(const InvariantData& data,
@@ -45,8 +52,9 @@ inline Result<std::string> CanonicalInvariantString(const InvariantData& d) {
 }
 
 // Theorem 3.4 equivalence: isomorphism of full invariants (identity on
-// names, exterior to exterior, orientation globally consistent).
-bool Isomorphic(const InvariantData& a, const InvariantData& b);
+// names, exterior to exterior, orientation globally consistent). Errors
+// (instead of crashing) when either invariant is not well formed.
+Result<bool> Isomorphic(const InvariantData& a, const InvariantData& b);
 
 // Fig 6 level: isomorphism of (V, E, delta, l, O) ignoring the exterior
 // face. Connected instances only.
@@ -55,14 +63,20 @@ Result<bool> IsomorphicIgnoringExterior(const InvariantData& a,
 
 // [KPV95] level: equivalence under orientation-preserving homeomorphisms
 // (isotopy-generic). Finer than Isomorphic: a chiral instance is not
-// isotopy-equivalent to its mirror image.
-bool IsotopyEquivalent(const InvariantData& a, const InvariantData& b);
+// isotopy-equivalent to its mirror image. Errors when either invariant is
+// not well formed.
+Result<bool> IsotopyEquivalent(const InvariantData& a, const InvariantData& b);
 
 // Convenience wrapper caching the canonical string of an instance.
 class TopologicalInvariant {
  public:
   static Result<TopologicalInvariant> Compute(const SpatialInstance& instance);
   static Result<TopologicalInvariant> FromData(InvariantData data);
+  // For the pipeline cache: wraps data with an externally computed
+  // canonical string, which must equal CanonicalInvariantString(data)
+  // under default options (the pipeline's InvariantCache guarantees this).
+  static TopologicalInvariant FromPrecomputed(InvariantData data,
+                                              std::string canonical);
 
   const InvariantData& data() const { return data_; }
   const std::string& canonical() const { return canonical_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/invariant/canonical.h"
 #include "src/region/region.h"
 
 namespace topodb {
@@ -75,7 +76,7 @@ Result<SInvariant> SInvariant::Compute(const SpatialInstance& instance) {
     if (best.empty() || s < best) best = std::move(s);
   }
   std::string head = "names:";
-  for (const auto& name : names) head += name + ",";
+  for (const auto& name : names) head += EscapeRegionName(name) + ",";
   result.canonical_ = head + "#" + best;
   return result;
 }

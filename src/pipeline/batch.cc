@@ -1,0 +1,63 @@
+#include "src/pipeline/batch.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "src/invariant/data.h"
+
+namespace topodb {
+
+namespace {
+
+Result<TopologicalInvariant> ComputeOne(const SpatialInstance& instance,
+                                        const BatchOptions& options) {
+  TOPODB_ASSIGN_OR_RETURN(CellComplex complex,
+                          CellComplex::Build(instance, options.arrangement));
+  InvariantData data = InvariantData::FromComplex(complex);
+  if (options.cache == nullptr) {
+    return TopologicalInvariant::FromData(std::move(data));
+  }
+  TOPODB_ASSIGN_OR_RETURN(std::string canonical,
+                          options.cache->Canonical(data));
+  return TopologicalInvariant::FromPrecomputed(std::move(data),
+                                               std::move(canonical));
+}
+
+}  // namespace
+
+std::vector<Result<TopologicalInvariant>> BatchComputeInvariants(
+    std::span<const SpatialInstance> instances, const BatchOptions& options) {
+  const size_t n = instances.size();
+  std::vector<Result<TopologicalInvariant>> results(
+      n, Result<TopologicalInvariant>(Status::Internal("not computed")));
+  if (n == 0) return results;
+
+  size_t workers = options.num_threads > 0
+                       ? static_cast<size_t>(options.num_threads)
+                       : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, n);
+
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      results[i] = ComputeOne(instances[i], options);
+    }
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      results[i] = ComputeOne(instances[i], options);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace topodb

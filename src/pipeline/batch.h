@@ -1,0 +1,44 @@
+#ifndef TOPODB_PIPELINE_BATCH_H_
+#define TOPODB_PIPELINE_BATCH_H_
+
+#include <span>
+#include <vector>
+
+#include "src/arrangement/cell_complex.h"
+#include "src/base/status.h"
+#include "src/invariant/canonical.h"
+#include "src/pipeline/invariant_cache.h"
+#include "src/region/instance.h"
+
+namespace topodb {
+
+// The batched invariant pipeline: arrangement construction (grid broad
+// phase by default), invariant extraction, and canonicalization for many
+// instances at once, fanned across a thread pool. This is the serving
+// entry point a query front end batches incoming instances through.
+struct BatchOptions {
+  // Worker threads; 0 means std::thread::hardware_concurrency(), and the
+  // pool never exceeds the number of instances.
+  int num_threads = 0;
+  // Arrangement stage configuration (broad phase choice).
+  ArrangementOptions arrangement;
+  // Optional shared canonical-string cache. When set, repeated structures
+  // across the batch (and across batches using the same cache) are
+  // canonized once.
+  InvariantCache* cache = nullptr;
+};
+
+// Computes the full topological invariant of every instance. Results are
+// positionally aligned with the input; a failure (e.g. inconsistent
+// geometry) is captured per instance and never aborts the batch.
+std::vector<Result<TopologicalInvariant>> BatchComputeInvariants(
+    std::span<const SpatialInstance> instances, const BatchOptions& options);
+
+inline std::vector<Result<TopologicalInvariant>> BatchComputeInvariants(
+    std::span<const SpatialInstance> instances) {
+  return BatchComputeInvariants(instances, BatchOptions{});
+}
+
+}  // namespace topodb
+
+#endif  // TOPODB_PIPELINE_BATCH_H_

@@ -1,0 +1,138 @@
+#include "src/pipeline/invariant_cache.h"
+
+#include <algorithm>
+
+#include "src/arrangement/label.h"
+
+namespace topodb {
+
+namespace {
+
+void AppendInt(int v, std::string* out) {
+  *out += std::to_string(v);
+  *out += ',';
+}
+
+int OptionBits(const CanonicalOptions& options) {
+  return (options.include_exterior ? 1 : 0) |
+         (options.allow_reflection ? 2 : 0);
+}
+
+}  // namespace
+
+std::string StructuralKey(const InvariantData& data) {
+  std::string key;
+  // Rough upper bound: a handful of bytes per dart plus the labels.
+  key.reserve(64 + 16 * data.num_darts());
+  key += "n:";
+  for (const auto& name : data.region_names) {
+    // Length prefix keeps name lists unambiguous regardless of content.
+    key += std::to_string(name.size());
+    key += ':';
+    key += name;
+  }
+  key += ";v:";
+  for (const auto& v : data.vertices) key += LabelString(v.label) + "/";
+  key += ";e:";
+  for (const auto& e : data.edges) {
+    AppendInt(e.v1, &key);
+    AppendInt(e.v2, &key);
+    key += LabelString(e.label) + "/";
+  }
+  key += ";f:";
+  for (const auto& f : data.faces) {
+    key += LabelString(f.label);
+    key += f.unbounded ? "U" : "B";
+    AppendInt(f.outer_cycle_dart, &key);
+  }
+  key += ";r:";
+  for (int d : data.next_ccw) AppendInt(d, &key);
+  key += ";fd:";
+  for (int f : data.face_of_dart) AppendInt(f, &key);
+  key += ";x:";
+  AppendInt(data.exterior_face, &key);
+  return key;
+}
+
+uint64_t StructuralDigest(const InvariantData& data) {
+  const std::string key = StructuralKey(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Result<std::string> InvariantCache::Canonical(const InvariantData& data,
+                                              const CanonicalOptions& options) {
+  const std::string key = StructuralKey(data);
+  uint64_t digest = 1469598103934665603ULL;
+  for (char c : key) {
+    digest ^= static_cast<unsigned char>(c);
+    digest *= 1099511628211ULL;
+  }
+  const int bits = OptionBits(options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(digest);
+    if (it != entries_.end()) {
+      for (const Entry& entry : it->second) {
+        if (entry.option_bits == bits && entry.key == key) {
+          ++stats_.hits;
+          return entry.canonical;
+        }
+      }
+    }
+  }
+  // Compute outside the lock: canonicalization dominates, and concurrent
+  // workers computing the same value converge to one entry below.
+  TOPODB_ASSIGN_OR_RETURN(std::string canonical,
+                          CanonicalInvariantString(data, options));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  std::vector<Entry>& bucket = entries_[digest];
+  const bool present =
+      std::any_of(bucket.begin(), bucket.end(), [&](const Entry& entry) {
+        return entry.option_bits == bits && entry.key == key;
+      });
+  if (!present) bucket.push_back(Entry{key, bits, canonical});
+  return canonical;
+}
+
+Result<bool> InvariantCache::Isomorphic(const InvariantData& a,
+                                        const InvariantData& b) {
+  CanonicalOptions options;
+  TOPODB_ASSIGN_OR_RETURN(std::string ca, Canonical(a, options));
+  TOPODB_ASSIGN_OR_RETURN(std::string cb, Canonical(b, options));
+  return ca == cb;
+}
+
+Result<bool> InvariantCache::IsotopyEquivalent(const InvariantData& a,
+                                               const InvariantData& b) {
+  CanonicalOptions options;
+  options.allow_reflection = false;
+  TOPODB_ASSIGN_OR_RETURN(std::string ca, Canonical(a, options));
+  TOPODB_ASSIGN_OR_RETURN(std::string cb, Canonical(b, options));
+  return ca == cb;
+}
+
+InvariantCache::Stats InvariantCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t InvariantCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [digest, bucket] : entries_) total += bucket.size();
+  return total;
+}
+
+void InvariantCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace topodb

@@ -1,0 +1,79 @@
+#ifndef TOPODB_PIPELINE_INVARIANT_CACHE_H_
+#define TOPODB_PIPELINE_INVARIANT_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/invariant/canonical.h"
+#include "src/invariant/data.h"
+
+namespace topodb {
+
+// A linear-time serialization of everything CanonicalInvariantString reads
+// from an InvariantData (region names, labels, incidences, rotation, face
+// assignment, exterior face). Two InvariantData have equal structural keys
+// iff they are identical structures, so a cache keyed by it can never
+// conflate distinct inputs; computing it is far cheaper than the
+// canonical form, which retries the flag traversal from every dart.
+std::string StructuralKey(const InvariantData& data);
+
+// 64-bit FNV-1a digest of the structural key: the cheap first-level index
+// (dart count, label multiset, region names and the rest of the structure
+// all feed it). Collisions are possible and handled by comparing full
+// keys.
+uint64_t StructuralDigest(const InvariantData& data);
+
+// Memoizes CanonicalInvariantString results. Lookup is two-level: the
+// structural digest buckets candidates, the full structural key confirms
+// the hit, so a cached answer is always exactly what the uncached
+// computation would return. Thread-safe; one instance can be shared by
+// all workers of a batch (see batch.h).
+class InvariantCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  InvariantCache() = default;
+  InvariantCache(const InvariantCache&) = delete;
+  InvariantCache& operator=(const InvariantCache&) = delete;
+
+  // Cache-through equivalent of CanonicalInvariantString(data, options).
+  Result<std::string> Canonical(const InvariantData& data,
+                                const CanonicalOptions& options);
+  Result<std::string> Canonical(const InvariantData& data) {
+    return Canonical(data, CanonicalOptions{});
+  }
+
+  // Cache-through equivalents of the equivalence predicates.
+  Result<bool> Isomorphic(const InvariantData& a, const InvariantData& b);
+  Result<bool> IsotopyEquivalent(const InvariantData& a,
+                                 const InvariantData& b);
+
+  Stats stats() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  // One memoized canonical form; option bits distinguish the four
+  // CanonicalOptions variants of the same structure.
+  struct Entry {
+    std::string key;
+    int option_bits;
+    std::string canonical;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<Entry>> entries_;
+  Stats stats_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_PIPELINE_INVARIANT_CACHE_H_

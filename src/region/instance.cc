@@ -2,7 +2,33 @@
 
 namespace topodb {
 
+Status ValidateRegionName(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("region name must be nonempty");
+  }
+  for (char c : name) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+      return Status::InvalidArgument(
+          "region name must not contain control characters: '" + name + "'");
+    }
+    if (c == ':') {
+      return Status::InvalidArgument("region name must not contain ':': '" +
+                                     name + "'");
+    }
+  }
+  if (name.front() == ' ' || name.back() == ' ') {
+    return Status::InvalidArgument(
+        "region name must not start or end with a blank: '" + name + "'");
+  }
+  if (name.front() == '#') {
+    return Status::InvalidArgument("region name must not start with '#': '" +
+                                   name + "'");
+  }
+  return Status::OK();
+}
+
 Status SpatialInstance::AddRegion(const std::string& name, Region region) {
+  TOPODB_RETURN_NOT_OK(ValidateRegionName(name));
   if (regions_.count(name)) {
     return Status::InvalidArgument("duplicate region name: " + name);
   }

@@ -10,6 +10,13 @@
 
 namespace topodb {
 
+// Checks that a string is usable as a region name: nonempty, no control
+// characters (a newline or tab would break the text serialization), no
+// ':' (the name/extent separator of WriteInstanceText), no leading or
+// trailing blanks (the parser strips them, breaking round trips), and no
+// leading '#' (the parser would read the line as a comment).
+Status ValidateRegionName(const std::string& name);
+
 // A spatial database instance (Section 2): a finite set of region names
 // together with an extent for each name. Names are kept in sorted order so
 // iteration is deterministic.
@@ -17,7 +24,7 @@ class SpatialInstance {
  public:
   SpatialInstance() = default;
 
-  // Fails on duplicate name.
+  // Fails on duplicate or invalid name (see ValidateRegionName).
   Status AddRegion(const std::string& name, Region region);
 
   // Replaces an existing region; fails if the name is absent.

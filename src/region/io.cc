@@ -49,6 +49,10 @@ Result<SpatialInstance> ParseInstanceText(const std::string& text) {
     }
     const std::string name = Strip(line.substr(0, colon));
     if (name.empty()) return LineError(line_no, "empty region name");
+    Status name_ok = ValidateRegionName(name);
+    if (!name_ok.ok()) {
+      return LineError(line_no, "invalid region name: " + name_ok.message());
+    }
     std::string rest = Strip(line.substr(colon + 1));
     if (rest.size() < 2 || rest.front() != '(' || rest.back() != ')') {
       return LineError(line_no, "expected parenthesized vertex list");

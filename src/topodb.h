@@ -20,6 +20,8 @@
 #include "src/invariant/graph_iso.h"    // G_I comparisons (Figs 6, 7).
 #include "src/invariant/s_invariant.h"  // Rect* S-invariant (Fig 14).
 #include "src/invariant/validate.h"     // Labeled planar graphs (Thm 3.8).
+#include "src/pipeline/batch.h"         // Batched invariant pipeline.
+#include "src/pipeline/invariant_cache.h"  // Canonical-string cache.
 #include "src/query/eval.h"             // FO(Region, Region') evaluation.
 #include "src/query/parser.h"
 #include "src/query/rect_eval.h"    // FO(Rect, Rect) (Thm 5.8, Fig 13).

@@ -72,7 +72,7 @@ TEST(TraceTest, TracedDiscHasSquareInvariant) {
   Result<InvariantData> b = ComputeInvariant(SingleRegionInstance());
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_TRUE(Isomorphic(*a, *b));
+  EXPECT_TRUE(*Isomorphic(*a, *b));
 }
 
 TEST(TraceTest, TwoOverlappingDiscsMatchFig1c) {
@@ -90,7 +90,7 @@ TEST(TraceTest, TwoOverlappingDiscsMatchFig1c) {
   Result<InvariantData> reference = ComputeInvariant(Fig1cInstance());
   ASSERT_TRUE(traced.ok());
   ASSERT_TRUE(reference.ok());
-  EXPECT_TRUE(Isomorphic(*traced, *reference));
+  EXPECT_TRUE(*Isomorphic(*traced, *reference));
 }
 
 TEST(TraceTest, EllipseTraces) {
@@ -171,7 +171,7 @@ TEST(CircleRegionTest, OverlappingCirclesFig1cInvariant) {
   Result<InvariantData> reference = ComputeInvariant(Fig1cInstance());
   ASSERT_TRUE(circles.ok());
   ASSERT_TRUE(reference.ok());
-  EXPECT_TRUE(Isomorphic(*circles, *reference));
+  EXPECT_TRUE(*Isomorphic(*circles, *reference));
 }
 
 TEST(CircleRegionTest, RejectsBadRadius) {

@@ -24,7 +24,7 @@ void CheckRoundTrip(const SpatialInstance& instance, const char* what) {
   // Every reconstructed region is a valid polygon with the right name.
   EXPECT_EQ(rebuilt->names(), instance.names()) << what;
   InvariantData back = Inv(*rebuilt);
-  EXPECT_TRUE(Isomorphic(data, back)) << what;
+  EXPECT_TRUE(*Isomorphic(data, back)) << what;
 }
 
 TEST(EmbedTest, SingleRegion) {
@@ -110,8 +110,8 @@ TEST(EmbedTest, ReconstructionFromEvertedInvariantDiffers) {
   Result<SpatialInstance> rebuilt = ReconstructPolyInstance(everted);
   ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
   InvariantData back = Inv(*rebuilt);
-  EXPECT_TRUE(Isomorphic(everted, back));
-  EXPECT_FALSE(Isomorphic(data, back));
+  EXPECT_TRUE(*Isomorphic(everted, back));
+  EXPECT_FALSE(*Isomorphic(data, back));
   // And the reconstruction is itself a valid invariant realization.
   EXPECT_TRUE(ValidateInvariant(back).ok());
 }

@@ -60,23 +60,56 @@ TEST(InvariantDataTest, WellFormedRejectsCorruption) {
   }
 }
 
+TEST(CanonicalTest, HeaderEscapingKeepsNameListsDistinct) {
+  // Regression: the header used to join names with bare ',' so the region
+  // name lists {"a,b"} and {"a","b"} produced identical canonical strings
+  // and non-isomorphic instances compared equal.
+  InvariantData one_name;
+  one_name.region_names = {"a,b"};
+  InvariantData two_names;
+  two_names.region_names = {"a", "b"};
+  Result<std::string> ca = CanonicalInvariantString(one_name);
+  Result<std::string> cb = CanonicalInvariantString(two_names);
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_NE(*ca, *cb);
+  ASSERT_TRUE(Isomorphic(one_name, two_names).ok());
+  EXPECT_FALSE(*Isomorphic(one_name, two_names));
+  // Ordinary names are unchanged by the escaping.
+  EXPECT_EQ(EscapeRegionName("R001"), "R001");
+  EXPECT_EQ(EscapeRegionName("a,b"), "a\\,b");
+  EXPECT_EQ(EscapeRegionName("a\\b"), "a\\\\b");
+}
+
+TEST(CanonicalTest, MalformedDataReturnsErrorNotCrash) {
+  InvariantData bad = Inv(Fig1cInstance());
+  bad.next_ccw.pop_back();  // Dart table size mismatch.
+  EXPECT_FALSE(CanonicalInvariantString(bad).ok());
+  Result<bool> iso = Isomorphic(bad, bad);
+  EXPECT_FALSE(iso.ok());
+  Result<bool> isotopy = IsotopyEquivalent(bad, Inv(Fig1cInstance()));
+  EXPECT_FALSE(isotopy.ok());
+  // Order of arguments does not matter for error propagation.
+  EXPECT_FALSE(Isomorphic(Inv(Fig1cInstance()), bad).ok());
+}
+
 TEST(CanonicalTest, DeterministicAndSelfEqual) {
   InvariantData data = Inv(Fig1aInstance());
   Result<std::string> c1 = CanonicalInvariantString(data);
   Result<std::string> c2 = CanonicalInvariantString(data);
   ASSERT_TRUE(c1.ok());
   EXPECT_EQ(*c1, *c2);
-  EXPECT_TRUE(Isomorphic(data, data));
+  EXPECT_TRUE(*Isomorphic(data, data));
 }
 
 TEST(CanonicalTest, Fig1aVsFig1bNotEquivalent) {
   // The paper's headline example: 4-intersection equivalent instances that
   // are not topologically equivalent.
-  EXPECT_FALSE(Isomorphic(Inv(Fig1aInstance()), Inv(Fig1bInstance())));
+  EXPECT_FALSE(*Isomorphic(Inv(Fig1aInstance()), Inv(Fig1bInstance())));
 }
 
 TEST(CanonicalTest, Fig1cVsFig1dNotEquivalent) {
-  EXPECT_FALSE(Isomorphic(Inv(Fig1cInstance()), Inv(Fig1dInstance())));
+  EXPECT_FALSE(*Isomorphic(Inv(Fig1cInstance()), Inv(Fig1dInstance())));
 }
 
 TEST(CanonicalTest, InvariantUnderAffineMaps) {
@@ -90,7 +123,7 @@ TEST(CanonicalTest, InvariantUnderAffineMaps) {
         *AffineTransform::Make(2, 1, 5, 1, 1, -4)}) {
     Result<SpatialInstance> image = t.ApplyToInstance(base);
     ASSERT_TRUE(image.ok());
-    EXPECT_TRUE(Isomorphic(original, Inv(*image)));
+    EXPECT_TRUE(*Isomorphic(original, Inv(*image)));
   }
 }
 
@@ -103,7 +136,7 @@ TEST(CanonicalTest, InvariantUnderReflection) {
     Result<SpatialInstance> mirrored =
         AffineTransform::MirrorX().ApplyToInstance(base);
     ASSERT_TRUE(mirrored.ok());
-    EXPECT_TRUE(Isomorphic(Inv(base), Inv(*mirrored)));
+    EXPECT_TRUE(*Isomorphic(Inv(base), Inv(*mirrored)));
   }
 }
 
@@ -115,7 +148,7 @@ TEST(CanonicalTest, InvariantUnderTwoPieceLinear) {
   SpatialInstance base = Fig1dInstance();
   Result<SpatialInstance> image = t.ApplyToInstance(base);
   ASSERT_TRUE(image.ok());
-  EXPECT_TRUE(Isomorphic(Inv(base), Inv(*image)));
+  EXPECT_TRUE(*Isomorphic(Inv(base), Inv(*image)));
 }
 
 TEST(CanonicalTest, Fig7aOrientationConsistencyMatters) {
@@ -123,19 +156,19 @@ TEST(CanonicalTest, Fig7aOrientationConsistencyMatters) {
   // each component is chiral, so no global homeomorphism maps I to I'.
   InvariantData i = Inv(Fig7aInstance());
   InvariantData ip = Inv(Fig7aPrimeInstance());
-  EXPECT_FALSE(Isomorphic(i, ip));
+  EXPECT_FALSE(*Isomorphic(i, ip));
   // Mirroring the whole instance is fine.
   Result<SpatialInstance> mirrored =
       AffineTransform::MirrorX().ApplyToInstance(Fig7aInstance());
   ASSERT_TRUE(mirrored.ok());
-  EXPECT_TRUE(Isomorphic(i, Inv(*mirrored)));
+  EXPECT_TRUE(*Isomorphic(i, Inv(*mirrored)));
 }
 
 TEST(CanonicalTest, Fig7bCyclicOrderMatters) {
   // Four tangent diamonds: (A, C, B, D) around the origin vs (A, B, C, D).
   InvariantData i = Inv(Fig7bInstance());
   InvariantData ip = Inv(Fig7bPrimeInstance());
-  EXPECT_FALSE(Isomorphic(i, ip));
+  EXPECT_FALSE(*Isomorphic(i, ip));
 }
 
 int PocketFace(const InvariantData& data, const std::string& label) {
@@ -158,7 +191,7 @@ TEST(CanonicalTest, Fig1dPocketEversionIsSymmetric) {
   ASSERT_NE(pocket, -1);
   Result<InvariantData> everted = data.WithExteriorFace(pocket);
   ASSERT_TRUE(everted.ok());
-  EXPECT_TRUE(Isomorphic(data, *everted));
+  EXPECT_TRUE(*Isomorphic(data, *everted));
 }
 
 TEST(CanonicalTest, Fig6ExteriorFaceMatters) {
@@ -170,7 +203,7 @@ TEST(CanonicalTest, Fig6ExteriorFaceMatters) {
   ASSERT_NE(pocket, -1);
   Result<InvariantData> everted = data.WithExteriorFace(pocket);
   ASSERT_TRUE(everted.ok());
-  EXPECT_FALSE(Isomorphic(data, *everted));
+  EXPECT_FALSE(*Isomorphic(data, *everted));
   Result<bool> weak = IsomorphicIgnoringExterior(data, *everted);
   ASSERT_TRUE(weak.ok());
   EXPECT_TRUE(*weak);
@@ -195,11 +228,11 @@ TEST(CanonicalTest, ContainmentTreeDistinguishesPocketFromOutside) {
   EXPECT_EQ(a.vertices.size(), b.vertices.size());
   EXPECT_EQ(a.edges.size(), b.edges.size());
   EXPECT_EQ(a.faces.size(), b.faces.size());
-  EXPECT_FALSE(Isomorphic(a, b));
+  EXPECT_FALSE(*Isomorphic(a, b));
 }
 
 TEST(CanonicalTest, NestedVsSiblingComponents) {
-  EXPECT_FALSE(Isomorphic(Inv(NestedInstance()), Inv(DisjointPairInstance())));
+  EXPECT_FALSE(*Isomorphic(Inv(NestedInstance()), Inv(DisjointPairInstance())));
 }
 
 TEST(CanonicalTest, NamesMatter) {
@@ -211,7 +244,7 @@ TEST(CanonicalTest, NamesMatter) {
   SpatialInstance z;
   ASSERT_TRUE(z.AddRegion("Z", *Region::MakeRect(Point(0, 0), Point(4, 4)))
                   .ok());
-  EXPECT_FALSE(Isomorphic(Inv(a), Inv(z)));
+  EXPECT_FALSE(*Isomorphic(Inv(a), Inv(z)));
 }
 
 TEST(CanonicalTest, NameSwapOnAsymmetricInstance) {
@@ -226,7 +259,7 @@ TEST(CanonicalTest, NameSwapOnAsymmetricInstance) {
                   .ok());
   ASSERT_TRUE(ba.AddRegion("A", *Region::MakeRect(Point(3, 3), Point(7, 7)))
                   .ok());
-  EXPECT_FALSE(Isomorphic(Inv(ab), Inv(ba)));
+  EXPECT_FALSE(*Isomorphic(Inv(ab), Inv(ba)));
 }
 
 TEST(CanonicalTest, SingleRegionDegenerateEquivalence) {
@@ -237,13 +270,13 @@ TEST(CanonicalTest, SingleRegionDegenerateEquivalence) {
   ASSERT_TRUE(tri.AddRegion("A", *Region::MakePoly({Point(100, 7), Point(104, 7),
                                                     Point(102, 11)}))
                   .ok());
-  EXPECT_TRUE(Isomorphic(square, Inv(tri)));
+  EXPECT_TRUE(*Isomorphic(square, Inv(tri)));
 }
 
 TEST(CanonicalTest, EmptyInstances) {
   InvariantData a = Inv(SpatialInstance());
   InvariantData b = Inv(SpatialInstance());
-  EXPECT_TRUE(Isomorphic(a, b));
+  EXPECT_TRUE(*Isomorphic(a, b));
 }
 
 TEST(CanonicalTest, WrapperCachesCanonical) {
@@ -266,13 +299,13 @@ TEST(IsotopyTest, ChiralInstanceDiffersFromMirror) {
   ASSERT_TRUE(mirrored.ok());
   InvariantData a = Inv(chiral);
   InvariantData b = Inv(*mirrored);
-  EXPECT_TRUE(Isomorphic(a, b));
-  EXPECT_FALSE(IsotopyEquivalent(a, b));
+  EXPECT_TRUE(*Isomorphic(a, b));
+  EXPECT_FALSE(*IsotopyEquivalent(a, b));
   // Orientation-preserving maps preserve isotopy equivalence.
   AffineTransform rotation = *AffineTransform::Make(0, -1, 0, 1, 0, 0);
   Result<SpatialInstance> rotated = rotation.ApplyToInstance(chiral);
   ASSERT_TRUE(rotated.ok());
-  EXPECT_TRUE(IsotopyEquivalent(a, Inv(*rotated)));
+  EXPECT_TRUE(*IsotopyEquivalent(a, Inv(*rotated)));
 }
 
 TEST(IsotopyTest, AchiralInstanceEqualsItsMirror) {
@@ -282,22 +315,22 @@ TEST(IsotopyTest, AchiralInstanceEqualsItsMirror) {
   Result<SpatialInstance> mirrored =
       AffineTransform::MirrorX().ApplyToInstance(base);
   ASSERT_TRUE(mirrored.ok());
-  EXPECT_TRUE(IsotopyEquivalent(Inv(base), Inv(*mirrored)));
+  EXPECT_TRUE(*IsotopyEquivalent(Inv(base), Inv(*mirrored)));
 }
 
 TEST(CanonicalTest, FourIntersectionEquivalentPairsSeparated) {
   // The full Fig 1 statement: {a,b} and {c,d} are 4-intersection
   // equivalent pairs separated by the invariant. (The 4-intersection
   // equivalence itself is asserted in fourint tests.)
-  EXPECT_FALSE(Isomorphic(Inv(Fig1aInstance()), Inv(Fig1bInstance())));
-  EXPECT_FALSE(Isomorphic(Inv(Fig1cInstance()), Inv(Fig1dInstance())));
+  EXPECT_FALSE(*Isomorphic(Inv(Fig1aInstance()), Inv(Fig1bInstance())));
+  EXPECT_FALSE(*Isomorphic(Inv(Fig1cInstance()), Inv(Fig1dInstance())));
   // Sanity: each instance equivalent to a perturbed copy of itself.
   AffineTransform t = *AffineTransform::Make(1, 0, 3, Rational(1, 7), 1, 0);
   for (const SpatialInstance& base :
        {Fig1aInstance(), Fig1bInstance(), Fig1cInstance(), Fig1dInstance()}) {
     Result<SpatialInstance> image = t.ApplyToInstance(base);
     ASSERT_TRUE(image.ok());
-    EXPECT_TRUE(Isomorphic(Inv(base), Inv(*image)));
+    EXPECT_TRUE(*Isomorphic(Inv(base), Inv(*image)));
   }
 }
 

@@ -24,7 +24,7 @@ TEST(IoTest, WriteParseRoundTripPreservesExtents) {
           << name;
     }
     // And therefore the invariants are identical.
-    EXPECT_TRUE(Isomorphic(*ComputeInvariant(instance),
+    EXPECT_TRUE(*Isomorphic(*ComputeInvariant(instance),
                            *ComputeInvariant(*back)));
   }
 }
@@ -67,6 +67,26 @@ TEST(IoTest, ParseErrorsAreLineNumbered) {
   EXPECT_FALSE(no_parens.ok());
   Result<SpatialInstance> empty_name = ParseInstanceText(": (0 0, 1 0, 1 1)\n");
   EXPECT_FALSE(empty_name.ok());
+}
+
+TEST(IoTest, RejectsNamesTheWriterCouldNotRoundTrip) {
+  // A tab inside the name survives Strip but would not round-trip; the
+  // parser reports it as an invalid name with its line number.
+  Result<SpatialInstance> tabbed =
+      ParseInstanceText("ok: (0 0, 4 0, 4 4)\na\tb: (0 0, 4 0, 4 4)\n");
+  EXPECT_FALSE(tabbed.ok());
+  EXPECT_NE(tabbed.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(tabbed.status().message().find("invalid region name"),
+            std::string::npos);
+  // AddRegion refuses the names WriteInstanceText cannot represent, so a
+  // serializable instance can never be constructed with them.
+  SpatialInstance instance;
+  EXPECT_FALSE(
+      instance.AddRegion("a:b", *Region::MakeRect(Point(0, 0), Point(1, 1)))
+          .ok());
+  EXPECT_FALSE(
+      instance.AddRegion("a\nb", *Region::MakeRect(Point(0, 0), Point(1, 1)))
+          .ok());
 }
 
 TEST(IoTest, RejectsInvalidPolygons) {

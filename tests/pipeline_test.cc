@@ -1,0 +1,146 @@
+// The batched invariant pipeline: canonical-string cache exactness and the
+// thread-pooled batch API (src/pipeline/).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/invariant/data.h"
+#include "src/pipeline/batch.h"
+#include "src/pipeline/invariant_cache.h"
+#include "src/region/fixtures.h"
+#include "src/workload/generators.h"
+
+namespace topodb {
+namespace {
+
+std::vector<SpatialInstance> MixedWorkload() {
+  return {Fig1aInstance(),        Fig1bInstance(),
+          Fig1cInstance(),        Fig1dInstance(),
+          NestedInstance(),       *ChainInstance(4),
+          *CombInstance(3),       *NestedRingsInstance(3),
+          *RandomRectInstance(5, 40, 7), *RandomRectInstance(6, 40, 8)};
+}
+
+TEST(InvariantCacheTest, AgreesWithUncachedComputation) {
+  InvariantCache cache;
+  for (const SpatialInstance& instance : MixedWorkload()) {
+    InvariantData data = *ComputeInvariant(instance);
+    Result<std::string> direct = CanonicalInvariantString(data);
+    Result<std::string> cached = cache.Canonical(data);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(cached.ok());
+    EXPECT_EQ(*direct, *cached);
+    // Second lookup of the same structure must hit.
+    EXPECT_EQ(*cache.Canonical(data), *direct);
+  }
+  const InvariantCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, MixedWorkload().size());
+  EXPECT_EQ(stats.hits, MixedWorkload().size());
+}
+
+TEST(InvariantCacheTest, OptionVariantsAreCachedSeparately) {
+  InvariantCache cache;
+  InvariantData data = *ComputeInvariant(Fig1aInstance());
+  CanonicalOptions isotopy;
+  isotopy.allow_reflection = false;
+  EXPECT_EQ(*cache.Canonical(data), *CanonicalInvariantString(data));
+  EXPECT_EQ(*cache.Canonical(data, isotopy),
+            *CanonicalInvariantString(data, isotopy));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(InvariantCacheTest, CachedPredicatesMatchDirectOnes) {
+  InvariantCache cache;
+  InvariantData a = *ComputeInvariant(*CombInstance(2));
+  InvariantData b = *ComputeInvariant(*CombInstance(3));
+  EXPECT_EQ(*cache.Isomorphic(a, a), *Isomorphic(a, a));
+  EXPECT_EQ(*cache.Isomorphic(a, b), *Isomorphic(a, b));
+  EXPECT_EQ(*cache.IsotopyEquivalent(a, b), *IsotopyEquivalent(a, b));
+}
+
+TEST(InvariantCacheTest, MalformedDataErrorsAndIsNotCached) {
+  InvariantData bad;
+  bad.region_names = {"A"};
+  bad.vertices.push_back({CellLabel{Sign::kExterior}});
+  bad.edges.push_back({0, 0, CellLabel{Sign::kBoundary}});
+  // next_ccw/face_of_dart left empty: dart table size mismatch.
+  InvariantCache cache;
+  EXPECT_FALSE(cache.Canonical(bad).ok());
+  EXPECT_FALSE(cache.Canonical(bad).ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(StructuralKeyTest, LengthPrefixKeepsNameListsDistinct) {
+  InvariantData a, b;
+  a.region_names = {"a,b"};
+  b.region_names = {"a", "b"};
+  EXPECT_NE(StructuralKey(a), StructuralKey(b));
+}
+
+TEST(BatchTest, MatchesSerialComputation) {
+  const std::vector<SpatialInstance> instances = MixedWorkload();
+  for (int threads : {1, 4}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    auto results = BatchComputeInvariants(instances, options);
+    ASSERT_EQ(results.size(), instances.size());
+    for (size_t i = 0; i < instances.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+      Result<TopologicalInvariant> serial =
+          TopologicalInvariant::Compute(instances[i]);
+      ASSERT_TRUE(serial.ok());
+      EXPECT_EQ(results[i]->canonical(), serial->canonical()) << i;
+    }
+  }
+}
+
+TEST(BatchTest, SharedCacheDeduplicatesRepeatedStructures) {
+  std::vector<SpatialInstance> instances(8, *CombInstance(2));
+  InvariantCache cache;
+  BatchOptions options;
+  options.num_threads = 4;
+  options.cache = &cache;
+  auto results = BatchComputeInvariants(instances, options);
+  const std::string expected =
+      TopologicalInvariant::Compute(instances[0])->canonical();
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->canonical(), expected);
+  }
+  // All eight instances share one structure: one cache entry, and every
+  // lookup is accounted for.
+  EXPECT_EQ(cache.size(), 1u);
+  const InvariantCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, instances.size());
+}
+
+TEST(BatchTest, AllPairsBroadPhaseProducesSameInvariants) {
+  const std::vector<SpatialInstance> instances = MixedWorkload();
+  BatchOptions grid;
+  BatchOptions all_pairs;
+  all_pairs.arrangement.broad_phase = BroadPhase::kAllPairs;
+  auto with_grid = BatchComputeInvariants(instances, grid);
+  auto with_all_pairs = BatchComputeInvariants(instances, all_pairs);
+  for (size_t i = 0; i < instances.size(); ++i) {
+    ASSERT_TRUE(with_grid[i].ok());
+    ASSERT_TRUE(with_all_pairs[i].ok());
+    EXPECT_EQ(with_grid[i]->canonical(), with_all_pairs[i]->canonical()) << i;
+  }
+}
+
+TEST(BatchTest, EmptyBatchReturnsNoResults) {
+  EXPECT_TRUE(BatchComputeInvariants({}).empty());
+}
+
+TEST(BatchTest, DefaultThreadCountHandlesLargeBatch) {
+  std::vector<SpatialInstance> instances;
+  for (int seed = 1; seed <= 24; ++seed) {
+    instances.push_back(*RandomRectInstance(4, 30, seed));
+  }
+  auto results = BatchComputeInvariants(instances);
+  for (const auto& result : results) EXPECT_TRUE(result.ok());
+}
+
+}  // namespace
+}  // namespace topodb

@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include "src/arrangement/cell_complex.h"
 #include "src/embed/embed.h"
 #include "src/fourint/four_intersection.h"
 #include "src/invariant/canonical.h"
 #include "src/invariant/validate.h"
+#include "src/pipeline/invariant_cache.h"
 #include "src/query/eval.h"
 #include "src/region/transform.h"
 #include "src/thematic/thematic.h"
@@ -54,7 +56,7 @@ TEST_P(RandomInstanceProperty, ThematicRoundTrip) {
   InvariantData data = *ComputeInvariant(Instance());
   Result<InvariantData> back = FromThematic(ToThematic(data));
   ASSERT_TRUE(back.ok()) << back.status().ToString();
-  EXPECT_TRUE(Isomorphic(data, *back));
+  EXPECT_TRUE(*Isomorphic(data, *back));
 }
 
 TEST_P(RandomInstanceProperty, AffineAndMirrorInvariance) {
@@ -63,11 +65,35 @@ TEST_P(RandomInstanceProperty, AffineAndMirrorInvariance) {
   AffineTransform affine = *AffineTransform::Make(3, 1, -7, 1, 2, 4);
   Result<SpatialInstance> moved = affine.ApplyToInstance(instance);
   ASSERT_TRUE(moved.ok());
-  EXPECT_TRUE(Isomorphic(original, *ComputeInvariant(*moved)));
+  EXPECT_TRUE(*Isomorphic(original, *ComputeInvariant(*moved)));
   Result<SpatialInstance> mirrored =
       AffineTransform::MirrorX().ApplyToInstance(instance);
   ASSERT_TRUE(mirrored.ok());
-  EXPECT_TRUE(Isomorphic(original, *ComputeInvariant(*mirrored)));
+  EXPECT_TRUE(*Isomorphic(original, *ComputeInvariant(*mirrored)));
+}
+
+TEST_P(RandomInstanceProperty, GridAndAllPairsArrangementsAgree) {
+  SpatialInstance instance = Instance();
+  ArrangementOptions grid;
+  ArrangementOptions all_pairs;
+  all_pairs.broad_phase = BroadPhase::kAllPairs;
+  Result<CellComplex> with_grid = CellComplex::Build(instance, grid);
+  Result<CellComplex> with_all_pairs = CellComplex::Build(instance, all_pairs);
+  ASSERT_TRUE(with_grid.ok());
+  ASSERT_TRUE(with_all_pairs.ok());
+  // The broad phases must produce identical complexes cell by cell; the
+  // debug dump covers vertices, edges, faces, labels and incidences.
+  EXPECT_EQ(with_grid->DebugString(), with_all_pairs->DebugString());
+}
+
+TEST_P(RandomInstanceProperty, CachedCanonicalAgreesWithUncached) {
+  InvariantData data = *ComputeInvariant(Instance());
+  InvariantCache cache;
+  Result<std::string> direct = CanonicalInvariantString(data);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*cache.Canonical(data), *direct);  // Cold: computes.
+  EXPECT_EQ(*cache.Canonical(data), *direct);  // Warm: cache hit.
+  EXPECT_EQ(cache.stats().hits, 1u);
 }
 
 TEST_P(RandomInstanceProperty, FourIntInverseConsistency) {
@@ -125,8 +151,8 @@ TEST_P(CombFamilyProperty, TeethCountIsInvariant) {
   const int teeth = GetParam();
   InvariantData a = *ComputeInvariant(*CombInstance(teeth));
   InvariantData b = *ComputeInvariant(*CombInstance(teeth + 1));
-  EXPECT_FALSE(Isomorphic(a, b));
-  EXPECT_TRUE(Isomorphic(a, *ComputeInvariant(*CombInstance(teeth))));
+  EXPECT_FALSE(*Isomorphic(a, b));
+  EXPECT_TRUE(*Isomorphic(a, *ComputeInvariant(*CombInstance(teeth))));
 }
 
 TEST_P(CombFamilyProperty, EmbedRoundTrip) {
@@ -134,7 +160,7 @@ TEST_P(CombFamilyProperty, EmbedRoundTrip) {
   InvariantData data = *ComputeInvariant(*CombInstance(teeth));
   Result<SpatialInstance> rebuilt = ReconstructPolyInstance(data);
   ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
-  EXPECT_TRUE(Isomorphic(data, *ComputeInvariant(*rebuilt)));
+  EXPECT_TRUE(*Isomorphic(data, *ComputeInvariant(*rebuilt)));
 }
 
 INSTANTIATE_TEST_SUITE_P(Teeth, CombFamilyProperty,
@@ -149,7 +175,7 @@ TEST_P(NestedFamilyProperty, ContainmentChainDepth) {
   EXPECT_TRUE(ValidateInvariant(data).ok());
   // Depth is a topological invariant of the family.
   InvariantData deeper = *ComputeInvariant(*NestedRingsInstance(depth + 1));
-  EXPECT_FALSE(Isomorphic(data, deeper));
+  EXPECT_FALSE(*Isomorphic(data, deeper));
 }
 
 TEST_P(NestedFamilyProperty, EmbedRoundTrip) {
@@ -157,7 +183,7 @@ TEST_P(NestedFamilyProperty, EmbedRoundTrip) {
   InvariantData data = *ComputeInvariant(*NestedRingsInstance(depth));
   Result<SpatialInstance> rebuilt = ReconstructPolyInstance(data);
   ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
-  EXPECT_TRUE(Isomorphic(data, *ComputeInvariant(*rebuilt)));
+  EXPECT_TRUE(*Isomorphic(data, *ComputeInvariant(*rebuilt)));
 }
 
 INSTANTIATE_TEST_SUITE_P(Depth, NestedFamilyProperty,
@@ -173,7 +199,7 @@ TEST_P(EmbedRoundTripProperty, RandomInstances) {
   InvariantData data = *ComputeInvariant(instance);
   Result<SpatialInstance> rebuilt = ReconstructPolyInstance(data);
   ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
-  EXPECT_TRUE(Isomorphic(data, *ComputeInvariant(*rebuilt)))
+  EXPECT_TRUE(*Isomorphic(data, *ComputeInvariant(*rebuilt)))
       << "seed " << GetParam();
 }
 

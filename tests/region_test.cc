@@ -75,6 +75,23 @@ TEST(InstanceTest, AddLookupRemove) {
   EXPECT_TRUE(instance.empty());
 }
 
+TEST(InstanceTest, RejectsNamesThatBreakSerialization) {
+  SpatialInstance instance;
+  Region rect = *Region::MakeRect(Point(0, 0), Point(1, 1));
+  // ':' is the name/extent separator of the text format; control
+  // characters break line framing; '#' starts a comment line; stray
+  // blanks are stripped by the parser, breaking round trips.
+  for (const char* bad : {"a:b", "a\nb", "a\tb", "", "#x", " x", "x "}) {
+    EXPECT_FALSE(instance.AddRegion(bad, rect).ok()) << "'" << bad << "'";
+    EXPECT_FALSE(ValidateRegionName(bad).ok()) << "'" << bad << "'";
+  }
+  // Interior blanks, punctuation and unicode are fine.
+  for (const char* good : {"a b", "a,b", "R(1)", "zone_9"}) {
+    EXPECT_TRUE(ValidateRegionName(good).ok()) << "'" << good << "'";
+  }
+  EXPECT_TRUE(instance.empty());
+}
+
 TEST(InstanceTest, NamesSorted) {
   SpatialInstance instance = Fig1aInstance();
   std::vector<std::string> expected = {"A", "B", "C"};

@@ -72,7 +72,7 @@ TEST(SInvariantTest, Fig14AlignedVsDiagonalPair) {
   Result<InvariantData> td = ComputeInvariant(diagonal);
   ASSERT_TRUE(ta.ok());
   ASSERT_TRUE(td.ok());
-  EXPECT_TRUE(Isomorphic(*ta, *td));
+  EXPECT_TRUE(*Isomorphic(*ta, *td));
   // ...but not S-equivalent.
   Result<SInvariant> sa = SInvariant::Compute(aligned);
   Result<SInvariant> sd = SInvariant::Compute(diagonal);

@@ -40,7 +40,7 @@ TEST(ThematicTest, RoundTripPreservesInvariant) {
     ThematicInstance theme = ToThematic(data);
     Result<InvariantData> back = FromThematic(theme);
     ASSERT_TRUE(back.ok()) << back.status().ToString();
-    EXPECT_TRUE(Isomorphic(data, *back)) << data.DebugString();
+    EXPECT_TRUE(*Isomorphic(data, *back)) << data.DebugString();
     // Labels are re-derived exactly; cells may be renumbered (ids sort as
     // strings), so compare label multisets.
     auto label_multiset = [](const auto& cells) {

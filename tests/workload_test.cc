@@ -36,12 +36,12 @@ TEST(WorkloadTest, CombMatchesFig1Family) {
   Result<SpatialInstance> two = CombInstance(2);
   ASSERT_TRUE(one.ok());
   ASSERT_TRUE(two.ok());
-  EXPECT_TRUE(Isomorphic(*ComputeInvariant(*one),
+  EXPECT_TRUE(*Isomorphic(*ComputeInvariant(*one),
                          *ComputeInvariant(Fig1cInstance())));
-  EXPECT_TRUE(Isomorphic(*ComputeInvariant(*two),
+  EXPECT_TRUE(*Isomorphic(*ComputeInvariant(*two),
                          *ComputeInvariant(Fig1dInstance())));
   // Teeth count is a topological invariant of the family.
-  EXPECT_FALSE(Isomorphic(*ComputeInvariant(*CombInstance(3)),
+  EXPECT_FALSE(*Isomorphic(*ComputeInvariant(*CombInstance(3)),
                           *ComputeInvariant(*CombInstance(4))));
 }
 
