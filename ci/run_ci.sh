@@ -4,7 +4,10 @@
 #   1. Configure + build + full ctest suite in build-ci/ (the same command
 #      sequence as ROADMAP.md's verify step, in a separate tree so a
 #      developer's ./build is left alone).
-#   2. Rebuild the test suite under ASan+UBSan in build-asan/ and run it.
+#   2. Smoke-run the pipeline benches (batch invariants + query evaluation)
+#      so their reports, verdict assertions and every strategy/thread code
+#      path execute on each CI run; any nonzero exit fails CI.
+#   3. Rebuild the test suite under ASan+UBSan in build-asan/ and run it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +20,16 @@ run_suite() {
 
 echo "==> tier-1: build + ctest"
 run_suite build-ci
+
+echo "==> bench smoke: pipeline batch + query evaluation"
+# TOPODB_BENCH_SMOKE shrinks workloads/repetitions; --benchmark_min_time
+# caps each timing series at 0.01s. bench_query_eval exits nonzero on any
+# baseline-vs-bitset verdict mismatch, making the smoke run a correctness
+# gate, not just a liveness check.
+TOPODB_BENCH_SMOKE=1 ./build-ci/bench/bench_pipeline_batch \
+  --benchmark_min_time=0.01
+TOPODB_BENCH_SMOKE=1 ./build-ci/bench/bench_query_eval \
+  --benchmark_min_time=0.01
 
 if [[ "${1:-}" != "--no-sanitizers" ]]; then
   echo "==> sanitizers: ASan + UBSan"

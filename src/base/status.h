@@ -115,6 +115,9 @@ class Result {
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  // Rvalue deref moves the value out, so `T x = *MakeT();` works for
+  // move-only T (e.g. QueryEngine).
+  T&& operator*() && { return std::move(*this).value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 

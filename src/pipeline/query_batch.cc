@@ -1,0 +1,76 @@
+#include "src/pipeline/query_batch.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+namespace topodb {
+
+namespace {
+
+// Runs fn(i) for i in [0, n) across a pool of workers (serially when the
+// effective worker count is 1). Same shape as BatchComputeInvariants.
+template <typename Fn>
+void ForEachIndex(size_t n, int num_threads, Fn&& fn) {
+  if (n == 0) return;
+  size_t workers = num_threads > 0
+                       ? static_cast<size_t>(num_threads)
+                       : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
+std::vector<Result<bool>> BatchEvaluateQueries(
+    const QueryEngine& engine, std::span<const std::string> queries,
+    const QueryBatchOptions& options) {
+  std::vector<Result<bool>> results(
+      queries.size(), Result<bool>(Status::Internal("not computed")));
+  // QueryEngine::Evaluate is const and thread-safe; its caches warm up
+  // across the whole batch.
+  ForEachIndex(queries.size(), options.num_threads, [&](size_t i) {
+    results[i] = engine.Evaluate(queries[i], options.eval);
+  });
+  return results;
+}
+
+std::vector<Result<bool>> BatchEvaluateQuery(
+    const std::string& query, std::span<const SpatialInstance> instances,
+    const QueryBatchOptions& options) {
+  std::vector<Result<bool>> results(
+      instances.size(), Result<bool>(Status::Internal("not computed")));
+  // Parse once; evaluation failures stay per-instance, but a malformed
+  // query fails the whole batch uniformly.
+  Result<FormulaPtr> formula = ParseQuery(query);
+  if (!formula.ok()) {
+    for (auto& r : results) r = formula.status();
+    return results;
+  }
+  ForEachIndex(instances.size(), options.num_threads, [&](size_t i) {
+    Result<QueryEngine> engine = QueryEngine::Build(instances[i]);
+    if (!engine.ok()) {
+      results[i] = engine.status();
+      return;
+    }
+    results[i] = engine->Evaluate(*formula, options.eval);
+  });
+  return results;
+}
+
+}  // namespace topodb

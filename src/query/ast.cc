@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/query/parser.h"
+
 namespace topodb {
 
 const char* PredicateName(Predicate p) {
@@ -24,6 +26,16 @@ const char* PredicateName(Predicate p) {
 
 namespace {
 
+// Renders a term so the output reparses to the same AST: name constants
+// that are not plain identifiers (or would lex as keywords) are quoted.
+std::string TermText(const Term& term) {
+  if (term.kind == Term::Kind::kNameConstant &&
+      !IsPlainQueryIdentifier(term.text)) {
+    return QuoteQueryName(term.text);
+  }
+  return term.text;
+}
+
 const char* VarKindName(Formula::VarKind kind) {
   switch (kind) {
     case Formula::VarKind::kRegion: return "region";
@@ -42,11 +54,11 @@ std::string Formula::ToString() const {
     case Kind::kTrue: os << "true"; break;
     case Kind::kFalse: os << "false"; break;
     case Kind::kAtom:
-      os << PredicateName(predicate) << "(" << lhs.text << ", " << rhs.text
-         << ")";
+      os << PredicateName(predicate) << "(" << TermText(lhs) << ", "
+         << TermText(rhs) << ")";
       break;
     case Kind::kNameEq:
-      os << lhs.text << " = " << rhs.text;
+      os << TermText(lhs) << " = " << TermText(rhs);
       break;
     case Kind::kNot:
       os << "not (" << left->ToString() << ")";

@@ -1,0 +1,141 @@
+#ifndef TOPODB_QUERY_CELLSET_H_
+#define TOPODB_QUERY_CELLSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace topodb {
+
+// A set of cells of one arrangement, packed 64 cells per word. This is the
+// value type of the fast Section-7 evaluator (eval.cc): every atom of the
+// region language reduces to word-parallel AND/OR/subset/emptiness tests
+// over these, so evaluation cost per atom is O(cells / 64) instead of the
+// byte-per-cell loops of the baseline evaluator.
+//
+// All binary operations require both operands to have the same size_bits()
+// (they always describe the same arrangement); trailing bits of the last
+// word are kept zero so count/equality/hash never see garbage.
+class CellSet {
+ public:
+  CellSet() = default;
+  explicit CellSet(int bits)
+      : bits_(bits), words_((static_cast<size_t>(bits) + 63) / 64, 0) {}
+
+  int size_bits() const { return bits_; }
+  size_t size_words() const { return words_.size(); }
+  // Raw word access (word i covers cells [64*i, 64*i+64)).
+  uint64_t word(size_t i) const { return words_[i]; }
+  // Raw word write; the caller must keep trailing bits beyond size_bits()
+  // zero (count/equality/hash assume it).
+  void set_word(size_t i, uint64_t value) { words_[i] = value; }
+
+  void Assign(int bits) {
+    bits_ = bits;
+    words_.assign((static_cast<size_t>(bits) + 63) / 64, 0);
+  }
+  void Clear() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  void Set(int i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Reset(int i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(int i) const {
+    return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w) return true;
+    }
+    return false;
+  }
+  bool None() const { return !Any(); }
+
+  int Count() const {
+    int n = 0;
+    for (uint64_t w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  // Nonempty intersection, without materializing it.
+  bool Intersects(const CellSet& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  bool IsSubsetOf(const CellSet& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~other.words_[i]) return false;
+    }
+    return true;
+  }
+
+  CellSet& operator|=(const CellSet& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+  CellSet& operator&=(const CellSet& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+  // this := this \ other.
+  CellSet& AndNot(const CellSet& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  friend bool operator==(const CellSet& a, const CellSet& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+  // FNV-1a over the words; used to bucket memo entries (full equality
+  // confirms hits, so collisions are handled, never wrong).
+  uint64_t Hash() const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t w : words_) {
+      for (int b = 0; b < 64; b += 8) {
+        h ^= (w >> b) & 0xff;
+        h *= 0x100000001b3ULL;
+      }
+    }
+    return h;
+  }
+
+  // Calls fn(i) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w) {
+        const int b = std::countr_zero(w);
+        fn(static_cast<int>(wi * 64) + b);
+        w &= w - 1;
+      }
+    }
+  }
+
+  // Conversions to/from the baseline evaluator's byte-per-cell encoding.
+  std::vector<char> ToCharVector() const {
+    std::vector<char> out(bits_, 0);
+    ForEachSetBit([&](int i) { out[i] = 1; });
+    return out;
+  }
+  static CellSet FromCharVector(const std::vector<char>& v) {
+    CellSet s(static_cast<int>(v.size()));
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i]) s.Set(static_cast<int>(i));
+    }
+    return s;
+  }
+
+ private:
+  int bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_QUERY_CELLSET_H_

@@ -3,24 +3,65 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/arrangement/cell_complex.h"
 #include "src/base/status.h"
 #include "src/query/ast.h"
+#include "src/query/cellset.h"
 #include "src/query/parser.h"
 #include "src/region/instance.h"
 
 namespace topodb {
 
+// Which evaluator answers a query. Both produce identical verdicts and
+// identical error points (the differential property suite asserts this);
+// they differ only in running time.
+enum class EvalStrategy {
+  // Packed-word cell sets (cellset.h): closures precomputed per cell,
+  // atoms evaluated by word-parallel bit operations, disc checks memoized
+  // per face-set hash, and the region-quantifier range materialized once
+  // per engine and shared across bindings, evaluations and batches. The
+  // default.
+  kBitset,
+  // The byte-per-cell reference evaluator: per-atom closure recomputation
+  // and a fresh unmemoized disc-union enumeration per quantifier binding.
+  // Kept selectable so correctness of every optimization is testable.
+  kBaseline,
+};
+
 struct EvalOptions {
-  // Total budget of candidate region values enumerated across all region
-  // quantifiers of one evaluation. The Section-7 disc-union range is
-  // exponential in the face count (the language has PSPACE query
-  // complexity); the budget turns blowups into ResourceExhausted errors
-  // instead of hangs.
+  // Budget of legitimate region values (open-disc candidates) consumed
+  // across all region quantifiers of one evaluation. The Section-7
+  // disc-union range is exponential in the face count (the language has
+  // PSPACE query complexity); the budget turns blowups into
+  // ResourceExhausted errors instead of hangs. The budget is charged per
+  // *disc* value (after the disc check), so for a quantifier that must
+  // exhaust its range the exhaustion point depends only on the number of
+  // disc values — an invariant of the instance's topology — and not on
+  // the face ordering of a particular arrangement build.
   int64_t max_region_candidates = 200000;
+  // Backstop on raw connected face sets enumerated per region-quantifier
+  // instantiation (disc values are typically dense among connected sets,
+  // but a pathological instance could interleave exponentially many
+  // non-disc candidates between discs, which max_region_candidates alone
+  // would not bound). Both evaluators charge this identically, so verdicts
+  // stay aligned.
+  int64_t max_enumeration_steps = int64_t{1} << 22;
+  // Evaluator selection; see EvalStrategy.
+  EvalStrategy strategy = EvalStrategy::kBitset;
+  // When > 1 and the query's outermost connective is a name/cell/region
+  // quantifier, its bindings are fanned across this many threads; the
+  // first witness (exists) or counterexample (forall) wins via an atomic
+  // flag. Bindings are independent, so this is safe; each binding's
+  // subtree gets its own max_region_candidates budget (the shared global
+  // budget of the sequential evaluator cannot be split deterministically
+  // across racing workers). Verdicts match the sequential evaluator on
+  // every evaluation that does not exhaust a budget.
+  int num_threads = 1;
 };
 
 // Evaluates region-based FO queries over one spatial instance, using the
@@ -34,10 +75,19 @@ struct EvalOptions {
 //   - 'name' variables range over names(I);
 //   - atoms are connect and the 4-intersection relationships, evaluated
 //     exactly on cell sets.
+//
+// Evaluate is const and thread-safe: the bitset evaluator's shared caches
+// (the memoized disc checks and the materialized region-quantifier range)
+// are internally synchronized, so one engine can serve many concurrent
+// evaluations (see pipeline/query_batch.h).
 class QueryEngine {
  public:
   // Builds the cell complex of the instance once; queries evaluate on it.
   static Result<QueryEngine> Build(const SpatialInstance& instance);
+
+  QueryEngine(QueryEngine&&) noexcept;
+  QueryEngine& operator=(QueryEngine&&) noexcept;
+  ~QueryEngine();
 
   Result<bool> Evaluate(const FormulaPtr& query,
                         const EvalOptions& options = {}) const;
@@ -54,16 +104,78 @@ class QueryEngine {
   Result<std::vector<char>> RegionValue(const std::string& name) const;
 
   // True iff the completion of the face set is an open disc (used by the
-  // quantifier range; exposed for tests and benches).
+  // quantifier range; exposed for tests and benches). This is the
+  // unmemoized reference implementation the baseline evaluator uses; the
+  // bitset evaluator's memoized CellSet twin is asserted equivalent by the
+  // differential property suite.
+  //
+  // Completion rule, explicitly: a vertex joins the completion iff it has
+  // at least one incident face and all of its incident faces are chosen.
+  // The arrangement never emits dart-less vertices (every vertex is an
+  // endpoint of at least one overlay edge), but a hypothetical isolated
+  // vertex must be *skipped*, not vacuously included: it lies in the
+  // closure of no chosen face, so completing it into every candidate
+  // would silently poison connectivity.
   bool IsDiscValue(const std::vector<char>& face_set,
                    std::vector<char>* completed) const;
 
+  // CellSet twin of the above, memoized per face-set hash (full-key
+  // equality confirms hits): repeated checks of the same face set — from
+  // any thread — pay the topology BFS once. On a miss it runs the
+  // face-level fast check when the complex has no dart-less vertex, the
+  // exact cell-level check otherwise; the differential property suite
+  // asserts agreement with the reference overload. On a non-disc result
+  // *completed is empty.
+  bool IsDiscValue(const CellSet& face_set, CellSet* completed) const;
+
  private:
+  friend class BaselineEvaluator;
+  friend class BitsetEvaluator;
+
   explicit QueryEngine(CellComplex complex);
   void BuildUniverse();
 
-  struct Env;
-  class Evaluator;
+  // One materialized region-quantifier candidate: the completed open-disc
+  // cell set, its topological closure, and the 1-based index of the raw
+  // connected face set that produced it (for deterministic enumeration
+  // accounting).
+  struct DiscValue {
+    CellSet cells;
+    CellSet closure;
+    int64_t raw_index = 0;
+  };
+
+  // Exact cell-level CellSet disc check (unmemoized; the general path for
+  // complexes with dart-less vertices).
+  bool ComputeDiscValueBits(const CellSet& face_set,
+                            CellSet* completed) const;
+
+  // Face-level disc check: equivalent to the cell-level one whenever no
+  // vertex is dart-less (completion connectivity reduces to dual
+  // connectivity of the chosen faces, sphere-complement connectivity to
+  // connectivity of the unchosen faces over face_adj_ext_), but runs BFS
+  // over nf_ faces instead of all cells and defers materializing the
+  // completion until the set is known to be a disc.
+  bool FaceSetIsDisc(const CellSet& face_set) const;
+  // The completion of a face set (no disc checking): chosen faces, edges
+  // with both sides chosen, vertices with >= 1 incident face, all chosen.
+  void CompleteFaceSet(const CellSet& face_set, CellSet* completed) const;
+
+  // Returns the k-th disc value of the shared materialized quantifier
+  // range, lazily extending it (thread-safe); nullptr when the range is
+  // exhausted before k. Errors with ResourceExhausted when reaching the
+  // k-th disc (or exhaustion) would take more than max_steps raw
+  // candidates — the same iteration point at which the baseline
+  // evaluator's fresh enumeration errors.
+  Result<const DiscValue*> FetchDiscValue(int64_t k, int64_t max_steps) const;
+
+  // Topological closure of an arbitrary cell set (union of per-cell
+  // precomputed closures).
+  CellSet ClosureBits(const CellSet& cells) const;
+
+  // Parallel fan-out of the outermost quantifier (options.num_threads > 1).
+  Result<bool> EvaluateParallel(const FormulaPtr& query,
+                                const EvalOptions& options) const;
 
   CellComplex complex_;
   // Cell ids: [0, nv) vertices, [nv, nv+ne) edges, [nv+ne, nv+ne+nf) faces.
@@ -73,8 +185,30 @@ class QueryEngine {
   std::vector<std::vector<int>> incidence_;  // Symmetric incidence graph.
   std::vector<std::vector<int>> face_dual_;  // Faces sharing an edge
                                              // (face-local indices).
+  std::vector<std::vector<int>> face_adj_ext_;  // Faces sharing an edge or
+                                                // a vertex (for the
+                                                // face-level complement
+                                                // connectivity check).
+  // Single-word neighbor masks (only when nf_ <= 64): the disc check's
+  // connectivity BFS becomes a handful of OR/AND word operations.
+  std::vector<uint64_t> face_dual_mask_;
+  std::vector<uint64_t> face_adj_ext_mask_;
+  bool has_isolated_vertex_ = false;  // Any dart-less vertex? (Forces the
+                                      // exact cell-level disc check.)
   std::vector<std::vector<int>> vertex_faces_;  // Incident faces per vertex.
+  std::vector<std::pair<int, int>> edge_faces_;  // EdgeFaces(e), flattened.
   std::map<std::string, std::vector<char>> region_values_;
+
+  // Bitset universe: per-cell closures *including* the cell itself, so the
+  // closure of any set is the word-parallel OR over its members.
+  std::vector<CellSet> closure_bits_;
+  std::map<std::string, CellSet> region_bits_;
+  std::map<std::string, CellSet> region_closure_bits_;
+
+  // Internally synchronized mutable caches (disc-check memo + materialized
+  // quantifier range); behind a pointer to keep the engine movable.
+  struct QueryCaches;
+  std::unique_ptr<QueryCaches> caches_;
 };
 
 }  // namespace topodb

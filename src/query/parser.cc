@@ -11,7 +11,16 @@ namespace topodb {
 namespace {
 
 struct Token {
-  enum class Kind { kIdent, kLParen, kRParen, kComma, kDot, kEquals, kEnd };
+  enum class Kind {
+    kIdent,
+    kString,  // Quoted name constant; text holds the unescaped value.
+    kLParen,
+    kRParen,
+    kComma,
+    kDot,
+    kEquals,
+    kEnd
+  };
   Kind kind;
   std::string text;
   size_t pos;
@@ -36,6 +45,40 @@ Result<std::vector<Token>> Lex(const std::string& text) {
       tokens.push_back({Token::Kind::kDot, ".", i++});
     } else if (c == '=') {
       tokens.push_back({Token::Kind::kEquals, "=", i++});
+    } else if (c == '"') {
+      // Quoted name constant: any region name ValidateRegionName accepts
+      // ('1a', 'main street', 'cell', ...), with \" and \\ escapes.
+      const size_t start = i++;
+      std::string value;
+      bool closed = false;
+      while (i < text.size()) {
+        const char q = text[i];
+        if (q == '"') {
+          ++i;
+          closed = true;
+          break;
+        }
+        if (q == '\\') {
+          if (i + 1 >= text.size()) break;
+          const char esc = text[i + 1];
+          if (esc != '"' && esc != '\\') {
+            return Status::ParseError(
+                "unknown escape '\\" + std::string(1, esc) +
+                "' in quoted name at position " + std::to_string(i) +
+                " (only \\\" and \\\\ are recognized)");
+          }
+          value.push_back(esc);
+          i += 2;
+          continue;
+        }
+        value.push_back(q);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated quoted name at position " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({Token::Kind::kString, std::move(value), start});
     } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       size_t start = i;
       while (i < text.size() &&
@@ -76,12 +119,7 @@ const std::map<std::string, Predicate>& PredicateTable() {
   return *table;
 }
 
-bool IsKeyword(const std::string& s) {
-  static const std::set<std::string>* keywords = new std::set<std::string>{
-      "exists", "forall", "and", "or", "not", "implies", "iff",
-      "true", "false", "region", "cell", "name", "rect"};
-  return keywords->count(s) > 0 || PredicateTable().count(s) > 0;
-}
+bool IsKeyword(const std::string& s) { return IsQueryKeyword(s); }
 
 class Parser {
  public:
@@ -244,6 +282,12 @@ class Parser {
   }
 
   Result<Term> ParseTerm() {
+    // A quoted term is always a name constant, never a variable — so
+    // regions named like keywords ("cell") or non-identifiers ("1a",
+    // "main street") are referenceable.
+    if (Peek().kind == Token::Kind::kString) {
+      return NameConstant(Next().text);
+    }
     if (Peek().kind != Token::Kind::kIdent || IsKeyword(Peek().text)) {
       return Err("expected term");
     }
@@ -258,6 +302,36 @@ class Parser {
 };
 
 }  // namespace
+
+bool IsQueryKeyword(const std::string& word) {
+  static const std::set<std::string>* keywords = new std::set<std::string>{
+      "exists", "forall", "and", "or", "not", "implies", "iff",
+      "true", "false", "region", "cell", "name", "rect"};
+  return keywords->count(word) > 0 || PredicateTable().count(word) > 0;
+}
+
+bool IsPlainQueryIdentifier(const std::string& word) {
+  if (word.empty() || IsQueryKeyword(word)) return false;
+  if (!std::isalpha(static_cast<unsigned char>(word[0])) && word[0] != '_') {
+    return false;
+  }
+  for (char c : word) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string QuoteQueryName(const std::string& name) {
+  std::string out = "\"";
+  for (char c : name) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
 
 Result<FormulaPtr> ParseQuery(const std::string& text) {
   TOPODB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));

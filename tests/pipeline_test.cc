@@ -1,6 +1,7 @@
 // The batched invariant pipeline: canonical-string cache exactness and the
 // thread-pooled batch API (src/pipeline/).
 
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,6 +9,7 @@
 #include "src/invariant/data.h"
 #include "src/pipeline/batch.h"
 #include "src/pipeline/invariant_cache.h"
+#include "src/pipeline/query_batch.h"
 #include "src/region/fixtures.h"
 #include "src/workload/generators.h"
 
@@ -140,6 +142,75 @@ TEST(BatchTest, DefaultThreadCountHandlesLargeBatch) {
   }
   auto results = BatchComputeInvariants(instances);
   for (const auto& result : results) EXPECT_TRUE(result.ok());
+}
+
+// --- Batched query evaluation (src/pipeline/query_batch.h) ---
+
+TEST(QueryBatchTest, ManyQueriesOneEngineMatchSerial) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  const std::vector<std::string> queries = {
+      "exists region r . subset(r, A) and subset(r, B) and subset(r, C)",
+      "forall region r . connect(r, r)",
+      "connect(A, B)",
+      "exists name a . exists name b . not (a = b) and overlap(a, b)",
+      "connect(A, Z)",   // Unknown name: per-query NotFound, not batch-fatal.
+      "frobnicate(A)",   // Parse error: ditto.
+  };
+  for (int threads : {1, 4}) {
+    QueryBatchOptions options;
+    options.num_threads = threads;
+    const std::vector<Result<bool>> results =
+        BatchEvaluateQueries(engine, queries, options);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const Result<bool> serial = engine.Evaluate(queries[i]);
+      ASSERT_EQ(results[i].ok(), serial.ok()) << queries[i];
+      if (serial.ok()) {
+        EXPECT_EQ(*results[i], *serial) << queries[i];
+      } else {
+        EXPECT_EQ(results[i].status().code(), serial.status().code())
+            << queries[i];
+      }
+    }
+  }
+}
+
+TEST(QueryBatchTest, OneQueryManyInstancesMatchesSerial) {
+  const std::vector<SpatialInstance> instances = MixedWorkload();
+  const std::string query = "forall region r . connect(r, r)";
+  for (int threads : {1, 4}) {
+    QueryBatchOptions options;
+    options.num_threads = threads;
+    const std::vector<Result<bool>> results =
+        BatchEvaluateQuery(query, instances, options);
+    ASSERT_EQ(results.size(), instances.size());
+    for (size_t i = 0; i < instances.size(); ++i) {
+      QueryEngine engine = *QueryEngine::Build(instances[i]);
+      const Result<bool> serial = engine.Evaluate(query);
+      ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+      ASSERT_TRUE(serial.ok());
+      EXPECT_EQ(*results[i], *serial) << i;
+    }
+  }
+}
+
+TEST(QueryBatchTest, MalformedQueryFailsEveryInstanceUniformly) {
+  const std::vector<SpatialInstance> instances = {Fig1aInstance(),
+                                                  Fig1cInstance()};
+  const std::vector<Result<bool>> results =
+      BatchEvaluateQuery("exists region . true", instances);
+  ASSERT_EQ(results.size(), instances.size());
+  for (const Result<bool>& result : results) {
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(QueryBatchTest, EmptyBatchesReturnNoResults) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  EXPECT_TRUE(BatchEvaluateQueries(engine, std::vector<std::string>{}).empty());
+  EXPECT_TRUE(
+      BatchEvaluateQuery("true", std::vector<SpatialInstance>{}).empty());
 }
 
 }  // namespace

@@ -71,6 +71,61 @@ TEST(ParserTest, NameEquality) {
   ASSERT_TRUE(f.ok());
 }
 
+TEST(ParserTest, QuotedNamesAreNameConstants) {
+  Result<FormulaPtr> f = ParseQuery("connect(\"main street\", \"1a\")");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->lhs.kind, Term::Kind::kNameConstant);
+  EXPECT_EQ((*f)->lhs.text, "main street");
+  EXPECT_EQ((*f)->rhs.text, "1a");
+  // Keywords denote regions when quoted — even inside a quantifier body
+  // where the bare word would be a syntax error.
+  f = ParseQuery("exists region r . connect(r, \"cell\")");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->body->rhs.kind, Term::Kind::kNameConstant);
+  EXPECT_EQ((*f)->body->rhs.text, "cell");
+}
+
+TEST(ParserTest, QuotedNameEscapes) {
+  Result<FormulaPtr> f = ParseQuery(R"(connect("we\"ird", "back\\slash"))");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->lhs.text, "we\"ird");
+  EXPECT_EQ((*f)->rhs.text, "back\\slash");
+}
+
+TEST(ParserTest, QuotedNameErrors) {
+  EXPECT_FALSE(ParseQuery("connect(\"unterminated, A)").ok());
+  EXPECT_FALSE(ParseQuery(R"(connect("bad\nescape", A))").ok());
+  EXPECT_FALSE(ParseQuery(R"(connect("trailing\))").ok());
+  // Quoted terms cannot be bound as variables.
+  EXPECT_FALSE(ParseQuery("exists region \"r\" . true").ok());
+}
+
+TEST(ParserTest, ToStringQuotesNonIdentifierNames) {
+  // Names that lex as identifiers print bare; others print quoted with
+  // escapes — and the printed form re-parses to the same formula.
+  Result<FormulaPtr> f =
+      ParseQuery(R"(connect(A, "main street") and subset("we\"ird", B))");
+  ASSERT_TRUE(f.ok());
+  const std::string printed = (*f)->ToString();
+  EXPECT_EQ(printed,
+            "(connect(A, \"main street\") and subset(\"we\\\"ird\", B))");
+  Result<FormulaPtr> again = ParseQuery(printed);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*again)->ToString(), printed);
+}
+
+TEST(ParserTest, QueryNameHelpers) {
+  EXPECT_TRUE(IsQueryKeyword("region"));
+  EXPECT_TRUE(IsQueryKeyword("connect"));
+  EXPECT_FALSE(IsQueryKeyword("A"));
+  EXPECT_TRUE(IsPlainQueryIdentifier("A_1"));
+  EXPECT_FALSE(IsPlainQueryIdentifier("1a"));
+  EXPECT_FALSE(IsPlainQueryIdentifier("main street"));
+  EXPECT_FALSE(IsPlainQueryIdentifier("cell"));  // Keyword.
+  EXPECT_EQ(QuoteQueryName("main street"), "\"main street\"");
+  EXPECT_EQ(QuoteQueryName("we\"ird\\x"), R"("we\"ird\\x")");
+}
+
 TEST(ParserTest, Errors) {
   EXPECT_FALSE(ParseQuery("").ok());
   EXPECT_FALSE(ParseQuery("connect(A)").ok());
@@ -185,6 +240,42 @@ TEST(QueryTest, TrueFalseLiterals) {
   EXPECT_FALSE(Ask(Fig1cInstance(), "false"));
   EXPECT_TRUE(Ask(Fig1cInstance(), "false implies false"));
   EXPECT_TRUE(Ask(Fig1cInstance(), "connect(A, B) iff connect(B, A)"));
+}
+
+TEST(QueryTest, QuotedNamesRoundTripAgainstInstance) {
+  // Region names that are not identifiers (or collide with keywords) are
+  // legal in instances; quoting makes them referenceable in queries.
+  SpatialInstance instance;
+  ASSERT_TRUE(instance
+                  .AddRegion("main street",
+                             *Region::MakeRect(Point(0, 0), Point(8, 8)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("1a", *Region::MakeRect(Point(2, 2), Point(6, 6)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("we\"ird\\name",
+                             *Region::MakeRect(Point(3, 3), Point(5, 5)))
+                  .ok());
+  EXPECT_TRUE(Ask(instance, "contains(\"main street\", \"1a\")"));
+  EXPECT_TRUE(Ask(instance, R"(inside("we\"ird\\name", "1a"))"));
+  EXPECT_TRUE(Ask(instance,
+                  "exists region r . subset(r, \"1a\") and "
+                  "subset(r, \"main street\")"));
+  // QuoteQueryName renders exactly the form the parser accepts, for every
+  // name in the instance.
+  for (const std::string& name : instance.names()) {
+    EXPECT_TRUE(Ask(instance, "subset(" + QuoteQueryName(name) + ", " +
+                                  QuoteQueryName(name) + ")"))
+        << name;
+  }
+  // ToString round-trip through a quoted name evaluates identically.
+  Result<FormulaPtr> f = ParseQuery("overlap(\"main street\", \"1a\")");
+  ASSERT_TRUE(f.ok());
+  Result<FormulaPtr> reparsed = ParseQuery((*f)->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  QueryEngine engine = *QueryEngine::Build(instance);
+  EXPECT_EQ(*engine.Evaluate(*f), *engine.Evaluate(*reparsed));
 }
 
 TEST(QueryTest, UnknownRegionNameFails) {
