@@ -132,6 +132,68 @@ void ReportOldVsNew() {
               total_bitset, total_baseline / total_bitset);
 }
 
+// Runs the corpus once against an instrumented engine and prints the
+// evaluation metrics (atoms, bindings, memo traffic, latency histogram).
+// Honors TOPODB_METRICS_JSON=<path> like bench_pipeline_batch.
+void ReportMetrics() {
+  bench::Header("Query metrics: instrumented corpus sweep (JSON exportable)");
+  MetricsRegistry registry;
+  EvalOptions options;
+  options.max_region_candidates = 2'000'000;
+  options.metrics = &registry;
+  for (CorpusRow& row : BuildCorpus()) {
+    QueryEngine engine = Unwrap(QueryEngine::Build(row.instance));
+    FormulaPtr query = Unwrap(ParseQuery(row.query));
+    benchmark::DoNotOptimize(Unwrap(engine.Evaluate(query, options)));
+  }
+  std::fputs(registry.ExportText().c_str(), stdout);
+
+  if (const char* path = std::getenv("TOPODB_METRICS_JSON");
+      path != nullptr && path[0] != '\0') {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write TOPODB_METRICS_JSON=%s\n", path);
+      std::exit(1);
+    }
+    const std::string json = registry.ExportJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("metrics JSON written to %s\n", path);
+  }
+}
+
+// Acceptance bar: a null registry must cost < 1% on the evaluation path.
+void ReportMetricsOverhead() {
+  bench::Header("Metrics overhead: corpus evaluation, off vs on");
+  const int reps = SmokeMode() ? 1 : 5;
+  std::vector<CorpusRow> corpus = BuildCorpus();
+  auto run = [&](MetricsRegistry* registry) {
+    EvalOptions options;
+    options.max_region_candidates = 2'000'000;
+    options.metrics = registry;
+    double best = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (CorpusRow& row : corpus) {
+        QueryEngine engine = Unwrap(QueryEngine::Build(row.instance));
+        FormulaPtr query = Unwrap(ParseQuery(row.query));
+        benchmark::DoNotOptimize(Unwrap(engine.Evaluate(query, options)));
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (rep == 0 || ms < best) best = ms;
+    }
+    return best;
+  };
+  const double off = run(nullptr);
+  MetricsRegistry registry;
+  const double on = run(&registry);
+  std::printf("%-22s | %10.2f ms\n", "metrics off (null)", off);
+  std::printf("%-22s | %10.2f ms  (%+.2f%%)\n", "metrics on", on,
+              off > 0 ? 100.0 * (on - off) / off : 0.0);
+}
+
 // --- Timing series ---
 
 void BM_Example42Baseline(benchmark::State& state) {
@@ -222,6 +284,8 @@ BENCHMARK(BM_BatchQueries)->Arg(1)->Arg(4);
 
 int main(int argc, char** argv) {
   topodb::ReportOldVsNew();
+  topodb::ReportMetrics();
+  topodb::ReportMetricsOverhead();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

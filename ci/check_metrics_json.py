@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Validates a MetricsRegistry JSON export (schema topodb.metrics.v1).
+
+Usage: check_metrics_json.py <path>
+
+CI archives the per-stage timing export produced by bench_pipeline_batch
+(TOPODB_METRICS_JSON=<path>) and fails if the file is not well-formed JSON,
+declares a different schema, or is missing the per-stage instrumentation
+the serving path is supposed to emit.
+"""
+import json
+import sys
+
+
+EXPECTED_COUNTERS = [
+    "pipeline.items",
+    "pipeline.cache_hits",
+    "pipeline.cache_misses",
+    "arrangement.builds",
+]
+EXPECTED_HISTOGRAMS = [
+    "pipeline.arrangement_us",
+    "pipeline.extract_us",
+    "pipeline.canonical_us",
+    "pipeline.batch_us",
+]
+HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p90", "p99"]
+
+
+def fail(message):
+    print(f"metrics JSON invalid: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_metrics_json.py <path>")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(str(err))
+    if doc.get("schema") != "topodb.metrics.v1":
+        fail(f"unexpected schema {doc.get('schema')!r}")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"missing section {section!r}")
+    for name in EXPECTED_COUNTERS:
+        if name not in doc["counters"]:
+            fail(f"missing counter {name!r}")
+        if not isinstance(doc["counters"][name], int):
+            fail(f"counter {name!r} is not an integer")
+    if doc["counters"]["pipeline.items"] <= 0:
+        fail("pipeline.items is not positive")
+    for name in EXPECTED_HISTOGRAMS:
+        hist = doc["histograms"].get(name)
+        if not isinstance(hist, dict):
+            fail(f"missing histogram {name!r}")
+        for field in HISTOGRAM_FIELDS:
+            if not isinstance(hist.get(field), (int, float)):
+                fail(f"histogram {name!r} missing field {field!r}")
+        if hist["count"] > 0 and hist["min"] > hist["max"]:
+            fail(f"histogram {name!r} has min > max")
+    print(
+        f"metrics JSON OK: {len(doc['counters'])} counters, "
+        f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a sanitizer pass. Usage: ci/run_ci.sh [--no-sanitizers]
+# Tier-1 gate plus sanitizer passes. Usage: ci/run_ci.sh [--no-sanitizers]
 #
 #   1. Configure + build + full ctest suite in build-ci/ (the same command
 #      sequence as ROADMAP.md's verify step, in a separate tree so a
 #      developer's ./build is left alone).
 #   2. Smoke-run the pipeline benches (batch invariants + query evaluation)
 #      so their reports, verdict assertions and every strategy/thread code
-#      path execute on each CI run; any nonzero exit fails CI.
+#      path execute on each CI run; any nonzero exit fails CI. The batch
+#      bench also writes its per-stage metrics JSON to ci/artifacts/, which
+#      is validated against the topodb.metrics.v1 schema and archived.
 #   3. Rebuild the test suite under ASan+UBSan in build-asan/ and run it.
+#   4. Rebuild under TSan in build-tsan/ and run the ConcurrencyTest suite
+#      (shared caches, shared registries, parallel fan-out, mid-flight
+#      cancellation) — the cross-thread serving paths, specifically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,10 +31,18 @@ echo "==> bench smoke: pipeline batch + query evaluation"
 # caps each timing series at 0.01s. bench_query_eval exits nonzero on any
 # baseline-vs-bitset verdict mismatch, making the smoke run a correctness
 # gate, not just a liveness check.
-TOPODB_BENCH_SMOKE=1 ./build-ci/bench/bench_pipeline_batch \
-  --benchmark_min_time=0.01
-TOPODB_BENCH_SMOKE=1 ./build-ci/bench/bench_query_eval \
-  --benchmark_min_time=0.01
+mkdir -p ci/artifacts
+TOPODB_BENCH_SMOKE=1 \
+TOPODB_METRICS_JSON=ci/artifacts/pipeline_batch_metrics.json \
+  ./build-ci/bench/bench_pipeline_batch --benchmark_min_time=0.01
+TOPODB_BENCH_SMOKE=1 \
+TOPODB_METRICS_JSON=ci/artifacts/query_eval_metrics.json \
+  ./build-ci/bench/bench_query_eval --benchmark_min_time=0.01
+
+echo "==> metrics artifact: validate schema"
+python3 ci/check_metrics_json.py ci/artifacts/pipeline_batch_metrics.json
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+  ci/artifacts/query_eval_metrics.json
 
 if [[ "${1:-}" != "--no-sanitizers" ]]; then
   echo "==> sanitizers: ASan + UBSan"
@@ -37,6 +50,18 @@ if [[ "${1:-}" != "--no-sanitizers" ]]; then
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+  echo "==> sanitizers: TSan (ConcurrencyTest suite)"
+  # A full TSan suite run would dominate CI wall-clock; the concurrency
+  # suite is written to cover exactly the cross-thread access patterns
+  # (shared InvariantCache, shared MetricsRegistry, one engine serving
+  # many threads, cancellation flipped mid-flight).
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j --target concurrency_test
+  ctest --test-dir build-tsan --output-on-failure -R ConcurrencyTest
 fi
 
 echo "==> CI OK"

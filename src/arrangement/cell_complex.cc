@@ -70,6 +70,9 @@ class CellComplexBuilder {
       : instance_(instance), options_(options) {}
 
   Result<CellComplex> Run() {
+    // Records wall time on every exit, including error returns.
+    ScopedTimer build_timer(
+        RegistryHistogram(options_.metrics, "arrangement.build_us"));
     complex_.region_names_ = instance_.names();
     CollectSegments();
     if (raw_.empty()) {
@@ -78,6 +81,7 @@ class CellComplexBuilder {
       face.unbounded = true;
       complex_.faces_.push_back(std::move(face));
       complex_.exterior_face_ = 0;
+      FlushMetrics();
       return std::move(complex_);
     }
     SplitAtIntersections();
@@ -88,6 +92,7 @@ class CellComplexBuilder {
     TOPODB_RETURN_NOT_OK(AssignCyclesToFaces());
     TOPODB_RETURN_NOT_OK(PropagateFaceLabels());
     ComputeEdgeAndVertexLabels();
+    FlushMetrics();
     return std::move(complex_);
   }
 
@@ -124,8 +129,12 @@ class CellComplexBuilder {
     // Narrow phase shared by both broad phases: exact intersection, cut
     // points recorded on both segments.
     auto cut_pair = [&](size_t i, size_t j) {
+      ++candidate_pairs_;
       SegmentIntersection isect =
           IntersectSegments(raw_[i].a, raw_[i].b, raw_[j].a, raw_[j].b);
+      if (isect.kind != SegmentIntersection::Kind::kNone) {
+        ++exact_intersections_;
+      }
       switch (isect.kind) {
         case SegmentIntersection::Kind::kNone:
           break;
@@ -143,6 +152,7 @@ class CellComplexBuilder {
     };
     if (options_.broad_phase == BroadPhase::kAllPairs ||
         !GridCutPairs(cut_pair)) {
+      grid_fallback_ = options_.broad_phase != BroadPhase::kAllPairs;
       for (size_t i = 0; i < n; ++i) {
         for (size_t j = i + 1; j < n; ++j) cut_pair(i, j);
       }
@@ -581,9 +591,30 @@ class CellComplexBuilder {
     }
   }
 
+  void FlushMetrics() {
+    MetricsRegistry* m = options_.metrics;
+    if (m == nullptr) return;
+    m->counter("arrangement.builds")->Add(1);
+    m->counter("arrangement.candidate_pairs")->Add(candidate_pairs_);
+    m->counter("arrangement.exact_intersections")->Add(exact_intersections_);
+    if (grid_fallback_) m->counter("arrangement.grid_fallbacks")->Add(1);
+    m->histogram("arrangement.vertices")
+        ->Record(static_cast<double>(complex_.vertices_.size()));
+    m->histogram("arrangement.edges")
+        ->Record(static_cast<double>(complex_.edges_.size()));
+    m->histogram("arrangement.faces")
+        ->Record(static_cast<double>(complex_.faces_.size()));
+  }
+
   const SpatialInstance& instance_;
   const ArrangementOptions options_;
   CellComplex complex_;
+
+  // Broad-phase effectiveness tallies; plain integers, flushed to the
+  // registry once per build.
+  uint64_t candidate_pairs_ = 0;
+  uint64_t exact_intersections_ = 0;
+  bool grid_fallback_ = false;
 
   std::vector<RawSeg> raw_;
   std::map<Point, int> node_ids_;

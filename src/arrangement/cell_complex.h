@@ -7,6 +7,7 @@
 #include "src/arrangement/label.h"
 #include "src/base/status.h"
 #include "src/geom/point.h"
+#include "src/obs/metrics.h"
 #include "src/region/instance.h"
 
 namespace topodb {
@@ -27,6 +28,10 @@ enum class BroadPhase {
 
 struct ArrangementOptions {
   BroadPhase broad_phase = BroadPhase::kGrid;
+  // Optional sink for build metrics (broad-phase candidate pairs vs exact
+  // intersections found, cell counts, build wall time). nullptr disables
+  // collection at near-zero cost.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // The maximal cell complex of a spatial instance (Section 3 of the paper):

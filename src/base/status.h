@@ -19,6 +19,7 @@ enum class StatusCode {
   kUnsupported,       // valid request outside implemented scope
   kResourceExhausted, // enumeration/size cap hit
   kParseError,        // query-language syntax error
+  kDeadlineExceeded,  // deadline passed or caller cancelled mid-flight
   kInternal,          // invariant violation that was recoverable
 };
 
@@ -49,6 +50,9 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -71,6 +75,7 @@ class Status {
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
       case StatusCode::kInternal: return "Internal";
     }
     return "Unknown";

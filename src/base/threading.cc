@@ -1,0 +1,21 @@
+#include "src/base/threading.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+namespace topodb {
+
+Result<size_t> ResolveWorkerCount(int num_threads, size_t num_items) {
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0 (0 = hardware concurrency); got " +
+        std::to_string(num_threads));
+  }
+  size_t workers = num_threads > 0
+                       ? static_cast<size_t>(num_threads)
+                       : std::max(1u, std::thread::hardware_concurrency());
+  return std::min(workers, std::max<size_t>(num_items, 1));
+}
+
+}  // namespace topodb

@@ -1,0 +1,107 @@
+#ifndef TOPODB_OBS_DEADLINE_H_
+#define TOPODB_OBS_DEADLINE_H_
+
+// Cooperative wall-clock deadlines and caller-driven cancellation for the
+// batch and query serving paths. Both are *polled* — at pipeline stage
+// boundaries and at quantifier-loop checkpoints — never preemptive, so a
+// batch item that trips the deadline fails individually with
+// DeadlineExceeded while the batch completes and results stay positionally
+// aligned with the inputs.
+
+#include <atomic>
+#include <chrono>
+
+#include "src/base/status.h"
+
+namespace topodb {
+
+// A point in time after which work should stop. Default-constructed
+// deadlines are infinite: HasExpired() is then a single boolean test with
+// no clock read, which is what every un-deadlined serving call pays.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  // Expires `budget` from now.
+  static Deadline After(std::chrono::nanoseconds budget) {
+    return Deadline(std::chrono::steady_clock::now() + budget);
+  }
+  static Deadline AfterMillis(int64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+  // Already in the past — deterministic "everything times out" for tests.
+  static Deadline Expired() {
+    return Deadline(std::chrono::steady_clock::time_point::min());
+  }
+
+  bool is_infinite() const { return infinite_; }
+  bool HasExpired() const {
+    return !infinite_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  explicit Deadline(std::chrono::steady_clock::time_point at)
+      : infinite_(false), at_(at) {}
+
+  bool infinite_ = true;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+// Caller-owned cancellation flag, shared with in-flight workers by
+// pointer. Cancel() is sticky and thread-safe.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// The (deadline, cancel token) pair threaded through the serving options.
+// Check() is the single polled stop condition: OK while work may continue,
+// DeadlineExceeded once either fires. Cancellation reports the same code
+// as expiry so callers handle one terminal state.
+class StopSignal {
+ public:
+  StopSignal() = default;
+  StopSignal(const Deadline& deadline, const CancelToken* cancel)
+      : deadline_(deadline), cancel_(cancel) {}
+
+  // False when neither mechanism is armed — Check() cannot fail.
+  bool armed() const { return cancel_ != nullptr || !deadline_.is_infinite(); }
+
+  // Branch-only stop test for per-binding hot loops: no Status object is
+  // materialized on the keep-going path (an unarmed signal costs two
+  // predictable register compares). Both conditions are sticky/monotone,
+  // so `if (ShouldStop()) return Check();` always returns an error.
+  bool ShouldStop() const {
+    return (cancel_ != nullptr && cancel_->cancelled()) ||
+           deadline_.HasExpired();
+  }
+
+  Status Check() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return Status::DeadlineExceeded("cancelled by caller");
+    }
+    if (deadline_.HasExpired()) {
+      return Status::DeadlineExceeded("deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Deadline deadline_;
+  const CancelToken* cancel_ = nullptr;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_OBS_DEADLINE_H_

@@ -1,0 +1,199 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace topodb {
+namespace {
+
+// Smallest b with value <= 2^b (bucket 0 covers [0, 1]).
+int BucketFor(double value) {
+  int b = 0;
+  double bound = 1.0;
+  while (b < Histogram::kNumBuckets - 1 && value > bound) {
+    ++b;
+    bound *= 2.0;
+  }
+  return b;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Metric names are code-controlled ([a-z0-9._]); escape the JSON-special
+// characters anyway so the export is well-formed for any name.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  if (value < 0) value = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * count_ + 0.5));
+  uint64_t seen = 0;
+  double bound = 1.0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= target) return std::clamp(bound, min_, max_);
+    bound *= 2.0;
+  }
+  return max_;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TOPODB_CHECK_MSG(
+      gauges_.find(name) == gauges_.end() &&
+          histograms_.find(name) == histograms_.end(),
+      "metric name already registered with a different kind");
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TOPODB_CHECK_MSG(
+      counters_.find(name) == counters_.end() &&
+          histograms_.find(name) == histograms_.end(),
+      "metric name already registered with a different kind");
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TOPODB_CHECK_MSG(
+      counters_.find(name) == counters_.end() &&
+          gauges_.find(name) == gauges_.end(),
+      "metric name already registered with a different kind");
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "counter " + name + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "gauge " + name + " " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "histogram " + name + " count=" + std::to_string(h->count()) +
+           " sum=" + FormatDouble(h->sum()) +
+           " min=" + FormatDouble(h->min()) +
+           " max=" + FormatDouble(h->max()) +
+           " mean=" + FormatDouble(h->mean()) +
+           " p50=" + FormatDouble(h->Quantile(0.50)) +
+           " p90=" + FormatDouble(h->Quantile(0.90)) +
+           " p99=" + FormatDouble(h->Quantile(0.99)) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"schema\": \"topodb.metrics.v1\",\n";
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": {" +
+           "\"count\": " + std::to_string(h->count()) +
+           ", \"sum\": " + FormatDouble(h->sum()) +
+           ", \"min\": " + FormatDouble(h->min()) +
+           ", \"max\": " + FormatDouble(h->max()) +
+           ", \"mean\": " + FormatDouble(h->mean()) +
+           ", \"p50\": " + FormatDouble(h->Quantile(0.50)) +
+           ", \"p90\": " + FormatDouble(h->Quantile(0.90)) +
+           ", \"p99\": " + FormatDouble(h->Quantile(0.99)) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace topodb

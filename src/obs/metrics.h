@@ -1,0 +1,151 @@
+#ifndef TOPODB_OBS_METRICS_H_
+#define TOPODB_OBS_METRICS_H_
+
+// Lightweight serving-path metrics: counters, gauges, log2-bucketed
+// histograms, and a registry with text/JSON export. Every instrumented
+// call site takes an optional MetricsRegistry*; passing nullptr (the
+// default everywhere) disables collection at near-zero cost — the
+// null-safe helpers below reduce to a pointer test, and ScopedTimer does
+// not even read the clock.
+//
+// Thread safety: Counter/Gauge are lock-free (relaxed atomics), Histogram
+// and the registry maps take a mutex. Instrumented code records at stage
+// boundaries, not per-element, so the mutex is never hot.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace topodb {
+
+// Monotonic event count (items processed, cache hits, ...).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (cache entries, resident bytes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Distribution of nonnegative samples (stage wall times in microseconds,
+// per-build cell counts). Exponential base-2 buckets: bucket b covers
+// (2^(b-1), 2^b], bucket 0 covers [0, 1]. Quantiles are therefore upper
+// bounds accurate to a factor of 2; count/sum/min/max are exact.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(double value);
+
+  uint64_t count() const;
+  double sum() const;
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const;
+  // Smallest bucket upper bound covering fraction q of samples, clamped to
+  // [min, max]. q in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  uint64_t buckets_[kNumBuckets] = {};
+};
+
+// Named metric store. counter()/gauge()/histogram() create on first use
+// and return stable pointers (the registry must outlive all users, and a
+// name keeps its first kind — re-requesting it as another kind aborts).
+// Export order is deterministic (lexicographic by name).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // "counter pipeline.items 12\n..." — one metric per line.
+  std::string ExportText() const;
+  // {"schema": "topodb.metrics.v1", "counters": {...}, "gauges": {...},
+  //  "histograms": {"name": {"count":..,"sum":..,"min":..,"max":..,
+  //                          "mean":..,"p50":..,"p90":..,"p99":..}}}
+  std::string ExportJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// --- Null-safe accessors -------------------------------------------------
+// Call sites resolve metric pointers once per batch/evaluation through
+// these, then record through the null-safe mutators; with a null registry
+// the whole path is a handful of predictable branches.
+
+inline Counter* RegistryCounter(MetricsRegistry* r, const std::string& name) {
+  return r != nullptr ? r->counter(name) : nullptr;
+}
+inline Gauge* RegistryGauge(MetricsRegistry* r, const std::string& name) {
+  return r != nullptr ? r->gauge(name) : nullptr;
+}
+inline Histogram* RegistryHistogram(MetricsRegistry* r,
+                                    const std::string& name) {
+  return r != nullptr ? r->histogram(name) : nullptr;
+}
+inline void CounterAdd(Counter* c, uint64_t n = 1) {
+  if (c != nullptr && n != 0) c->Add(n);
+}
+inline void GaugeSet(Gauge* g, int64_t v) {
+  if (g != nullptr) g->Set(v);
+}
+inline void HistogramRecord(Histogram* h, double v) {
+  if (h != nullptr) h->Record(v);
+}
+
+// Records elapsed wall time in microseconds into a histogram at scope
+// exit. With a null sink the constructor and destructor skip the clock
+// reads entirely.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* sink) : sink_(sink) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      sink_->Record(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_OBS_METRICS_H_

@@ -7,6 +7,8 @@
 #include "src/arrangement/cell_complex.h"
 #include "src/base/status.h"
 #include "src/invariant/canonical.h"
+#include "src/obs/deadline.h"
+#include "src/obs/metrics.h"
 #include "src/pipeline/invariant_cache.h"
 #include "src/region/instance.h"
 
@@ -18,7 +20,9 @@ namespace topodb {
 // entry point a query front end batches incoming instances through.
 struct BatchOptions {
   // Worker threads; 0 means std::thread::hardware_concurrency(), and the
-  // pool never exceeds the number of instances.
+  // pool never exceeds the number of instances. Negative values are
+  // rejected with InvalidArgument (see ResolveWorkerCount in
+  // src/base/threading.h).
   int num_threads = 0;
   // Arrangement stage configuration (broad phase choice).
   ArrangementOptions arrangement;
@@ -26,11 +30,25 @@ struct BatchOptions {
   // across the batch (and across batches using the same cache) are
   // canonized once.
   InvariantCache* cache = nullptr;
+  // Wall-clock bound for the whole batch. Items starting (or reaching a
+  // stage boundary) after expiry fail individually with DeadlineExceeded;
+  // the batch itself always completes with positionally aligned results.
+  Deadline deadline;
+  // Optional caller-owned cancellation flag, polled at the same
+  // checkpoints as the deadline. Cancelled items also report
+  // DeadlineExceeded.
+  const CancelToken* cancel = nullptr;
+  // Optional sink for per-stage wall times (arrangement / extraction /
+  // canonicalization), item counters, and cache hit/miss/footprint.
+  // Propagated into `arrangement.metrics` when that is unset. nullptr
+  // disables collection at near-zero cost.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Computes the full topological invariant of every instance. Results are
 // positionally aligned with the input; a failure (e.g. inconsistent
-// geometry) is captured per instance and never aborts the batch.
+// geometry, deadline expiry) is captured per instance and never aborts
+// the batch.
 std::vector<Result<TopologicalInvariant>> BatchComputeInvariants(
     std::span<const SpatialInstance> instances, const BatchOptions& options);
 

@@ -96,7 +96,11 @@ Result<std::string> InvariantCache::Canonical(const InvariantData& data,
       std::any_of(bucket.begin(), bucket.end(), [&](const Entry& entry) {
         return entry.option_bits == bits && entry.key == key;
       });
-  if (!present) bucket.push_back(Entry{key, bits, canonical});
+  if (!present) {
+    stats_.key_bytes += key.size();
+    stats_.canonical_bytes += canonical.size();
+    bucket.push_back(Entry{key, bits, canonical});
+  }
   return canonical;
 }
 
@@ -130,6 +134,8 @@ size_t InvariantCache::size() const {
 }
 
 void InvariantCache::Clear() {
+  // One lock covers both resets: no interleaving can observe cleared
+  // entries with stale stats (or vice versa).
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   stats_ = Stats{};

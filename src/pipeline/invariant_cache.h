@@ -38,6 +38,11 @@ class InvariantCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    // Resident memory of the memo: bytes of stored structural keys and
+    // canonical strings across all entries (entry count is size()). Lets
+    // the metrics layer export cache footprint without walking the map.
+    uint64_t key_bytes = 0;
+    uint64_t canonical_bytes = 0;
   };
 
   InvariantCache() = default;

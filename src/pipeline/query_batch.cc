@@ -4,22 +4,23 @@
 #include <thread>
 #include <utility>
 
+#include "src/base/threading.h"
+
 namespace topodb {
 
 namespace {
 
 // Runs fn(i) for i in [0, n) across a pool of workers (serially when the
-// effective worker count is 1). Same shape as BatchComputeInvariants.
+// effective worker count is 1). Same shape as BatchComputeInvariants;
+// returns the worker-count resolution error, which callers spread over
+// every result slot.
 template <typename Fn>
-void ForEachIndex(size_t n, int num_threads, Fn&& fn) {
-  if (n == 0) return;
-  size_t workers = num_threads > 0
-                       ? static_cast<size_t>(num_threads)
-                       : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, n);
+Status ForEachIndex(size_t n, int num_threads, Fn&& fn) {
+  if (n == 0) return Status::OK();
+  TOPODB_ASSIGN_OR_RETURN(size_t workers, ResolveWorkerCount(num_threads, n));
   if (workers <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+    return Status::OK();
   }
   std::atomic<size_t> next{0};
   auto worker = [&]() {
@@ -33,6 +34,28 @@ void ForEachIndex(size_t n, int num_threads, Fn&& fn) {
   pool.reserve(workers);
   for (size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
+  return Status::OK();
+}
+
+// Batch-wide deadline/cancel/metrics flow into each evaluation unless the
+// caller already set tighter per-evaluation values.
+EvalOptions MergedEvalOptions(const QueryBatchOptions& options) {
+  EvalOptions eval = options.eval;
+  if (eval.deadline.is_infinite()) eval.deadline = options.deadline;
+  if (eval.cancel == nullptr) eval.cancel = options.cancel;
+  if (eval.metrics == nullptr) eval.metrics = options.metrics;
+  return eval;
+}
+
+void RecordOutcome(const Result<bool>& result, Counter* items,
+                   Counter* failures, Counter* deadline_exceeded) {
+  CounterAdd(items);
+  if (!result.ok()) {
+    CounterAdd(failures);
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      CounterAdd(deadline_exceeded);
+    }
+  }
 }
 
 }  // namespace
@@ -42,11 +65,20 @@ std::vector<Result<bool>> BatchEvaluateQueries(
     const QueryBatchOptions& options) {
   std::vector<Result<bool>> results(
       queries.size(), Result<bool>(Status::Internal("not computed")));
+  const EvalOptions eval = MergedEvalOptions(options);
+  Counter* items = RegistryCounter(options.metrics, "query_batch.items");
+  Counter* failures = RegistryCounter(options.metrics, "query_batch.failures");
+  Counter* expired =
+      RegistryCounter(options.metrics, "query_batch.deadline_exceeded");
   // QueryEngine::Evaluate is const and thread-safe; its caches warm up
   // across the whole batch.
-  ForEachIndex(queries.size(), options.num_threads, [&](size_t i) {
-    results[i] = engine.Evaluate(queries[i], options.eval);
+  Status st = ForEachIndex(queries.size(), options.num_threads, [&](size_t i) {
+    results[i] = engine.Evaluate(queries[i], eval);
+    RecordOutcome(results[i], items, failures, expired);
   });
+  if (!st.ok()) {
+    for (auto& r : results) r = st;
+  }
   return results;
 }
 
@@ -62,14 +94,38 @@ std::vector<Result<bool>> BatchEvaluateQuery(
     for (auto& r : results) r = formula.status();
     return results;
   }
-  ForEachIndex(instances.size(), options.num_threads, [&](size_t i) {
-    Result<QueryEngine> engine = QueryEngine::Build(instances[i]);
-    if (!engine.ok()) {
-      results[i] = engine.status();
-      return;
-    }
-    results[i] = engine->Evaluate(*formula, options.eval);
-  });
+  const EvalOptions eval = MergedEvalOptions(options);
+  const StopSignal stop(options.deadline, options.cancel);
+  Counter* items = RegistryCounter(options.metrics, "query_batch.items");
+  Counter* failures = RegistryCounter(options.metrics, "query_batch.failures");
+  Counter* expired =
+      RegistryCounter(options.metrics, "query_batch.deadline_exceeded");
+  Histogram* build_us =
+      RegistryHistogram(options.metrics, "query_batch.engine_build_us");
+  Status st =
+      ForEachIndex(instances.size(), options.num_threads, [&](size_t i) {
+        // Engine construction is the expensive pre-evaluation stage; skip
+        // it for items that are already past the deadline.
+        Status stopped = stop.Check();
+        if (!stopped.ok()) {
+          results[i] = stopped;
+          RecordOutcome(results[i], items, failures, expired);
+          return;
+        }
+        Result<QueryEngine> engine = [&] {
+          ScopedTimer timer(build_us);
+          return QueryEngine::Build(instances[i]);
+        }();
+        if (!engine.ok()) {
+          results[i] = engine.status();
+        } else {
+          results[i] = engine->Evaluate(*formula, eval);
+        }
+        RecordOutcome(results[i], items, failures, expired);
+      });
+  if (!st.ok()) {
+    for (auto& r : results) r = st;
+  }
   return results;
 }
 

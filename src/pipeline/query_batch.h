@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/obs/deadline.h"
+#include "src/obs/metrics.h"
 #include "src/query/eval.h"
 #include "src/region/instance.h"
 
@@ -19,17 +21,27 @@ namespace topodb {
 // there first and reused by every other query in the batch.
 struct QueryBatchOptions {
   // Worker threads; 0 means std::thread::hardware_concurrency(), and the
-  // pool never exceeds the number of batch items. Note this parallelizes
-  // *across* batch items; EvalOptions::num_threads parallelizes *within*
-  // one evaluation and is usually left at 1 when batching.
+  // pool never exceeds the number of batch items. Negative values are
+  // rejected with InvalidArgument (see ResolveWorkerCount in
+  // src/base/threading.h). Note this parallelizes *across* batch items;
+  // EvalOptions::num_threads parallelizes *within* one evaluation and is
+  // usually left at 1 when batching.
   int num_threads = 0;
   // Per-evaluation options (strategy, budgets, intra-query threads).
   EvalOptions eval;
+  // Batch-wide deadline / cancellation / metrics. These are copied into
+  // each item's EvalOptions when the corresponding eval field is unset, so
+  // in-flight evaluations observe them at quantifier-loop checkpoints.
+  // Items starting after expiry fail individually with DeadlineExceeded;
+  // the batch always completes with positionally aligned results.
+  Deadline deadline;
+  const CancelToken* cancel = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Evaluates every query against the engine. Results are positionally
-// aligned with the input; a failure (parse error, budget exhaustion) is
-// captured per query and never aborts the batch.
+// aligned with the input; a failure (parse error, budget exhaustion,
+// deadline expiry) is captured per query and never aborts the batch.
 std::vector<Result<bool>> BatchEvaluateQueries(
     const QueryEngine& engine, std::span<const std::string> queries,
     const QueryBatchOptions& options = {});

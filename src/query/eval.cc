@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "src/base/check.h"
+#include "src/base/threading.h"
 
 namespace topodb {
 
@@ -226,6 +227,9 @@ struct QueryEngine::QueryCaches {
   };
   std::mutex memo_mu;
   std::unordered_map<uint64_t, std::vector<MemoEntry>> memo;
+  // Memo traffic tallies (guarded by memo_mu; read via cache_stats()).
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
 
   // The materialized region-quantifier range: disc values in enumeration
   // order, extended lazily and shared by every binding, evaluation and
@@ -694,6 +698,7 @@ bool QueryEngine::IsDiscValue(const CellSet& face_set,
     if (it != caches_->memo.end()) {
       for (const QueryCaches::MemoEntry& entry : it->second) {
         if (entry.faces == face_set) {
+          ++caches_->memo_hits;
           *completed = entry.completed;
           return entry.is_disc;
         }
@@ -710,8 +715,22 @@ bool QueryEngine::IsDiscValue(const CellSet& face_set,
     if (is_disc) CompleteFaceSet(face_set, completed);
   }
   std::lock_guard<std::mutex> lock(caches_->memo_mu);
+  ++caches_->memo_misses;
   caches_->memo[hash].push_back({face_set, is_disc, *completed});
   return is_disc;
+}
+
+QueryEngine::CacheStats QueryEngine::cache_stats() const {
+  CacheStats stats;
+  {
+    std::lock_guard<std::mutex> lock(caches_->memo_mu);
+    stats.disc_memo_hits = caches_->memo_hits;
+    stats.disc_memo_misses = caches_->memo_misses;
+  }
+  std::lock_guard<std::mutex> lock(caches_->range_mu);
+  stats.materialized_discs = static_cast<int64_t>(caches_->values.size());
+  stats.raw_candidates = caches_->raw_total;
+  return stats;
 }
 
 CellSet QueryEngine::ClosureBits(const CellSet& cells) const {
@@ -721,8 +740,9 @@ CellSet QueryEngine::ClosureBits(const CellSet& cells) const {
 }
 
 Result<const QueryEngine::DiscValue*> QueryEngine::FetchDiscValue(
-    int64_t k, int64_t max_steps) const {
+    int64_t k, int64_t max_steps, const StopSignal& stop) const {
   QueryCaches& caches = *caches_;
+  const bool stop_armed = stop.armed();
   std::lock_guard<std::mutex> lock(caches.range_mu);
   while (static_cast<int64_t>(caches.values.size()) <= k &&
          !caches.exhausted) {
@@ -731,6 +751,11 @@ Result<const QueryEngine::DiscValue*> QueryEngine::FetchDiscValue(
     // max_steps, and every instantiation replays the same prefix of the
     // same sequence, so the global counter is exactly its counter.
     if (caches.raw_total >= max_steps) return StepsExhaustedError(max_steps);
+    // Cancellation checkpoint: range extension is the unbounded part of a
+    // region quantifier, so poll here (cheaply, once per ~1k candidates).
+    if (stop_armed && (caches.raw_total & 1023) == 0 && stop.ShouldStop()) {
+      return stop.Check();
+    }
     if (caches.raw == nullptr) {
       caches.raw = std::make_unique<RawCandidateEnumerator>(face_dual_);
     }
@@ -791,7 +816,14 @@ class BaselineEvaluator {
       : engine_(engine),
         budget_(options.max_region_candidates),
         budget_limit_(options.max_region_candidates),
-        max_steps_(options.max_enumeration_steps) {}
+        max_steps_(options.max_enumeration_steps),
+        stop_(options.deadline, options.cancel),
+        stop_armed_(stop_.armed()) {}
+
+  // Work tallies, flushed to EvalOptions::metrics by the caller (plain
+  // locals here so the hot path never touches shared state).
+  uint64_t atoms() const { return atoms_; }
+  uint64_t bindings() const { return bindings_; }
 
   Result<bool> Eval(const FormulaPtr& formula, Env* env) {
     switch (formula->kind) {
@@ -868,6 +900,7 @@ class BaselineEvaluator {
   }
 
   Result<bool> EvalAtom(const Formula& atom, Env* env) {
+    ++atoms_;
     TOPODB_ASSIGN_OR_RETURN(std::vector<char> s, ValueOf(atom.lhs, env));
     TOPODB_ASSIGN_OR_RETURN(std::vector<char> t, ValueOf(atom.rhs, env));
     const std::vector<char> cs = Closure(s);
@@ -912,6 +945,8 @@ class BaselineEvaluator {
     switch (formula.var_kind) {
       case Formula::VarKind::kName: {
         for (const std::string& name : engine_.complex_.region_names()) {
+          if (stop_armed_ && stop_.ShouldStop()) return stop_.Check();
+          ++bindings_;
           env->names[formula.var] = name;
           Result<bool> v = Eval(formula.body, env);
           env->names.erase(formula.var);
@@ -923,6 +958,8 @@ class BaselineEvaluator {
       case Formula::VarKind::kCell: {
         const size_t total = engine_.num_cells();
         for (size_t c = 0; c < total; ++c) {
+          if (stop_armed_ && stop_.ShouldStop()) return stop_.Check();
+          ++bindings_;
           std::vector<char> value(total, 0);
           value[c] = 1;
           env->cells[formula.var] = std::move(value);
@@ -963,12 +1000,23 @@ class BaselineEvaluator {
         error = StepsExhaustedError(max_steps_);
         return true;
       }
+      // Cancellation checkpoint, once per ~1k raw candidates — the stretch
+      // between disc values is the only unbounded work in this loop.
+      if (stop_armed_ && (raw_steps & 1023) == 0 && stop_.ShouldStop()) {
+        error = stop_.Check();
+        return true;
+      }
       std::vector<char> completed;
       if (!engine_.IsDiscValue(chosen, &completed)) return false;
       if (--budget_ < 0) {
         error = BudgetExhaustedError(budget_limit_);
         return true;
       }
+      if (stop_armed_ && stop_.ShouldStop()) {
+        error = stop_.Check();
+        return true;
+      }
+      ++bindings_;
       env->cells[formula.var] = std::move(completed);
       Result<bool> v = Eval(formula.body, env);
       env->cells.erase(formula.var);
@@ -1028,6 +1076,12 @@ class BaselineEvaluator {
   int64_t budget_;
   const int64_t budget_limit_;
   const int64_t max_steps_;
+  const StopSignal stop_;
+  // Hoisted stop_.armed(): the common un-deadlined evaluation pays one
+  // constant-member test per checkpoint instead of re-deriving armedness.
+  const bool stop_armed_;
+  uint64_t atoms_ = 0;
+  uint64_t bindings_ = 0;
 };
 
 // --- Bitset evaluation (packed words, shared memoized quantifier range) ---
@@ -1049,7 +1103,14 @@ class BitsetEvaluator {
       : engine_(engine),
         budget_(options.max_region_candidates),
         budget_limit_(options.max_region_candidates),
-        max_steps_(options.max_enumeration_steps) {}
+        max_steps_(options.max_enumeration_steps),
+        stop_(options.deadline, options.cancel),
+        stop_armed_(stop_.armed()) {}
+
+  // Work tallies, flushed to EvalOptions::metrics by the caller (plain
+  // locals here so the hot path never touches shared state).
+  uint64_t atoms() const { return atoms_; }
+  uint64_t bindings() const { return bindings_; }
 
   Result<bool> Eval(const FormulaPtr& formula, Env* env) {
     switch (formula->kind) {
@@ -1133,6 +1194,7 @@ class BitsetEvaluator {
   }
 
   Result<bool> EvalAtom(const Formula& atom, Env* env) {
+    ++atoms_;
     TOPODB_ASSIGN_OR_RETURN(ValueRef s, ValueOf(atom.lhs, env));
     TOPODB_ASSIGN_OR_RETURN(ValueRef t, ValueOf(atom.rhs, env));
     auto boundary = [](const ValueRef& r) {
@@ -1176,6 +1238,8 @@ class BitsetEvaluator {
     switch (formula.var_kind) {
       case Formula::VarKind::kName: {
         for (const std::string& name : engine_.complex_.region_names()) {
+          if (stop_armed_ && stop_.ShouldStop()) return stop_.Check();
+          ++bindings_;
           env->names[formula.var] = name;
           Result<bool> v = Eval(formula.body, env);
           env->names.erase(formula.var);
@@ -1191,6 +1255,11 @@ class BitsetEvaluator {
         Binding& slot = env->cells[formula.var];
         slot.value = CellSet(total);
         for (int c = 0; c < total; ++c) {
+          if (stop_armed_ && stop_.ShouldStop()) {
+            env->cells.erase(formula.var);
+            return stop_.Check();
+          }
+          ++bindings_;
           if (c > 0) slot.value.Reset(c - 1);
           slot.value.Set(c);
           slot.closure = engine_.closure_bits_[c];
@@ -1210,8 +1279,12 @@ class BitsetEvaluator {
         // every binding of every quantifier of every evaluation.
         Binding& slot = env->cells[formula.var];
         for (int64_t k = 0;; ++k) {
+          if (stop_armed_ && stop_.ShouldStop()) {
+            env->cells.erase(formula.var);
+            return stop_.Check();
+          }
           Result<const QueryEngine::DiscValue*> value =
-              engine_.FetchDiscValue(k, max_steps_);
+              engine_.FetchDiscValue(k, max_steps_, stop_);
           if (!value.ok() || *value == nullptr || --budget_ < 0) {
             env->cells.erase(formula.var);
             TOPODB_ASSIGN_OR_RETURN(const QueryEngine::DiscValue* v,
@@ -1219,6 +1292,7 @@ class BitsetEvaluator {
             if (v == nullptr) return !exists;
             return BudgetExhaustedError(budget_limit_);
           }
+          ++bindings_;
           slot.value = (*value)->cells;
           slot.closure = (*value)->closure;
           Result<bool> v = Eval(formula.body, env);
@@ -1240,6 +1314,12 @@ class BitsetEvaluator {
   int64_t budget_;
   const int64_t budget_limit_;
   const int64_t max_steps_;
+  const StopSignal stop_;
+  // Hoisted stop_.armed(): the common un-deadlined evaluation pays one
+  // constant-member test per checkpoint instead of re-deriving armedness.
+  const bool stop_armed_;
+  uint64_t atoms_ = 0;
+  uint64_t bindings_ = 0;
 };
 
 // --- Parallel fan-out of the outermost quantifier ---
@@ -1252,6 +1332,7 @@ Result<bool> QueryEngine::EvaluateParallel(const FormulaPtr& query,
   // Materialize the binding list. For region quantifiers at most
   // max_region_candidates disc values are relevant: a sequential sweep
   // consuming more would exhaust the budget anyway.
+  const StopSignal stop(options.deadline, options.cancel);
   std::vector<const DiscValue*> discs;
   Status deferred;  // Enumeration error, reported only if no witness wins.
   bool range_over_budget = false;
@@ -1266,7 +1347,7 @@ Result<bool> QueryEngine::EvaluateParallel(const FormulaPtr& query,
     case Formula::VarKind::kRegion: {
       for (int64_t k = 0; k <= options.max_region_candidates; ++k) {
         Result<const DiscValue*> value =
-            FetchDiscValue(k, options.max_enumeration_steps);
+            FetchDiscValue(k, options.max_enumeration_steps, stop);
         if (!value.ok()) {
           deferred = value.status();
           break;
@@ -1286,14 +1367,20 @@ Result<bool> QueryEngine::EvaluateParallel(const FormulaPtr& query,
           "rect quantifiers are evaluated by RectQueryEngine");
   }
 
-  const int workers = std::max(
-      1, std::min<int>(options.num_threads,
-                       static_cast<int>(std::min<int64_t>(
-                           num_bindings, std::numeric_limits<int>::max()))));
+  // num_threads was validated at the Evaluate entry point, so resolution
+  // cannot fail here.
+  const int workers = static_cast<int>(
+      *ResolveWorkerCount(options.num_threads,
+                          static_cast<size_t>(std::min<int64_t>(
+                              num_bindings, std::numeric_limits<int>::max()))));
   std::vector<std::optional<Result<bool>>> outcomes(
       static_cast<size_t>(num_bindings));
   std::atomic<int64_t> next{0};
-  std::atomic<bool> stop{false};
+  std::atomic<bool> stop_flag{false};
+
+  Counter* atoms_counter = RegistryCounter(options.metrics, "query.atoms");
+  Counter* bindings_counter =
+      RegistryCounter(options.metrics, "query.bindings");
 
   auto eval_binding = [&](int64_t i) -> Result<bool> {
     if (options.strategy == EvalStrategy::kBaseline) {
@@ -1314,7 +1401,10 @@ Result<bool> QueryEngine::EvaluateParallel(const FormulaPtr& query,
           break;
         case Formula::VarKind::kRect: break;  // Unreachable.
       }
-      return evaluator.Eval(formula.body, &env);
+      Result<bool> v = evaluator.Eval(formula.body, &env);
+      CounterAdd(atoms_counter, evaluator.atoms());
+      CounterAdd(bindings_counter, evaluator.bindings());
+      return v;
     }
     BitsetEvaluator evaluator(*this, options);
     BitsetEvaluator::Env env;
@@ -1336,20 +1426,34 @@ Result<bool> QueryEngine::EvaluateParallel(const FormulaPtr& query,
         break;
       case Formula::VarKind::kRect: break;  // Unreachable.
     }
-    return evaluator.Eval(formula.body, &env);
+    Result<bool> v = evaluator.Eval(formula.body, &env);
+    CounterAdd(atoms_counter, evaluator.atoms());
+    CounterAdd(bindings_counter, evaluator.bindings());
+    return v;
   };
 
   auto worker = [&]() {
-    while (!stop.load(std::memory_order_relaxed)) {
+    while (!stop_flag.load(std::memory_order_relaxed)) {
       const int64_t i = next.fetch_add(1);
       if (i >= num_bindings) return;
-      Result<bool> v = eval_binding(i);
+      // Cancellation checkpoint per claimed outer binding: remaining
+      // bindings fail fast once the deadline has passed, and the
+      // deterministic scan below reports the earliest stopped binding —
+      // the same point a sequential sweep would have reached.
+      const Status stopped = stop.Check();
+      Result<bool> v = Result<bool>(false);
+      if (stopped.ok()) {
+        CounterAdd(bindings_counter, 1);
+        v = eval_binding(i);
+      } else {
+        v = stopped;
+      }
       const bool decisive = !v.ok() || *v == exists;
       outcomes[i] = std::move(v);
       // First witness (or error) wins: later bindings stop being claimed,
       // already claimed ones still finish, so every binding before the
       // winner has an outcome when we scan below.
-      if (decisive) stop.store(true, std::memory_order_relaxed);
+      if (decisive) stop_flag.store(true, std::memory_order_relaxed);
     }
   };
   if (workers <= 1) {
@@ -1378,22 +1482,71 @@ Result<bool> QueryEngine::EvaluateParallel(const FormulaPtr& query,
 
 // --- Entry points ---
 
-Result<bool> QueryEngine::Evaluate(const FormulaPtr& query,
-                                   const EvalOptions& options) const {
+Result<bool> QueryEngine::EvaluateDispatch(const FormulaPtr& query,
+                                           const EvalOptions& options) const {
   if (options.num_threads > 1 &&
       (query->kind == Formula::Kind::kExists ||
        query->kind == Formula::Kind::kForall) &&
       query->var_kind != Formula::VarKind::kRect) {
     return EvaluateParallel(query, options);
   }
+  Counter* atoms_counter = RegistryCounter(options.metrics, "query.atoms");
+  Counter* bindings_counter =
+      RegistryCounter(options.metrics, "query.bindings");
   if (options.strategy == EvalStrategy::kBaseline) {
     BaselineEvaluator evaluator(*this, options);
     BaselineEvaluator::Env env;
-    return evaluator.Eval(query, &env);
+    Result<bool> result = evaluator.Eval(query, &env);
+    CounterAdd(atoms_counter, evaluator.atoms());
+    CounterAdd(bindings_counter, evaluator.bindings());
+    return result;
   }
   BitsetEvaluator evaluator(*this, options);
   BitsetEvaluator::Env env;
-  return evaluator.Eval(query, &env);
+  Result<bool> result = evaluator.Eval(query, &env);
+  CounterAdd(atoms_counter, evaluator.atoms());
+  CounterAdd(bindings_counter, evaluator.bindings());
+  return result;
+}
+
+Result<bool> QueryEngine::Evaluate(const FormulaPtr& query,
+                                   const EvalOptions& options) const {
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument(
+        "EvalOptions::num_threads must be >= 0 (0 or 1 = serial); got " +
+        std::to_string(options.num_threads));
+  }
+  // Entry checkpoint: an already-expired deadline rejects the evaluation
+  // before any work, whatever the query's shape. With metrics enabled the
+  // rejection still counts as an evaluation (and a deadline_exceeded).
+  const StopSignal stop(options.deadline, options.cancel);
+  if (options.metrics == nullptr) {
+    TOPODB_RETURN_NOT_OK(stop.Check());
+    return EvaluateDispatch(query, options);
+  }
+
+  Result<bool> result = [&]() -> Result<bool> {
+    ScopedTimer latency(options.metrics->histogram("query.eval_us"));
+    Status entry = stop.Check();
+    if (!entry.ok()) return entry;
+    return EvaluateDispatch(query, options);
+  }();
+  options.metrics->counter("query.evaluations")->Add(1);
+  if (!result.ok() &&
+      result.status().code() == StatusCode::kDeadlineExceeded) {
+    options.metrics->counter("query.deadline_exceeded")->Add(1);
+  }
+  // Engine-cumulative shared-cache state, exported as gauges (Set, not
+  // Add: many evaluations share these caches).
+  const CacheStats stats = cache_stats();
+  options.metrics->gauge("query.disc_memo_hits")
+      ->Set(static_cast<int64_t>(stats.disc_memo_hits));
+  options.metrics->gauge("query.disc_memo_misses")
+      ->Set(static_cast<int64_t>(stats.disc_memo_misses));
+  options.metrics->gauge("query.range_discs")->Set(stats.materialized_discs);
+  options.metrics->gauge("query.range_raw_candidates")
+      ->Set(stats.raw_candidates);
+  return result;
 }
 
 Result<bool> QueryEngine::Evaluate(const std::string& query,

@@ -10,6 +10,8 @@
 
 #include "src/arrangement/cell_complex.h"
 #include "src/base/status.h"
+#include "src/obs/deadline.h"
+#include "src/obs/metrics.h"
 #include "src/query/ast.h"
 #include "src/query/cellset.h"
 #include "src/query/parser.h"
@@ -60,8 +62,22 @@ struct EvalOptions {
   // subtree gets its own max_region_candidates budget (the shared global
   // budget of the sequential evaluator cannot be split deterministically
   // across racing workers). Verdicts match the sequential evaluator on
-  // every evaluation that does not exhaust a budget.
+  // every evaluation that does not exhaust a budget. Negative values are
+  // rejected with InvalidArgument (see ResolveWorkerCount in
+  // src/base/threading.h).
   int num_threads = 1;
+  // Wall-clock bound for this evaluation, polled at entry, at every
+  // quantifier binding, and every ~1k raw candidates inside the
+  // region-quantifier enumeration; expiry returns DeadlineExceeded.
+  // Default is infinite.
+  Deadline deadline;
+  // Optional caller-owned cancellation flag, polled at the same
+  // checkpoints; cancellation also returns DeadlineExceeded.
+  const CancelToken* cancel = nullptr;
+  // Optional sink for evaluation metrics (atoms evaluated, quantifier
+  // bindings explored, disc-check memo traffic, per-query latency).
+  // nullptr disables collection at near-zero cost.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Evaluates region-based FO queries over one spatial instance, using the
@@ -128,6 +144,18 @@ class QueryEngine {
   // *completed is empty.
   bool IsDiscValue(const CellSet& face_set, CellSet* completed) const;
 
+  // Cumulative shared-cache statistics since Build (all evaluations and
+  // threads): disc-check memo traffic and the size of the materialized
+  // region-quantifier range. Exported to EvalOptions::metrics after each
+  // evaluation; exposed here for direct inspection.
+  struct CacheStats {
+    uint64_t disc_memo_hits = 0;
+    uint64_t disc_memo_misses = 0;
+    int64_t materialized_discs = 0;   // disc values in the shared range
+    int64_t raw_candidates = 0;       // raw connected face sets consumed
+  };
+  CacheStats cache_stats() const;
+
  private:
   friend class BaselineEvaluator;
   friend class BitsetEvaluator;
@@ -166,8 +194,10 @@ class QueryEngine {
   // exhausted before k. Errors with ResourceExhausted when reaching the
   // k-th disc (or exhaustion) would take more than max_steps raw
   // candidates — the same iteration point at which the baseline
-  // evaluator's fresh enumeration errors.
-  Result<const DiscValue*> FetchDiscValue(int64_t k, int64_t max_steps) const;
+  // evaluator's fresh enumeration errors. `stop` is polled every ~1k raw
+  // candidates while extending the range.
+  Result<const DiscValue*> FetchDiscValue(int64_t k, int64_t max_steps,
+                                          const StopSignal& stop) const;
 
   // Topological closure of an arbitrary cell set (union of per-cell
   // precomputed closures).
@@ -175,6 +205,11 @@ class QueryEngine {
 
   // Parallel fan-out of the outermost quantifier (options.num_threads > 1).
   Result<bool> EvaluateParallel(const FormulaPtr& query,
+                                const EvalOptions& options) const;
+
+  // Strategy/parallelism dispatch behind the validated, instrumented
+  // Evaluate entry point.
+  Result<bool> EvaluateDispatch(const FormulaPtr& query,
                                 const EvalOptions& options) const;
 
   CellComplex complex_;

@@ -33,15 +33,46 @@ std::string Strip(const std::string& s) {
   return s.substr(begin, end - begin + 1);
 }
 
+// Bounded excerpt of attacker-controlled input for error messages: a
+// malformed 10 MB token must not be echoed back verbatim.
+constexpr size_t kMaxSnippetChars = 48;
+std::string Snippet(const std::string& s) {
+  if (s.size() <= kMaxSnippetChars) return s;
+  return s.substr(0, kMaxSnippetChars) + "...[" + std::to_string(s.size()) +
+         " chars]";
+}
+
+// Coordinate literals parse into BigInt-backed rationals, whose cost grows
+// with the digit count; cap the literal length so a pathological input
+// fails fast instead of grinding through arbitrary-precision arithmetic.
+constexpr size_t kMaxCoordinateChars = 4096;
+
+// Splits text into lines at "\n", "\r\n", or bare "\r" (classic-Mac),
+// each terminator counting as exactly one line break — so the line
+// numbers in ParseError are accurate for every line-ending convention.
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find_first_of("\r\n", pos);
+    if (eol == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (text[eol] == '\r' && pos < text.size() && text[pos] == '\n') ++pos;
+  }
+  return lines;
+}
+
 }  // namespace
 
 Result<SpatialInstance> ParseInstanceText(const std::string& text) {
   SpatialInstance instance;
-  std::istringstream is(text);
-  std::string raw_line;
-  size_t line_no = 0;
-  for (; std::getline(is, raw_line); ++line_no) {
-    const std::string line = Strip(raw_line);
+  const std::vector<std::string> raw_lines = SplitLines(text);
+  for (size_t line_no = 0; line_no < raw_lines.size(); ++line_no) {
+    const std::string line = Strip(raw_lines[line_no]);
     if (line.empty() || line[0] == '#') continue;
     const size_t colon = line.find(':');
     if (colon == std::string::npos) {
@@ -52,6 +83,12 @@ Result<SpatialInstance> ParseInstanceText(const std::string& text) {
     Status name_ok = ValidateRegionName(name);
     if (!name_ok.ok()) {
       return LineError(line_no, "invalid region name: " + name_ok.message());
+    }
+    // AddRegion would also reject duplicates, but checking here pins the
+    // error to the offending line.
+    if (instance.HasRegion(name)) {
+      return LineError(line_no,
+                       "duplicate region name '" + Snippet(name) + "'");
     }
     std::string rest = Strip(line.substr(colon + 1));
     if (rest.size() < 2 || rest.front() != '(' || rest.back() != ')') {
@@ -65,11 +102,19 @@ Result<SpatialInstance> ParseInstanceText(const std::string& text) {
       std::istringstream ps(pair);
       std::string xs, ys, extra;
       if (!(ps >> xs >> ys) || (ps >> extra)) {
-        return LineError(line_no, "expected 'x y' vertex: '" + pair + "'");
+        return LineError(line_no,
+                         "expected 'x y' vertex: '" + Snippet(pair) + "'");
+      }
+      if (xs.size() > kMaxCoordinateChars || ys.size() > kMaxCoordinateChars) {
+        return LineError(
+            line_no, "coordinate literal exceeds " +
+                         std::to_string(kMaxCoordinateChars) + " chars: '" +
+                         Snippet(xs.size() > kMaxCoordinateChars ? xs : ys) +
+                         "'");
       }
       Rational x, y;
       if (!Rational::FromString(xs, &x) || !Rational::FromString(ys, &y)) {
-        return LineError(line_no, "bad coordinate in '" + pair + "'");
+        return LineError(line_no, "bad coordinate in '" + Snippet(pair) + "'");
       }
       vertices.push_back(Point(std::move(x), std::move(y)));
     }

@@ -11,6 +11,7 @@
 #include "src/base/bigint.h"
 #include "src/base/rational.h"
 #include "src/base/status.h"
+#include "src/base/threading.h"       // Shared worker-count resolution.
 #include "src/embed/embed.h"            // Theorem 3.5 reconstruction.
 #include "src/fourint/four_intersection.h"  // Egenhofer relations (Fig 2).
 #include "src/geom/point.h"
@@ -20,6 +21,8 @@
 #include "src/invariant/graph_iso.h"    // G_I comparisons (Figs 6, 7).
 #include "src/invariant/s_invariant.h"  // Rect* S-invariant (Fig 14).
 #include "src/invariant/validate.h"     // Labeled planar graphs (Thm 3.8).
+#include "src/obs/deadline.h"           // Deadline/CancelToken for serving.
+#include "src/obs/metrics.h"            // Counters/histograms/registry.
 #include "src/pipeline/batch.h"         // Batched invariant pipeline.
 #include "src/pipeline/invariant_cache.h"  // Canonical-string cache.
 #include "src/pipeline/query_batch.h"   // Batched query evaluation.

@@ -1,0 +1,175 @@
+// Thread-interaction coverage, built for TSan: shared caches, shared
+// metric registries, parallel quantifier fan-out, and mid-flight
+// cancellation. CI runs exactly this suite under -fsanitize=thread
+// (filtered via `ctest -R ConcurrencyTest`), so every cross-thread
+// access pattern the serving path supports should be exercised here.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/deadline.h"
+#include "src/obs/metrics.h"
+#include "src/pipeline/batch.h"
+#include "src/pipeline/invariant_cache.h"
+#include "src/pipeline/query_batch.h"
+#include "src/query/eval.h"
+#include "src/region/fixtures.h"
+#include "src/workload/generators.h"
+
+namespace topodb {
+namespace {
+
+std::vector<SpatialInstance> SmallWorkload() {
+  std::vector<SpatialInstance> instances = {
+      Fig1aInstance(), Fig1bInstance(), Fig1cInstance(), Fig1dInstance()};
+  // Duplicates make the shared invariant cache see hits from several
+  // threads at once, not just insertions.
+  instances.push_back(Fig1aInstance());
+  instances.push_back(Fig1cInstance());
+  instances.push_back(*ChainInstance(3));
+  instances.push_back(*ChainInstance(3));
+  return instances;
+}
+
+TEST(ConcurrencyTest, SharedCacheAndRegistryAcrossInvariantBatch) {
+  const std::vector<SpatialInstance> instances = SmallWorkload();
+  InvariantCache cache;
+  MetricsRegistry registry;
+  BatchOptions options;
+  options.num_threads = 4;
+  options.cache = &cache;
+  options.metrics = &registry;
+  auto results = BatchComputeInvariants(instances, options);
+  ASSERT_EQ(results.size(), instances.size());
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  const InvariantCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, instances.size());
+  EXPECT_EQ(registry.counter("pipeline.items")->value(), instances.size());
+  EXPECT_EQ(registry.counter("pipeline.failures")->value(), 0u);
+}
+
+TEST(ConcurrencyTest, SharedEngineAndRegistryAcrossQueryBatch) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  std::vector<std::string> queries = {
+      "connect(A, B)",
+      "exists name a . exists name b . not (a = b) and overlap(a, b)",
+      "forall region r . connect(r, r)",
+      "exists region r . subset(r, A) and subset(r, B)",
+  };
+  // Duplicates drive the shared disc-check memo from several threads.
+  queries.push_back(queries[2]);
+  queries.push_back(queries[3]);
+
+  MetricsRegistry registry;
+  QueryBatchOptions options;
+  options.num_threads = 4;
+  options.metrics = &registry;
+  const std::vector<Result<bool>> results =
+      BatchEvaluateQueries(engine, queries, options);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Result<bool> serial = engine.Evaluate(queries[i]);
+    ASSERT_TRUE(results[i].ok()) << queries[i];
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(*results[i], *serial) << queries[i];
+  }
+  EXPECT_EQ(registry.counter("query_batch.items")->value(), queries.size());
+  EXPECT_EQ(registry.counter("query.evaluations")->value(), queries.size());
+}
+
+TEST(ConcurrencyTest, ParallelOuterQuantifierWithSharedMetrics) {
+  QueryEngine engine = *QueryEngine::Build(Fig1cInstance());
+  const std::string query = "forall region r . connect(r, r)";
+  MetricsRegistry registry;
+  EvalOptions parallel;
+  parallel.num_threads = 4;
+  parallel.metrics = &registry;
+  const Result<bool> fanned = engine.Evaluate(query, parallel);
+  const Result<bool> serial = engine.Evaluate(query);
+  ASSERT_TRUE(fanned.ok()) << fanned.status().ToString();
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(*fanned, *serial);
+  EXPECT_GT(registry.counter("query.bindings")->value(), 0u);
+}
+
+TEST(ConcurrencyTest, ConcurrentEvaluationsOnOneEngineShareCaches) {
+  QueryEngine engine = *QueryEngine::Build(Fig1bInstance());
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  std::vector<Result<bool>> verdicts(4, Result<bool>(false));
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&engine, &registry, &verdicts, t] {
+      EvalOptions options;
+      options.metrics = &registry;
+      verdicts[t] =
+          engine.Evaluate("exists region r . subset(r, A)", options);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const Result<bool>& verdict : verdicts) {
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    EXPECT_TRUE(*verdict);
+  }
+  EXPECT_EQ(registry.counter("query.evaluations")->value(), 4u);
+}
+
+TEST(ConcurrencyTest, CancellationFlippedMidFlightIsObservedSafely) {
+  // A worker thread flips the token while the batch runs. There is no
+  // guarantee which items are past their checkpoints when the flip lands,
+  // so each result must be either a real verdict or DeadlineExceeded —
+  // never a crash, a hang, or a mixed-up slot.
+  std::vector<SpatialInstance> instances;
+  for (int seed = 1; seed <= 8; ++seed) {
+    instances.push_back(*RandomRectInstance(5, 40, seed));
+  }
+  CancelToken token;
+  BatchOptions options;
+  options.num_threads = 4;
+  options.cancel = &token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    token.Cancel();
+  });
+  auto results = BatchComputeInvariants(instances, options);
+  canceller.join();
+  ASSERT_EQ(results.size(), instances.size());
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+          << result.status().ToString();
+    }
+  }
+}
+
+TEST(ConcurrencyTest, QueryBatchCancellationMidFlightIsObservedSafely) {
+  QueryEngine engine = *QueryEngine::Build(Fig1dInstance());
+  const std::vector<std::string> queries(
+      8, "forall region r . exists region s . connect(r, s)");
+  CancelToken token;
+  QueryBatchOptions options;
+  options.num_threads = 4;
+  options.cancel = &token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    token.Cancel();
+  });
+  const std::vector<Result<bool>> results =
+      BatchEvaluateQueries(engine, queries, options);
+  canceller.join();
+  ASSERT_EQ(results.size(), queries.size());
+  for (const Result<bool>& result : results) {
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+          << result.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topodb

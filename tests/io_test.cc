@@ -1,5 +1,8 @@
 #include "src/region/io.h"
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/invariant/canonical.h"
@@ -97,6 +100,67 @@ TEST(IoTest, RejectsInvalidPolygons) {
   // Duplicate names.
   EXPECT_FALSE(
       ParseInstanceText("A: (0 0, 4 0, 4 4)\nA: (8 8, 9 8, 9 9)\n").ok());
+}
+
+// One malformed input per row: the diagnostic must carry the exact
+// (post-split) line number and a recognizable message fragment, whatever
+// the line-ending convention or the size of the offending token.
+TEST(IoTest, MalformedInputsProduceBoundedLineAccurateDiagnostics) {
+  const std::string huge_literal(5000, '1');
+  struct Case {
+    const char* name;
+    std::string text;
+    const char* expect_line;
+    const char* expect_fragment;
+  };
+  const std::vector<Case> cases = {
+      {"crlf line endings",
+       "A: (0 0, 4 0, 4 4)\r\nB: (0 0 7, 1 0, 1 1)\r\n",
+       "line 2", "vertex"},
+      {"bare cr line endings",
+       "A: (0 0, 4 0, 4 4)\rB: (0 0, 1 0)\r",
+       "line 2", ""},
+      {"crlf after blank and comment",
+       "# header\r\n\r\nA: (0 0, 4 0, 4 4)\r\nA (missing colon)\r\n",
+       "line 4", ""},
+      {"duplicate region name",
+       "A: (0 0, 4 0, 4 4)\nB: (8 8, 9 8, 9 9)\nA: (20 20, 21 20, 21 21)\n",
+       "line 3", "duplicate region name 'A'"},
+      {"duplicate under crlf",
+       "A: (0 0, 4 0, 4 4)\r\nA: (8 8, 9 8, 9 9)\r\n",
+       "line 2", "duplicate region name 'A'"},
+      {"oversized coordinate literal",
+       "A: (0 0, " + huge_literal + " 0, 1 1)\n",
+       "line 1", "coordinate literal exceeds"},
+  };
+  for (const Case& c : cases) {
+    Result<SpatialInstance> parsed = ParseInstanceText(c.text);
+    ASSERT_FALSE(parsed.ok()) << c.name;
+    const std::string message = parsed.status().ToString();
+    EXPECT_NE(message.find(c.expect_line), std::string::npos)
+        << c.name << ": " << message;
+    EXPECT_NE(message.find(c.expect_fragment), std::string::npos)
+        << c.name << ": " << message;
+    // Diagnostics stay bounded even when the input token is enormous:
+    // long tokens are truncated to a snippet, never echoed wholesale.
+    EXPECT_LT(message.size(), 256u) << c.name;
+  }
+}
+
+TEST(IoTest, CrlfTextStillParsesCleanInput) {
+  Result<SpatialInstance> instance = ParseInstanceText(
+      "# comment\r\nA: (0 0, 4 0, 4 4)\r\n\r\nB: (8 8, 9 8, 9 9)\r\n");
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  EXPECT_EQ(instance->size(), 2u);
+}
+
+TEST(IoTest, CoordinateLiteralAtTheLimitStillParses) {
+  // 4096 chars is the documented bound; exactly at it must succeed.
+  std::string big(4096, '0');
+  big[0] = '1';  // 1 followed by 4095 zeros: a huge but valid integer.
+  const std::string text =
+      "A: (0 0, " + big + " 0, " + big + " " + big + ", 0 " + big + ")\n";
+  EXPECT_TRUE(ParseInstanceText(text).ok());
 }
 
 TEST(IoTest, EmptyTextIsEmptyInstance) {

@@ -1,0 +1,182 @@
+// src/obs: metrics primitives, registry export formats, and the
+// Deadline/CancelToken/StopSignal cancellation plumbing.
+
+#include <chrono>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/deadline.h"
+#include "src/obs/metrics.h"
+
+namespace topodb {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(7);
+  g.Set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(HistogramTest, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ExactAggregatesApproximateQuantiles) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 1000.0}) h.Record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1015.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 203.0);
+  // Quantiles are bucket upper bounds: within a factor of 2, monotone,
+  // clamped to [min, max].
+  const double p50 = h.Quantile(0.5);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 4.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, 1000.0);
+}
+
+TEST(HistogramTest, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.Record(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0.0);
+}
+
+TEST(RegistryTest, CreateOnFirstUseReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("x.count");
+  Counter* b = registry.counter("x.count");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(registry.counter("x.count")->value(), 3u);
+  EXPECT_NE(registry.counter("y.count"), a);
+}
+
+TEST(RegistryTest, ExportTextListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("pipeline.items")->Add(12);
+  registry.gauge("cache.entries")->Set(3);
+  registry.histogram("stage_us")->Record(10.0);
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("counter pipeline.items 12"), std::string::npos);
+  EXPECT_NE(text.find("gauge cache.entries 3"), std::string::npos);
+  EXPECT_NE(text.find("histogram stage_us count=1"), std::string::npos);
+}
+
+TEST(RegistryTest, ExportJsonHasSchemaAndSections) {
+  MetricsRegistry registry;
+  registry.counter("a")->Add(1);
+  registry.gauge("b")->Set(2);
+  registry.histogram("c")->Record(3.0);
+  const std::string json = registry.ExportJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"schema\": \"topodb.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(RegistryTest, ExportJsonEmptyRegistryIsWellFormed) {
+  MetricsRegistry registry;
+  const std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": {}"), std::string::npos);
+}
+
+TEST(NullSafeHelpersTest, NullRegistryAndSinksAreNoOps) {
+  EXPECT_EQ(RegistryCounter(nullptr, "x"), nullptr);
+  EXPECT_EQ(RegistryGauge(nullptr, "x"), nullptr);
+  EXPECT_EQ(RegistryHistogram(nullptr, "x"), nullptr);
+  CounterAdd(nullptr, 5);  // Must not crash.
+  GaugeSet(nullptr, 5);
+  HistogramRecord(nullptr, 5.0);
+  { ScopedTimer timer(nullptr); }
+}
+
+TEST(ScopedTimerTest, RecordsOneSampleInMicroseconds) {
+  Histogram h;
+  { ScopedTimer timer(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+  EXPECT_LT(h.max(), 1e6);  // Under a second, expressed in microseconds.
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.HasExpired());
+  EXPECT_FALSE(Deadline::Infinite().HasExpired());
+}
+
+TEST(DeadlineTest, ExpiredFactoryIsDeterministicallyPast) {
+  EXPECT_TRUE(Deadline::Expired().HasExpired());
+  EXPECT_FALSE(Deadline::Expired().is_infinite());
+}
+
+TEST(DeadlineTest, GenerousBudgetHasNotExpired) {
+  EXPECT_FALSE(Deadline::AfterMillis(3'600'000).HasExpired());
+  EXPECT_FALSE(Deadline::After(std::chrono::hours(1)).HasExpired());
+}
+
+TEST(CancelTokenTest, CancelIsSticky) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(StopSignalTest, UnarmedNeverFails) {
+  StopSignal stop;
+  EXPECT_FALSE(stop.armed());
+  EXPECT_TRUE(stop.Check().ok());
+}
+
+TEST(StopSignalTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  StopSignal stop(Deadline::Expired(), nullptr);
+  EXPECT_TRUE(stop.armed());
+  EXPECT_EQ(stop.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(StopSignalTest, CancelledTokenReportsDeadlineExceeded) {
+  CancelToken token;
+  StopSignal stop(Deadline::Infinite(), &token);
+  EXPECT_TRUE(stop.armed());
+  EXPECT_TRUE(stop.Check().ok());
+  token.Cancel();
+  EXPECT_EQ(stop.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(StopSignalTest, GenerousDeadlineStaysOk) {
+  StopSignal stop(Deadline::AfterMillis(3'600'000), nullptr);
+  EXPECT_TRUE(stop.armed());
+  EXPECT_TRUE(stop.Check().ok());
+}
+
+}  // namespace
+}  // namespace topodb

@@ -213,5 +213,213 @@ TEST(QueryBatchTest, EmptyBatchesReturnNoResults) {
       BatchEvaluateQuery("true", std::vector<SpatialInstance>{}).empty());
 }
 
+// --- Deadlines, cancellation, worker-count validation, metrics ---
+
+TEST(BatchDeadlineTest, ExpiredDeadlineFailsEveryItemIndividually) {
+  const std::vector<SpatialInstance> instances = MixedWorkload();
+  for (int threads : {1, 4}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    options.deadline = Deadline::Expired();
+    auto results = BatchComputeInvariants(instances, options);
+    ASSERT_EQ(results.size(), instances.size());
+    for (const auto& result : results) {
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+    }
+  }
+}
+
+TEST(BatchDeadlineTest, GenerousDeadlineLeavesResultsByteIdentical) {
+  const std::vector<SpatialInstance> instances = MixedWorkload();
+  BatchOptions plain;
+  BatchOptions bounded;
+  bounded.deadline = Deadline::AfterMillis(3'600'000);
+  auto without = BatchComputeInvariants(instances, plain);
+  auto with = BatchComputeInvariants(instances, bounded);
+  ASSERT_EQ(without.size(), with.size());
+  for (size_t i = 0; i < without.size(); ++i) {
+    ASSERT_TRUE(without[i].ok());
+    ASSERT_TRUE(with[i].ok()) << with[i].status().ToString();
+    EXPECT_EQ(with[i]->canonical(), without[i]->canonical()) << i;
+  }
+}
+
+TEST(BatchDeadlineTest, OnePathologicalItemFailsAloneRestByteIdentical) {
+  // Tiny items first, one huge all-pairs arrangement last (sequential
+  // workers): the fast items complete far inside the deadline, the
+  // pathological one blows it and hits the post-arrangement checkpoint.
+  // Margins are ~50x on both sides of the 50ms budget, so the test stays
+  // deterministic across machine speeds and sanitizer slowdowns. The
+  // undeadlined reference run covers only the fast items — completing the
+  // pathological invariant for real would dominate the suite's runtime,
+  // and the byte-identical claim is about the unaffected slots.
+  const std::vector<SpatialInstance> fast = {
+      Fig1aInstance(), Fig1cInstance(), NestedInstance(), *ChainInstance(3)};
+  std::vector<SpatialInstance> instances = fast;
+  const size_t pathological = instances.size();
+  instances.push_back(*RandomRectInstance(128, 12 * 128, 42));
+
+  BatchOptions options;
+  options.num_threads = 1;
+  options.arrangement.broad_phase = BroadPhase::kAllPairs;
+  auto unbounded = BatchComputeInvariants(fast, options);
+  options.deadline = Deadline::AfterMillis(50);
+  auto bounded = BatchComputeInvariants(instances, options);
+
+  ASSERT_EQ(bounded.size(), instances.size());
+  ASSERT_FALSE(bounded[pathological].ok());
+  EXPECT_EQ(bounded[pathological].status().code(),
+            StatusCode::kDeadlineExceeded);
+  for (size_t i = 0; i < pathological; ++i) {
+    ASSERT_TRUE(unbounded[i].ok());
+    ASSERT_TRUE(bounded[i].ok()) << i << ": " << bounded[i].status().ToString();
+    EXPECT_EQ(bounded[i]->canonical(), unbounded[i]->canonical()) << i;
+  }
+}
+
+TEST(BatchDeadlineTest, PreCancelledTokenFailsEveryItem) {
+  CancelToken token;
+  token.Cancel();
+  BatchOptions options;
+  options.num_threads = 4;
+  options.cancel = &token;
+  auto results = BatchComputeInvariants(MixedWorkload(), options);
+  for (const auto& result : results) {
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(BatchDeadlineTest, NegativeThreadCountFailsEveryItemWithInvalidArgument) {
+  const std::vector<SpatialInstance> instances = MixedWorkload();
+  BatchOptions options;
+  options.num_threads = -2;
+  auto results = BatchComputeInvariants(instances, options);
+  ASSERT_EQ(results.size(), instances.size());
+  for (const auto& result : results) {
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(BatchMetricsTest, RecordsPerStageTimingsAndItemCounts) {
+  const std::vector<SpatialInstance> instances = MixedWorkload();
+  MetricsRegistry registry;
+  InvariantCache cache;
+  BatchOptions options;
+  options.cache = &cache;
+  options.metrics = &registry;
+  auto results = BatchComputeInvariants(instances, options);
+  for (const auto& result : results) ASSERT_TRUE(result.ok());
+  EXPECT_EQ(registry.counter("pipeline.items")->value(), instances.size());
+  EXPECT_EQ(registry.counter("pipeline.failures")->value(), 0u);
+  // Every successful item passes through every stage exactly once.
+  EXPECT_EQ(registry.histogram("pipeline.arrangement_us")->count(),
+            instances.size());
+  EXPECT_EQ(registry.histogram("pipeline.extract_us")->count(),
+            instances.size());
+  EXPECT_EQ(registry.histogram("pipeline.canonical_us")->count(),
+            instances.size());
+  EXPECT_EQ(registry.histogram("pipeline.batch_us")->count(), 1u);
+  // Cache traffic and footprint surfaced as counters/gauges.
+  const InvariantCache::Stats stats = cache.stats();
+  EXPECT_EQ(registry.counter("pipeline.cache_hits")->value(), stats.hits);
+  EXPECT_EQ(registry.counter("pipeline.cache_misses")->value(), stats.misses);
+  EXPECT_EQ(registry.gauge("invariant_cache.entries")->value(),
+            static_cast<int64_t>(cache.size()));
+  EXPECT_GT(registry.gauge("invariant_cache.bytes")->value(), 0);
+  // Arrangement metrics propagate through BatchOptions::metrics.
+  EXPECT_EQ(registry.counter("arrangement.builds")->value(), instances.size());
+  EXPECT_GT(registry.counter("arrangement.candidate_pairs")->value(), 0u);
+}
+
+TEST(QueryBatchDeadlineTest, ExpiredDeadlineFailsEveryQuery) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  const std::vector<std::string> queries = {"connect(A, B)", "connect(A, C)",
+                                            "forall region r . connect(r, r)"};
+  for (int threads : {1, 4}) {
+    QueryBatchOptions options;
+    options.num_threads = threads;
+    options.deadline = Deadline::Expired();
+    const std::vector<Result<bool>> results =
+        BatchEvaluateQueries(engine, queries, options);
+    ASSERT_EQ(results.size(), queries.size());
+    for (const Result<bool>& result : results) {
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+    }
+  }
+}
+
+TEST(QueryBatchDeadlineTest, ExpiredDeadlineFailsEveryInstance) {
+  const std::vector<SpatialInstance> instances = {Fig1aInstance(),
+                                                  Fig1cInstance()};
+  QueryBatchOptions options;
+  options.deadline = Deadline::Expired();
+  const std::vector<Result<bool>> results =
+      BatchEvaluateQuery("connect(A, B)", instances, options);
+  ASSERT_EQ(results.size(), instances.size());
+  for (const Result<bool>& result : results) {
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(QueryBatchDeadlineTest, GenerousDeadlineMatchesUndeadlinedVerdicts) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  const std::vector<std::string> queries = {
+      "connect(A, B)", "forall region r . connect(r, r)",
+      "exists region r . subset(r, A) and subset(r, B) and subset(r, C)"};
+  QueryBatchOptions bounded;
+  bounded.deadline = Deadline::AfterMillis(3'600'000);
+  const std::vector<Result<bool>> with =
+      BatchEvaluateQueries(engine, queries, bounded);
+  const std::vector<Result<bool>> without =
+      BatchEvaluateQueries(engine, queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(with[i].ok()) << with[i].status().ToString();
+    ASSERT_TRUE(without[i].ok());
+    EXPECT_EQ(*with[i], *without[i]) << queries[i];
+  }
+}
+
+TEST(QueryBatchDeadlineTest, NegativeThreadCountFailsEverySlot) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  const std::vector<std::string> queries = {"connect(A, B)", "connect(A, C)"};
+  QueryBatchOptions options;
+  options.num_threads = -1;
+  const std::vector<Result<bool>> per_query =
+      BatchEvaluateQueries(engine, queries, options);
+  ASSERT_EQ(per_query.size(), queries.size());
+  for (const Result<bool>& result : per_query) {
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  const std::vector<SpatialInstance> instances = {Fig1aInstance()};
+  const std::vector<Result<bool>> per_instance =
+      BatchEvaluateQuery("connect(A, B)", instances, options);
+  ASSERT_EQ(per_instance.size(), instances.size());
+  EXPECT_EQ(per_instance[0].status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryBatchMetricsTest, CountsItemsAndEngineBuilds) {
+  const std::vector<SpatialInstance> instances = {Fig1aInstance(),
+                                                  Fig1cInstance()};
+  MetricsRegistry registry;
+  QueryBatchOptions options;
+  options.metrics = &registry;
+  const std::vector<Result<bool>> results =
+      BatchEvaluateQuery("connect(A, B)", instances, options);
+  for (const Result<bool>& result : results) ASSERT_TRUE(result.ok());
+  EXPECT_EQ(registry.counter("query_batch.items")->value(), instances.size());
+  EXPECT_EQ(registry.counter("query_batch.failures")->value(), 0u);
+  EXPECT_EQ(registry.histogram("query_batch.engine_build_us")->count(),
+            instances.size());
+  // The merged EvalOptions carry the registry into each evaluation.
+  EXPECT_EQ(registry.counter("query.evaluations")->value(), instances.size());
+  EXPECT_EQ(registry.histogram("query.eval_us")->count(), instances.size());
+}
+
 }  // namespace
 }  // namespace topodb

@@ -357,5 +357,115 @@ TEST(QueryTest, DiscValueChecker) {
   EXPECT_FALSE(engine->IsDiscValue(pick, &completed));
 }
 
+// --- Deadlines, cancellation, and evaluation metrics ---
+
+TEST(QueryDeadlineTest, ExpiredDeadlineFailsBothStrategies) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  for (EvalStrategy strategy : {EvalStrategy::kBitset, EvalStrategy::kBaseline}) {
+    EvalOptions options;
+    options.strategy = strategy;
+    options.deadline = Deadline::Expired();
+    // The entry checkpoint fires before any work, for any query shape.
+    for (const char* query :
+         {"connect(A, B)", "forall region r . connect(r, r)"}) {
+      Result<bool> result = engine.Evaluate(query, options);
+      ASSERT_FALSE(result.ok()) << query;
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+          << query;
+    }
+  }
+}
+
+TEST(QueryDeadlineTest, GenerousDeadlineMatchesUndeadlinedVerdict) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  for (const char* query : {kTripleIntersection, "connect(A, B)",
+                            "forall region r . connect(r, r)"}) {
+    EvalOptions bounded;
+    bounded.deadline = Deadline::AfterMillis(3'600'000);
+    Result<bool> with = engine.Evaluate(query, bounded);
+    Result<bool> without = engine.Evaluate(query);
+    ASSERT_TRUE(with.ok()) << with.status().ToString();
+    ASSERT_TRUE(without.ok());
+    EXPECT_EQ(*with, *without) << query;
+  }
+}
+
+TEST(QueryDeadlineTest, PreCancelledTokenFailsEvaluation) {
+  QueryEngine engine = *QueryEngine::Build(Fig1cInstance());
+  CancelToken token;
+  token.Cancel();
+  EvalOptions options;
+  options.cancel = &token;
+  Result<bool> result = engine.Evaluate("connect(A, B)", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryDeadlineTest, ExpiredDeadlineFailsParallelFanOut) {
+  QueryEngine engine = *QueryEngine::Build(Fig1cInstance());
+  EvalOptions options;
+  options.num_threads = 4;
+  options.deadline = Deadline::Expired();
+  Result<bool> result =
+      engine.Evaluate("forall region r . connect(r, r)", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryEvalOptionsTest, NegativeThreadCountIsInvalidArgument) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  EvalOptions options;
+  options.num_threads = -3;
+  Result<bool> result = engine.Evaluate("connect(A, B)", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("num_threads"), std::string::npos);
+}
+
+TEST(QueryMetricsTest, EvaluationPopulatesCountersAndLatency) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  MetricsRegistry registry;
+  EvalOptions options;
+  options.metrics = &registry;
+  Result<bool> result = engine.Evaluate(kTripleIntersection, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(registry.counter("query.evaluations")->value(), 1u);
+  EXPECT_EQ(registry.histogram("query.eval_us")->count(), 1u);
+  EXPECT_GT(registry.counter("query.atoms")->value(), 0u);
+  EXPECT_GT(registry.counter("query.bindings")->value(), 0u);
+  // The region quantifier materialized discs via the shared range.
+  EXPECT_GT(registry.gauge("query.range_discs")->value(), 0);
+  EXPECT_EQ(registry.counter("query.deadline_exceeded")->value(), 0u);
+}
+
+TEST(QueryMetricsTest, DeadlineExceededIsCounted) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  MetricsRegistry registry;
+  EvalOptions options;
+  options.metrics = &registry;
+  options.deadline = Deadline::Expired();
+  Result<bool> result = engine.Evaluate("connect(A, B)", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(registry.counter("query.deadline_exceeded")->value(), 1u);
+  EXPECT_EQ(registry.counter("query.evaluations")->value(), 1u);
+}
+
+TEST(QueryMetricsTest, CacheStatsAccumulateAcrossEvaluations) {
+  QueryEngine engine = *QueryEngine::Build(Fig1aInstance());
+  EXPECT_EQ(engine.cache_stats().disc_memo_hits, 0u);
+  ASSERT_TRUE(engine.Evaluate(kTripleIntersection).ok());
+  const QueryEngine::CacheStats first = engine.cache_stats();
+  // The region quantifier materialized its range from raw candidates. (The
+  // disc-check memo is only exercised by explicit IsDiscValue(CellSet)
+  // calls, not by the range's face-level fast path, so no assertion here.)
+  EXPECT_GT(first.materialized_discs, 0);
+  EXPECT_GT(first.raw_candidates, 0);
+  // A repeat evaluation reuses the materialized range: discs don't grow.
+  ASSERT_TRUE(engine.Evaluate(kTripleIntersection).ok());
+  const QueryEngine::CacheStats second = engine.cache_stats();
+  EXPECT_EQ(second.materialized_discs, first.materialized_discs);
+  EXPECT_GE(second.disc_memo_hits, first.disc_memo_hits);
+}
+
 }  // namespace
 }  // namespace topodb
