@@ -1,0 +1,335 @@
+// Closed-loop load driver for the TopoDB server (src/server): N client
+// threads, each with its own connection, issue a mixed request stream
+// (PING / COMPUTE_INVARIANT / BATCH_INVARIANTS / EVAL_QUERY / ISO_CHECK)
+// and verify every response against locally computed ground truth. The
+// report asserts zero lost or misrouted responses, then runs an overload
+// scenario (one worker, queue bound 1) asserting the server sheds with
+// Unavailable while every accepted request completes or fails
+// individually. The timing series below measures round-trip latency per
+// opcode against a warm server.
+//
+// Smoke mode (TOPODB_BENCH_SMOKE=1, used by CI) shrinks thread counts and
+// request volume so the binary exercises every path in a few seconds.
+// TOPODB_METRICS_JSON=<path> dumps the server registry after the load
+// report, like bench_pipeline_batch.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/client/client.h"
+#include "src/invariant/canonical.h"
+#include "src/query/eval.h"
+#include "src/region/fixtures.h"
+#include "src/region/io.h"
+#include "src/server/server.h"
+#include "src/workload/generators.h"
+
+namespace topodb {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+bool SmokeMode() {
+  const char* env = std::getenv("TOPODB_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// Roughly 250ms of enumeration on one worker — the overload generator.
+constexpr char kSlowQuery[] =
+    "forall region r . exists region s . not connect(r, s)";
+constexpr char kCheapQuery[] = "forall region r . connect(r, r)";
+
+struct GroundTruth {
+  std::string fig1a_text;
+  std::string fig1d_text;
+  std::string nested_text;
+  std::string grid_text;
+  std::string fig1a_canonical;
+  std::string nested_canonical;
+  bool cheap_verdict = false;
+};
+
+GroundTruth BuildGroundTruth() {
+  GroundTruth truth;
+  truth.fig1a_text = WriteInstanceText(Fig1aInstance());
+  truth.fig1d_text = WriteInstanceText(Fig1dInstance());
+  truth.nested_text = WriteInstanceText(NestedInstance());
+  truth.grid_text = WriteInstanceText(Unwrap(RectGridInstance(3, 3)));
+  truth.fig1a_canonical =
+      Unwrap(TopologicalInvariant::Compute(Fig1aInstance())).canonical();
+  truth.nested_canonical =
+      Unwrap(TopologicalInvariant::Compute(NestedInstance())).canonical();
+  QueryEngine engine = Unwrap(QueryEngine::Build(Fig1dInstance()));
+  truth.cheap_verdict = Unwrap(engine.Evaluate(kCheapQuery, EvalOptions{}));
+  return truth;
+}
+
+// One client thread's tally. `wrong` counts responses that arrived but
+// disagreed with ground truth — a misrouted or corrupted response would
+// land here (or fail inside the client's id check, which also lands
+// here via `failed`).
+struct Tally {
+  int sent = 0;
+  int answered = 0;
+  int wrong = 0;
+  int failed = 0;
+};
+
+Tally ClientLoop(uint16_t port, const GroundTruth& truth, int requests) {
+  Tally tally;
+  auto connected = TopoDbClient::Connect(port);
+  if (!connected.ok()) {
+    tally.failed = requests;
+    tally.sent = requests;
+    return tally;
+  }
+  TopoDbClient client = *std::move(connected);
+  for (int i = 0; i < requests; ++i) {
+    ++tally.sent;
+    switch (i % 5) {
+      case 0: {
+        const Status st = client.Ping();
+        if (st.ok()) ++tally.answered;
+        else ++tally.failed;
+        break;
+      }
+      case 1: {
+        const auto canonical = client.ComputeInvariant(truth.fig1a_text);
+        if (!canonical.ok()) ++tally.failed;
+        else if (*canonical != truth.fig1a_canonical) ++tally.wrong;
+        else ++tally.answered;
+        break;
+      }
+      case 2: {
+        const auto results = client.BatchInvariants(
+            {truth.fig1a_text, truth.nested_text});
+        if (!results.ok() || results->size() != 2 ||
+            !(*results)[0].ok() || !(*results)[1].ok()) {
+          ++tally.failed;
+        } else if ((*results)[0].value() != truth.fig1a_canonical ||
+                   (*results)[1].value() != truth.nested_canonical) {
+          ++tally.wrong;
+        } else {
+          ++tally.answered;
+        }
+        break;
+      }
+      case 3: {
+        const auto verdict = client.EvalQuery(truth.fig1d_text, kCheapQuery);
+        if (!verdict.ok()) ++tally.failed;
+        else if (*verdict != truth.cheap_verdict) ++tally.wrong;
+        else ++tally.answered;
+        break;
+      }
+      case 4: {
+        const auto isomorphic =
+            client.IsoCheck(truth.fig1a_text, truth.fig1a_text);
+        if (!isomorphic.ok()) ++tally.failed;
+        else if (!*isomorphic) ++tally.wrong;
+        else ++tally.answered;
+        break;
+      }
+    }
+  }
+  return tally;
+}
+
+// Closed-loop run: every request must come back, correct and in order.
+// Exports the server registry when TOPODB_METRICS_JSON is set.
+void ReportClosedLoop(const GroundTruth& truth) {
+  bench::Header("server closed loop: mixed opcodes, per-response checks");
+  const int threads = SmokeMode() ? 4 : 8;
+  const int requests = SmokeMode() ? 25 : 200;
+
+  ServerOptions options;
+  options.num_workers = 2;
+  TopoDbServer server(options);
+  Check(server.Start());
+
+  std::vector<Tally> tallies(threads);
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      tallies[t] = ClientLoop(server.port(), truth, requests);
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  int sent = 0, answered = 0, wrong = 0, failed = 0;
+  for (const Tally& tally : tallies) {
+    sent += tally.sent;
+    answered += tally.answered;
+    wrong += tally.wrong;
+    failed += tally.failed;
+  }
+  std::printf("%d threads x %d requests: %d sent, %d answered OK, "
+              "%d wrong, %d failed (%.0f req/s)\n",
+              threads, requests, sent, answered, wrong, failed,
+              sent / seconds);
+  if (answered != sent || wrong != 0 || failed != 0) {
+    std::fprintf(stderr,
+                 "LOAD FAILURE: lost, misrouted, or failed responses\n");
+    std::exit(1);
+  }
+
+  if (const char* path = std::getenv("TOPODB_METRICS_JSON");
+      path != nullptr && path[0] != '\0') {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write TOPODB_METRICS_JSON=%s\n", path);
+      std::exit(1);
+    }
+    const std::string json = server.metrics().ExportJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("metrics JSON written to %s\n", path);
+  }
+  Check(server.Shutdown());
+}
+
+// Overload run: capacity 2 (one worker + one queue slot) against a burst
+// of ~250ms queries. Arrivals beyond capacity must shed with Unavailable;
+// everything admitted completes or fails individually (DeadlineExceeded
+// under queue wait) — nothing is lost and nothing blocks unboundedly.
+void ReportOverload(const GroundTruth& truth) {
+  bench::Header("server overload: admission-queue shedding");
+  const int threads = SmokeMode() ? 4 : 6;
+  const int requests = SmokeMode() ? 2 : 4;
+
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 1;
+  options.drain_timeout = std::chrono::milliseconds(10000);
+  TopoDbServer server(options);
+  Check(server.Start());
+
+  std::atomic<int> answered{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&] {
+      auto client = TopoDbClient::Connect(server.port());
+      if (!client.ok()) {
+        unexpected += requests;
+        return;
+      }
+      for (int r = 0; r < requests; ++r) {
+        const auto verdict =
+            client->EvalQuery(truth.grid_text, kSlowQuery, 2000);
+        const StatusCode code =
+            verdict.ok() ? StatusCode::kOk : verdict.status().code();
+        if (code == StatusCode::kOk ||
+            code == StatusCode::kResourceExhausted ||
+            code == StatusCode::kDeadlineExceeded) {
+          ++answered;
+        } else if (code == StatusCode::kUnavailable) {
+          ++shed;
+        } else {
+          ++unexpected;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const int total = threads * requests;
+  std::printf("%d slow requests vs capacity 2: %d answered, %d shed, "
+              "%d unexpected\n",
+              total, answered.load(), shed.load(), unexpected.load());
+  if (answered + shed != total || unexpected != 0 || shed == 0) {
+    std::fprintf(stderr, "OVERLOAD FAILURE: expected every request to be "
+                         "answered or shed, with at least one shed\n");
+    std::exit(1);
+  }
+  Check(server.Shutdown());
+}
+
+// --- Timing series: round-trip latency against a warm server ---
+
+// One server + one connected client shared across the series; google
+// benchmark runs iterations sequentially so the single connection is
+// never used from two threads.
+struct WarmServer {
+  WarmServer() : server(MakeOptions()) {
+    Check(server.Start());
+    client.emplace(Unwrap(TopoDbClient::Connect(server.port())));
+    truth = BuildGroundTruth();
+  }
+  static ServerOptions MakeOptions() {
+    ServerOptions options;
+    options.num_workers = 2;
+    return options;
+  }
+  TopoDbServer server;
+  std::optional<TopoDbClient> client;
+  GroundTruth truth;
+};
+
+WarmServer& Warm() {
+  static WarmServer* warm = new WarmServer();
+  return *warm;
+}
+
+void BM_RoundTripPing(benchmark::State& state) {
+  WarmServer& warm = Warm();
+  for (auto _ : state) Check(warm.client->Ping());
+}
+BENCHMARK(BM_RoundTripPing);
+
+void BM_RoundTripInvariant(benchmark::State& state) {
+  WarmServer& warm = Warm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(warm.client->ComputeInvariant(warm.truth.fig1a_text)));
+  }
+}
+BENCHMARK(BM_RoundTripInvariant);
+
+void BM_RoundTripEvalQuery(benchmark::State& state) {
+  WarmServer& warm = Warm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(warm.client->EvalQuery(warm.truth.fig1d_text, kCheapQuery)));
+  }
+}
+BENCHMARK(BM_RoundTripEvalQuery);
+
+void BM_RoundTripBatch(benchmark::State& state) {
+  WarmServer& warm = Warm();
+  const std::vector<std::string> texts = {warm.truth.fig1a_text,
+                                          warm.truth.nested_text};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(warm.client->BatchInvariants(texts)));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_RoundTripBatch);
+
+}  // namespace
+}  // namespace topodb
+
+int main(int argc, char** argv) {
+  const topodb::GroundTruth truth = topodb::BuildGroundTruth();
+  topodb::ReportClosedLoop(truth);
+  topodb::ReportOverload(truth);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

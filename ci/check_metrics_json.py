@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
-"""Validates a MetricsRegistry JSON export (schema topodb.metrics.v1).
+"""Validates a MetricsRegistry JSON export (schema topodb.metrics.v1/v2).
 
 Usage: check_metrics_json.py <path>
 
 CI archives the per-stage timing export produced by bench_pipeline_batch
 (TOPODB_METRICS_JSON=<path>) and fails if the file is not well-formed JSON,
-declares a different schema, or is missing the per-stage instrumentation
-the serving path is supposed to emit.
+declares an unknown schema, or is missing the per-stage instrumentation
+the serving path is supposed to emit. Both schema versions are accepted:
+v2 adds the interpolated "p95" histogram field, which is required when
+the export declares v2.
 """
 import json
 import sys
 
 
+ACCEPTED_SCHEMAS = ["topodb.metrics.v1", "topodb.metrics.v2"]
 EXPECTED_COUNTERS = [
     "pipeline.items",
     "pipeline.cache_hits",
@@ -24,7 +27,8 @@ EXPECTED_HISTOGRAMS = [
     "pipeline.canonical_us",
     "pipeline.batch_us",
 ]
-HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p90", "p99"]
+HISTOGRAM_FIELDS_V1 = ["count", "sum", "min", "max", "mean", "p50", "p90", "p99"]
+HISTOGRAM_FIELDS_V2 = HISTOGRAM_FIELDS_V1 + ["p95"]
 
 
 def fail(message):
@@ -40,8 +44,12 @@ def main():
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         fail(str(err))
-    if doc.get("schema") != "topodb.metrics.v1":
-        fail(f"unexpected schema {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if schema not in ACCEPTED_SCHEMAS:
+        fail(f"unexpected schema {schema!r} (accepted: {ACCEPTED_SCHEMAS})")
+    histogram_fields = (
+        HISTOGRAM_FIELDS_V2 if schema == "topodb.metrics.v2" else HISTOGRAM_FIELDS_V1
+    )
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(doc.get(section), dict):
             fail(f"missing section {section!r}")
@@ -56,13 +64,13 @@ def main():
         hist = doc["histograms"].get(name)
         if not isinstance(hist, dict):
             fail(f"missing histogram {name!r}")
-        for field in HISTOGRAM_FIELDS:
+        for field in histogram_fields:
             if not isinstance(hist.get(field), (int, float)):
                 fail(f"histogram {name!r} missing field {field!r}")
         if hist["count"] > 0 and hist["min"] > hist["max"]:
             fail(f"histogram {name!r} has min > max")
     print(
-        f"metrics JSON OK: {len(doc['counters'])} counters, "
+        f"metrics JSON OK ({schema}): {len(doc['counters'])} counters, "
         f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms"
     )
 

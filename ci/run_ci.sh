@@ -8,11 +8,17 @@
 #      so their reports, verdict assertions and every strategy/thread code
 #      path execute on each CI run; any nonzero exit fails CI. The batch
 #      bench also writes its per-stage metrics JSON to ci/artifacts/, which
-#      is validated against the topodb.metrics.v1 schema and archived.
-#   3. Rebuild the test suite under ASan+UBSan in build-asan/ and run it.
-#   4. Rebuild under TSan in build-tsan/ and run the ConcurrencyTest suite
-#      (shared caches, shared registries, parallel fan-out, mid-flight
-#      cancellation) — the cross-thread serving paths, specifically.
+#      is validated against the topodb.metrics schema and archived.
+#   3. Loopback serving smoke: start topodb_server on an ephemeral port,
+#      drive it with topodb_client (PING + BATCH_INVARIANTS), then SIGTERM
+#      and assert the graceful-drain exit code. Also smoke-runs
+#      bench_server_load (closed loop + overload shed assertions) and
+#      archives its server metrics JSON.
+#   4. Rebuild the test suite under ASan+UBSan in build-asan/ and run it.
+#   5. Rebuild under TSan in build-tsan/ and run the ConcurrencyTest and
+#      ServerTest suites (shared caches, shared registries, parallel
+#      fan-out, mid-flight cancellation, the full serving path) — the
+#      cross-thread paths, specifically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +50,36 @@ python3 ci/check_metrics_json.py ci/artifacts/pipeline_batch_metrics.json
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
   ci/artifacts/query_eval_metrics.json
 
+echo "==> server smoke: loopback PING + BATCH, graceful SIGTERM drain"
+# The daemon prints its bound address on stdout; parse the ephemeral port
+# from the first line, exercise two opcodes through the CLI client, then
+# send SIGTERM and require exit 0 — the daemon's contract that every
+# admitted request was answered before the process left.
+server_log=ci/artifacts/server_smoke.log
+./build-ci/src/server/topodb_server --workers 2 --queue 16 \
+  > "$server_log" &
+server_pid=$!
+for _ in $(seq 1 50); do
+  grep -q "listening on" "$server_log" 2>/dev/null && break
+  sleep 0.1
+done
+server_port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+  "$server_log" | head -1)
+[[ -n "$server_port" ]] || { echo "server never came up"; exit 1; }
+./build-ci/src/client/topodb_client --port "$server_port" ping
+./build-ci/src/client/topodb_client --port "$server_port" \
+  batch fig1a fig1d nested
+kill -TERM "$server_pid"
+wait "$server_pid"
+grep -q "drained cleanly" "$server_log" \
+  || { echo "server did not drain cleanly"; exit 1; }
+
+echo "==> server smoke: bench_server_load (closed loop + overload shed)"
+TOPODB_BENCH_SMOKE=1 \
+TOPODB_METRICS_JSON=ci/artifacts/server_load_metrics.json \
+  ./build-ci/bench/bench_server_load --benchmark_min_time=0.01
+python3 ci/check_metrics_json.py ci/artifacts/server_load_metrics.json
+
 if [[ "${1:-}" != "--no-sanitizers" ]]; then
   echo "==> sanitizers: ASan + UBSan"
   run_suite build-asan \
@@ -51,17 +87,18 @@ if [[ "${1:-}" != "--no-sanitizers" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 
-  echo "==> sanitizers: TSan (ConcurrencyTest suite)"
-  # A full TSan suite run would dominate CI wall-clock; the concurrency
-  # suite is written to cover exactly the cross-thread access patterns
-  # (shared InvariantCache, shared MetricsRegistry, one engine serving
-  # many threads, cancellation flipped mid-flight).
+  echo "==> sanitizers: TSan (ConcurrencyTest + ServerTest suites)"
+  # A full TSan suite run would dominate CI wall-clock; these two suites
+  # are written to cover exactly the cross-thread access patterns (shared
+  # InvariantCache, shared MetricsRegistry, one engine serving many
+  # threads, cancellation flipped mid-flight, and the acceptor/reader/
+  # worker handoffs of the serving layer).
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build build-tsan -j --target concurrency_test
-  ctest --test-dir build-tsan --output-on-failure -R ConcurrencyTest
+  cmake --build build-tsan -j --target concurrency_test server_test
+  ctest --test-dir build-tsan --output-on-failure -R "ConcurrencyTest|ServerTest"
 fi
 
 echo "==> CI OK"

@@ -20,6 +20,7 @@ enum class StatusCode {
   kResourceExhausted, // enumeration/size cap hit
   kParseError,        // query-language syntax error
   kDeadlineExceeded,  // deadline passed or caller cancelled mid-flight
+  kUnavailable,       // transient overload: shed now, safe to retry later
   kInternal,          // invariant violation that was recoverable
 };
 
@@ -53,6 +54,14 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  // Distinct from ResourceExhausted (a per-request enumeration cap was
+  // hit — retrying the same request fails the same way) and from
+  // DeadlineExceeded (this request's budget was spent): Unavailable means
+  // the server refused to start the work at all, so an identical retry
+  // against a less-loaded server can succeed.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -76,6 +85,7 @@ class Status {
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kParseError: return "ParseError";
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
       case StatusCode::kInternal: return "Internal";
     }
     return "Unknown";

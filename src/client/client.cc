@@ -1,0 +1,227 @@
+#include "src/client/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/server/wire.h"
+
+namespace topodb {
+namespace {
+
+// Transport-level failures (reset, EOF mid-exchange, broken pipe) report
+// Unavailable — the server went away and the call is retryable against a
+// fresh connection. Internal is reserved for protocol violations on an
+// intact transport (misrouted ids, malformed frames).
+Status SendAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") +
+                                 std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, char* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t r = recv(fd, buf + off, n - off, 0);
+    if (r == 0) {
+      return Status::Unavailable("connection closed by server");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("recv: ") +
+                                 std::strerror(errno));
+    }
+    off += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TopoDbClient> TopoDbClient::Connect(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::Unavailable(
+        "connect to 127.0.0.1:" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  return TopoDbClient(fd);
+}
+
+TopoDbClient::TopoDbClient(TopoDbClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_) {}
+
+TopoDbClient& TopoDbClient::operator=(TopoDbClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+  }
+  return *this;
+}
+
+TopoDbClient::~TopoDbClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<std::string> TopoDbClient::RoundTrip(uint16_t opcode,
+                                            const std::string& payload,
+                                            uint32_t budget_ms) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  FrameHeader header;
+  header.opcode = opcode;
+  header.request_id = next_request_id_++;
+  header.deadline_budget_ms = budget_ms;
+  TOPODB_RETURN_NOT_OK(SendAll(fd_, EncodeFrame(header, payload)));
+
+  char response_header_bytes[kWireHeaderBytes];
+  TOPODB_RETURN_NOT_OK(
+      RecvAll(fd_, response_header_bytes, kWireHeaderBytes));
+  TOPODB_ASSIGN_OR_RETURN(
+      FrameHeader response_header,
+      DecodeFrameHeader(
+          std::string_view(response_header_bytes, kWireHeaderBytes)));
+  // One request is outstanding at a time, so the reply must match it
+  // exactly; anything else means the stream is desynchronized.
+  if (response_header.opcode !=
+      static_cast<uint16_t>(opcode | kWireResponseBit)) {
+    return Status::Internal(
+        "misrouted response: sent " + OpcodeName(opcode) + ", got " +
+        OpcodeName(response_header.opcode));
+  }
+  if (response_header.request_id != header.request_id) {
+    return Status::Internal(
+        "misrouted response: request id " +
+        std::to_string(header.request_id) + ", got " +
+        std::to_string(response_header.request_id));
+  }
+  std::string response_payload(response_header.payload_len, '\0');
+  if (response_header.payload_len > 0) {
+    TOPODB_RETURN_NOT_OK(RecvAll(fd_, response_payload.data(),
+                                 response_payload.size()));
+  }
+  TOPODB_ASSIGN_OR_RETURN(DecodedResponse response,
+                          DecodeResponsePayload(response_payload));
+  TOPODB_RETURN_NOT_OK(response.status);
+  return std::move(response.body);
+}
+
+Status TopoDbClient::Ping(uint32_t budget_ms) {
+  return RoundTrip(static_cast<uint16_t>(Opcode::kPing), {}, budget_ms)
+      .status();
+}
+
+Result<std::string> TopoDbClient::ComputeInvariant(
+    const std::string& instance_text, uint32_t budget_ms) {
+  std::string payload;
+  AppendWireString(&payload, instance_text);
+  TOPODB_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(static_cast<uint16_t>(Opcode::kComputeInvariant), payload,
+                budget_ms));
+  WireReader reader(body);
+  TOPODB_ASSIGN_OR_RETURN(std::string canonical, reader.ReadWireString());
+  TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+  return canonical;
+}
+
+Result<std::vector<Result<std::string>>> TopoDbClient::BatchInvariants(
+    const std::vector<std::string>& instance_texts, uint32_t budget_ms) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(instance_texts.size()));
+  for (const std::string& text : instance_texts) {
+    AppendWireString(&payload, text);
+  }
+  TOPODB_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(static_cast<uint16_t>(Opcode::kBatchInvariants), payload,
+                budget_ms));
+  WireReader reader(body);
+  TOPODB_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+  if (n != instance_texts.size()) {
+    return Status::Internal(
+        "batch response has " + std::to_string(n) + " items, sent " +
+        std::to_string(instance_texts.size()));
+  }
+  std::vector<Result<std::string>> results;
+  results.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    TOPODB_ASSIGN_OR_RETURN(uint32_t wire_status, reader.ReadU32());
+    TOPODB_ASSIGN_OR_RETURN(std::string text, reader.ReadWireString());
+    const StatusCode code = CodeFromWireStatus(wire_status);
+    if (code == StatusCode::kOk) {
+      results.emplace_back(std::move(text));
+    } else {
+      results.emplace_back(Status(code, std::move(text)));
+    }
+  }
+  TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+  return results;
+}
+
+Result<bool> TopoDbClient::EvalQuery(const std::string& instance_text,
+                                     const std::string& query,
+                                     uint32_t budget_ms) {
+  std::string payload;
+  AppendWireString(&payload, instance_text);
+  AppendWireString(&payload, query);
+  TOPODB_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(static_cast<uint16_t>(Opcode::kEvalQuery), payload,
+                budget_ms));
+  WireReader reader(body);
+  TOPODB_ASSIGN_OR_RETURN(uint8_t verdict, reader.ReadU8());
+  TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+  return verdict != 0;
+}
+
+Result<bool> TopoDbClient::IsoCheck(const std::string& instance_a,
+                                    const std::string& instance_b,
+                                    uint32_t budget_ms) {
+  std::string payload;
+  AppendWireString(&payload, instance_a);
+  AppendWireString(&payload, instance_b);
+  TOPODB_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(static_cast<uint16_t>(Opcode::kIsoCheck), payload,
+                budget_ms));
+  WireReader reader(body);
+  TOPODB_ASSIGN_OR_RETURN(uint8_t isomorphic, reader.ReadU8());
+  TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+  return isomorphic != 0;
+}
+
+Result<std::string> TopoDbClient::Metrics(uint32_t budget_ms) {
+  TOPODB_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(static_cast<uint16_t>(Opcode::kMetrics), {}, budget_ms));
+  WireReader reader(body);
+  TOPODB_ASSIGN_OR_RETURN(std::string json, reader.ReadWireString());
+  TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+  return json;
+}
+
+}  // namespace topodb

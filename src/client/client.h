@@ -1,0 +1,76 @@
+#ifndef TOPODB_CLIENT_CLIENT_H_
+#define TOPODB_CLIENT_CLIENT_H_
+
+// Blocking TCP client for the TopoDB server (src/server/server.h). One
+// request is outstanding per connection at a time; every call sends a
+// frame with a fresh request id and waits for the matching response,
+// failing with Internal on a misrouted (id- or opcode-mismatched) reply.
+//
+// Wire error statuses are re-hydrated into their library Status codes, so
+// a server-side shed arrives as StatusCode::kUnavailable and a spent
+// budget as kDeadlineExceeded — callers branch on the same codes they
+// would see calling the library in-process.
+//
+// `budget_ms` arguments fill the frame header's deadline-budget field;
+// 0 (the default) means no deadline. The server starts the clock at
+// admission, so the budget covers queue wait + execution.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace topodb {
+
+class TopoDbClient {
+ public:
+  // Connects to a TopoDB server on the loopback interface.
+  static Result<TopoDbClient> Connect(uint16_t port);
+
+  TopoDbClient(TopoDbClient&& other) noexcept;
+  TopoDbClient& operator=(TopoDbClient&& other) noexcept;
+  TopoDbClient(const TopoDbClient&) = delete;
+  TopoDbClient& operator=(const TopoDbClient&) = delete;
+  ~TopoDbClient();
+
+  // PING: liveness round trip.
+  Status Ping(uint32_t budget_ms = 0);
+
+  // COMPUTE_INVARIANT: the canonical invariant string of the instance
+  // (text format of src/region/io.h).
+  Result<std::string> ComputeInvariant(const std::string& instance_text,
+                                       uint32_t budget_ms = 0);
+
+  // BATCH_INVARIANTS: positionally aligned per-item results; a per-item
+  // failure (parse error, deadline) never fails the request.
+  Result<std::vector<Result<std::string>>> BatchInvariants(
+      const std::vector<std::string>& instance_texts, uint32_t budget_ms = 0);
+
+  // EVAL_QUERY: evaluates a query-language sentence against an instance.
+  Result<bool> EvalQuery(const std::string& instance_text,
+                         const std::string& query, uint32_t budget_ms = 0);
+
+  // ISO_CHECK: Theorem 3.4 equivalence of two instances.
+  Result<bool> IsoCheck(const std::string& instance_a,
+                        const std::string& instance_b,
+                        uint32_t budget_ms = 0);
+
+  // METRICS: the server registry's JSON export (topodb.metrics.v2).
+  Result<std::string> Metrics(uint32_t budget_ms = 0);
+
+ private:
+  explicit TopoDbClient(int fd) : fd_(fd) {}
+
+  // Sends one frame and reads the matching response, returning the
+  // opcode-specific body bytes (the wire status has already been checked).
+  Result<std::string> RoundTrip(uint16_t opcode, const std::string& payload,
+                                uint32_t budget_ms);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_CLIENT_CLIENT_H_

@@ -1,0 +1,188 @@
+// Command-line client for the TopoDB server, used by CI's loopback smoke
+// stage and the README quickstart. Instances are named paper fixtures
+// serialized through the text format, so a shell can exercise every
+// opcode without authoring geometry.
+//
+// Usage:
+//   topodb_client --port N ping [budget_ms]
+//   topodb_client --port N metrics
+//   topodb_client --port N invariant <fixture>
+//   topodb_client --port N batch <fixture>...
+//   topodb_client --port N eval <fixture> <query> [budget_ms]
+//   topodb_client --port N iso <fixture> <fixture>
+//
+// Fixtures: fig1a fig1b fig1c fig1d fig6 fig7a fig7a_prime fig7b
+//           fig7b_prime single nested disjoint
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/region/fixtures.h"
+#include "src/region/io.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: topodb_client --port N "
+      "(ping [budget_ms] | metrics | invariant <fixture> | "
+      "batch <fixture>... | eval <fixture> <query> [budget_ms] | "
+      "iso <fixture> <fixture>)\n");
+  return 2;
+}
+
+bool FixtureText(const std::string& name, std::string* text) {
+  topodb::SpatialInstance instance;
+  if (name == "fig1a") instance = topodb::Fig1aInstance();
+  else if (name == "fig1b") instance = topodb::Fig1bInstance();
+  else if (name == "fig1c") instance = topodb::Fig1cInstance();
+  else if (name == "fig1d") instance = topodb::Fig1dInstance();
+  else if (name == "fig6") instance = topodb::Fig6Instance();
+  else if (name == "fig7a") instance = topodb::Fig7aInstance();
+  else if (name == "fig7a_prime") instance = topodb::Fig7aPrimeInstance();
+  else if (name == "fig7b") instance = topodb::Fig7bInstance();
+  else if (name == "fig7b_prime") instance = topodb::Fig7bPrimeInstance();
+  else if (name == "single") instance = topodb::SingleRegionInstance();
+  else if (name == "nested") instance = topodb::NestedInstance();
+  else if (name == "disjoint") instance = topodb::DisjointPairInstance();
+  else {
+    std::fprintf(stderr, "topodb_client: unknown fixture %s\n", name.c_str());
+    return false;
+  }
+  *text = topodb::WriteInstanceText(instance);
+  return true;
+}
+
+uint32_t ParseBudgetMs(const char* value) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 0) {
+    std::fprintf(stderr, "topodb_client: bad budget_ms: %s\n", value);
+    std::exit(2);
+  }
+  return static_cast<uint32_t>(parsed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  int i = 1;
+  if (i + 1 < argc && std::strcmp(argv[i], "--port") == 0) {
+    port = static_cast<uint16_t>(std::atoi(argv[i + 1]));
+    i += 2;
+  }
+  if (port == 0 || i >= argc) return Usage();
+  const std::string command = argv[i++];
+
+  auto connected = topodb::TopoDbClient::Connect(port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "topodb_client: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  topodb::TopoDbClient client = *std::move(connected);
+
+  if (command == "ping") {
+    const uint32_t budget_ms = i < argc ? ParseBudgetMs(argv[i]) : 0;
+    const topodb::Status st = client.Ping(budget_ms);
+    if (!st.ok()) {
+      std::fprintf(stderr, "topodb_client: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("PONG\n");
+    return 0;
+  }
+
+  if (command == "metrics") {
+    const auto json = client.Metrics();
+    if (!json.ok()) {
+      std::fprintf(stderr, "topodb_client: %s\n",
+                   json.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", json->c_str());
+    return 0;
+  }
+
+  if (command == "invariant" && i < argc) {
+    std::string text;
+    if (!FixtureText(argv[i], &text)) return 2;
+    const auto canonical = client.ComputeInvariant(text);
+    if (!canonical.ok()) {
+      std::fprintf(stderr, "topodb_client: %s\n",
+                   canonical.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: canonical invariant, %zu bytes\n", argv[i],
+                canonical->size());
+    return 0;
+  }
+
+  if (command == "batch" && i < argc) {
+    std::vector<std::string> names;
+    std::vector<std::string> texts;
+    for (; i < argc; ++i) {
+      std::string text;
+      if (!FixtureText(argv[i], &text)) return 2;
+      names.push_back(argv[i]);
+      texts.push_back(std::move(text));
+    }
+    const auto results = client.BatchInvariants(texts);
+    if (!results.ok()) {
+      std::fprintf(stderr, "topodb_client: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    bool all_ok = true;
+    for (size_t j = 0; j < results->size(); ++j) {
+      const auto& item = (*results)[j];
+      if (item.ok()) {
+        std::printf("%s: OK, canonical %zu bytes\n", names[j].c_str(),
+                    item.value().size());
+      } else {
+        std::printf("%s: %s\n", names[j].c_str(),
+                    item.status().ToString().c_str());
+        all_ok = false;
+      }
+    }
+    return all_ok ? 0 : 1;
+  }
+
+  if (command == "eval" && i + 1 < argc) {
+    std::string text;
+    if (!FixtureText(argv[i], &text)) return 2;
+    const std::string query = argv[i + 1];
+    const uint32_t budget_ms = i + 2 < argc ? ParseBudgetMs(argv[i + 2]) : 0;
+    const auto verdict = client.EvalQuery(text, query, budget_ms);
+    if (!verdict.ok()) {
+      std::fprintf(stderr, "topodb_client: %s\n",
+                   verdict.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", *verdict ? "true" : "false");
+    return 0;
+  }
+
+  if (command == "iso" && i + 1 < argc) {
+    std::string text_a, text_b;
+    if (!FixtureText(argv[i], &text_a) || !FixtureText(argv[i + 1], &text_b)) {
+      return 2;
+    }
+    const auto isomorphic = client.IsoCheck(text_a, text_b);
+    if (!isomorphic.ok()) {
+      std::fprintf(stderr, "topodb_client: %s\n",
+                   isomorphic.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", *isomorphic ? "isomorphic" : "not isomorphic");
+    return 0;
+  }
+
+  return Usage();
+}

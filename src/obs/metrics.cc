@@ -90,14 +90,25 @@ double Histogram::Quantile(double q) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const uint64_t target =
-      std::max<uint64_t>(1, static_cast<uint64_t>(q * count_ + 0.5));
-  uint64_t seen = 0;
-  double bound = 1.0;
+  // Fractional rank in (0, count]; ranks at or below 0 mean "the smallest
+  // sample", which the clamp to min_ below handles exactly.
+  const double target = q * static_cast<double>(count_);
+  if (target <= 0.0) return min_;
+  double seen = 0.0;
+  double lower = 0.0;  // Bucket 0 covers [0, 1].
+  double upper = 1.0;
   for (int b = 0; b < kNumBuckets; ++b) {
-    seen += buckets_[b];
-    if (seen >= target) return std::clamp(bound, min_, max_);
-    bound *= 2.0;
+    const double in_bucket = static_cast<double>(buckets_[b]);
+    if (seen + in_bucket >= target) {
+      // Linear interpolation between the bucket bounds by the rank's
+      // position among this bucket's samples: deterministic for a given
+      // multiset (bucket counts are order-independent).
+      const double fraction = (target - seen) / in_bucket;
+      return std::clamp(lower + fraction * (upper - lower), min_, max_);
+    }
+    seen += in_bucket;
+    lower = upper;
+    upper *= 2.0;
   }
   return max_;
 }
@@ -150,16 +161,17 @@ std::string MetricsRegistry::ExportText() const {
            " min=" + FormatDouble(h->min()) +
            " max=" + FormatDouble(h->max()) +
            " mean=" + FormatDouble(h->mean()) +
-           " p50=" + FormatDouble(h->Quantile(0.50)) +
-           " p90=" + FormatDouble(h->Quantile(0.90)) +
-           " p99=" + FormatDouble(h->Quantile(0.99)) + "\n";
+           " p50=" + FormatDouble(h->P50()) +
+           " p90=" + FormatDouble(h->P90()) +
+           " p95=" + FormatDouble(h->P95()) +
+           " p99=" + FormatDouble(h->P99()) + "\n";
   }
   return out;
 }
 
 std::string MetricsRegistry::ExportJson() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string out = "{\n  \"schema\": \"topodb.metrics.v1\",\n";
+  std::string out = "{\n  \"schema\": \"topodb.metrics.v2\",\n";
   out += "  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -187,9 +199,10 @@ std::string MetricsRegistry::ExportJson() const {
            ", \"min\": " + FormatDouble(h->min()) +
            ", \"max\": " + FormatDouble(h->max()) +
            ", \"mean\": " + FormatDouble(h->mean()) +
-           ", \"p50\": " + FormatDouble(h->Quantile(0.50)) +
-           ", \"p90\": " + FormatDouble(h->Quantile(0.90)) +
-           ", \"p99\": " + FormatDouble(h->Quantile(0.99)) + "}";
+           ", \"p50\": " + FormatDouble(h->P50()) +
+           ", \"p90\": " + FormatDouble(h->P90()) +
+           ", \"p95\": " + FormatDouble(h->P95()) +
+           ", \"p99\": " + FormatDouble(h->P99()) + "}";
   }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";

@@ -44,8 +44,9 @@ class Gauge {
 
 // Distribution of nonnegative samples (stage wall times in microseconds,
 // per-build cell counts). Exponential base-2 buckets: bucket b covers
-// (2^(b-1), 2^b], bucket 0 covers [0, 1]. Quantiles are therefore upper
-// bounds accurate to a factor of 2; count/sum/min/max are exact.
+// (2^(b-1), 2^b], bucket 0 covers [0, 1]. Quantiles interpolate within
+// a bucket, so they are accurate to a factor of 2 and deterministic for
+// a given multiset of samples; count/sum/min/max are exact.
 class Histogram {
  public:
   static constexpr int kNumBuckets = 64;
@@ -57,9 +58,18 @@ class Histogram {
   double min() const;  // 0 when empty
   double max() const;  // 0 when empty
   double mean() const;
-  // Smallest bucket upper bound covering fraction q of samples, clamped to
-  // [min, max]. q in [0, 1]; 0 when empty.
+  // The q-quantile estimate: the fractional rank q*count is located in the
+  // bucket cumulative counts and linearly interpolated between the
+  // bucket's bounds, then clamped to [min, max]. Deterministic: depends
+  // only on the recorded multiset, never on insertion order or timing.
+  // q in [0, 1]; 0 when empty.
   double Quantile(double q) const;
+  // Serving-dashboard shorthands for the latency percentiles every stage
+  // exports (schema topodb.metrics.v2).
+  double P50() const { return Quantile(0.50); }
+  double P90() const { return Quantile(0.90); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
 
  private:
   mutable std::mutex mu_;
@@ -86,9 +96,12 @@ class MetricsRegistry {
 
   // "counter pipeline.items 12\n..." — one metric per line.
   std::string ExportText() const;
-  // {"schema": "topodb.metrics.v1", "counters": {...}, "gauges": {...},
+  // {"schema": "topodb.metrics.v2", "counters": {...}, "gauges": {...},
   //  "histograms": {"name": {"count":..,"sum":..,"min":..,"max":..,
-  //                          "mean":..,"p50":..,"p90":..,"p99":..}}}
+  //                          "mean":..,"p50":..,"p90":..,"p95":..,
+  //                          "p99":..}}}
+  // v2 = v1 plus the "p95" histogram field and interpolated quantiles;
+  // ci/check_metrics_json.py accepts both versions.
   std::string ExportJson() const;
 
  private:

@@ -1,0 +1,582 @@
+#include "src/server/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/base/threading.h"
+#include "src/invariant/canonical.h"
+#include "src/obs/deadline.h"
+#include "src/pipeline/batch.h"
+#include "src/region/io.h"
+#include "src/server/wire.h"
+
+namespace topodb {
+namespace {
+
+// Reads exactly n bytes. Returns 1 on success, 0 on orderly EOF before
+// the first byte (a clean connection close between frames), -1 on a read
+// error or EOF mid-buffer (a truncated frame).
+int ReadFull(int fd, char* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t r = recv(fd, buf + off, n - off, 0);
+    if (r == 0) return off == 0 ? 0 : -1;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    off += static_cast<size_t>(r);
+  }
+  return 1;
+}
+
+}  // namespace
+
+struct TopoDbServer::Impl {
+  explicit Impl(ServerOptions opts)
+      : options(std::move(opts)),
+        registry(options.metrics != nullptr ? options.metrics
+                                            : &owned_metrics) {}
+
+  // One accepted connection. The reader thread lives exactly as long as
+  // the socket delivers frames; workers share the socket for writes, so
+  // every response (including reader-written shed responses) goes out
+  // under write_mu.
+  struct Session {
+    int fd = -1;
+    std::mutex write_mu;
+    // Reader liveness and socket writability are distinct: during drain
+    // the reader is woken with SHUT_RD and exits (alive=false) while
+    // cancelled workers must still deliver their responses over the
+    // write half. Only an actual send failure (or an unrecoverable
+    // protocol error that half-closes both directions) clears writable.
+    std::atomic<bool> alive{true};
+    std::atomic<bool> writable{true};
+    std::thread reader;
+  };
+
+  // An admitted request. The deadline is materialized at admission from
+  // the frame's budget field, so time spent queued counts against it.
+  struct WorkItem {
+    std::shared_ptr<Session> session;
+    uint16_t opcode = 0;
+    uint64_t request_id = 0;
+    Deadline deadline;
+    std::string payload;
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  ServerOptions options;
+  MetricsRegistry owned_metrics;
+  MetricsRegistry* registry;
+  // Canonical strings repeat across requests exactly as they do across
+  // batch items; one shared cache serves the whole process lifetime.
+  InvariantCache cache;
+
+  int listen_fd = -1;
+  uint16_t bound_port = 0;
+  std::thread acceptor;
+  std::vector<std::thread> workers;
+
+  std::mutex sessions_mu;
+  std::vector<std::shared_ptr<Session>> sessions;
+
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;  // Workers: work available / stopping.
+  std::condition_variable drain_cv;  // Shutdown: queue empty + idle.
+  std::deque<WorkItem> queue;
+  size_t in_flight = 0;
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> running{false};
+  std::atomic<bool> accepting{false};
+  std::atomic<bool> draining{false};
+  std::atomic<bool> stopping{false};
+  CancelToken drain_cancel;
+
+  // Metric handles, resolved once in Start (the registry always exists,
+  // so these are never null).
+  Counter* c_connections = nullptr;
+  Counter* c_requests = nullptr;
+  Counter* c_shed = nullptr;
+  Counter* c_rejected_draining = nullptr;
+  Counter* c_responses = nullptr;
+  Counter* c_protocol_errors = nullptr;
+  Counter* c_write_errors = nullptr;
+  Counter* c_bytes_read = nullptr;
+  Counter* c_bytes_written = nullptr;
+  Gauge* g_queue_depth = nullptr;
+  Gauge* g_in_flight = nullptr;
+  Histogram* h_queue_wait_us = nullptr;
+  Histogram* h_execute_us = nullptr;
+  Histogram* h_write_us = nullptr;
+  Histogram* h_request_us = nullptr;
+
+  ~Impl() { (void)ShutdownImpl(); }
+
+  Status StartImpl() {
+    if (started.exchange(true)) {
+      return Status::InvalidArgument("server already started");
+    }
+    if (options.max_queue_depth == 0) {
+      return Status::InvalidArgument("max_queue_depth must be >= 1");
+    }
+    // The pool never exceeds the admission bound: a worker beyond it
+    // could only ever idle.
+    TOPODB_ASSIGN_OR_RETURN(
+        size_t worker_count,
+        ResolveWorkerCount(options.num_workers, options.max_queue_depth));
+
+    listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+      return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    }
+    const int one = 1;
+    setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options.port);
+    if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      const Status st =
+          Status::Internal(std::string("bind: ") + std::strerror(errno));
+      close(listen_fd);
+      listen_fd = -1;
+      return st;
+    }
+    if (listen(listen_fd, 64) < 0) {
+      const Status st =
+          Status::Internal(std::string("listen: ") + std::strerror(errno));
+      close(listen_fd);
+      listen_fd = -1;
+      return st;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+      const Status st =
+          Status::Internal(std::string("getsockname: ") +
+                           std::strerror(errno));
+      close(listen_fd);
+      listen_fd = -1;
+      return st;
+    }
+    bound_port = ntohs(bound.sin_port);
+
+    c_connections = registry->counter("server.connections");
+    c_requests = registry->counter("server.requests");
+    c_shed = registry->counter("server.shed");
+    c_rejected_draining = registry->counter("server.rejected_draining");
+    c_responses = registry->counter("server.responses");
+    c_protocol_errors = registry->counter("server.protocol_errors");
+    c_write_errors = registry->counter("server.write_errors");
+    c_bytes_read = registry->counter("server.bytes_read");
+    c_bytes_written = registry->counter("server.bytes_written");
+    g_queue_depth = registry->gauge("server.queue_depth");
+    g_in_flight = registry->gauge("server.in_flight");
+    h_queue_wait_us = registry->histogram("server.queue_wait_us");
+    h_execute_us = registry->histogram("server.execute_us");
+    h_write_us = registry->histogram("server.write_us");
+    h_request_us = registry->histogram("server.request_us");
+
+    accepting.store(true);
+    running.store(true);
+    workers.reserve(worker_count);
+    for (size_t i = 0; i < worker_count; ++i) {
+      workers.emplace_back([this] { WorkerLoop(); });
+    }
+    acceptor = std::thread([this] { AcceptLoop(); });
+    return Status::OK();
+  }
+
+  Status ShutdownImpl() {
+    if (!running.exchange(false)) return Status::OK();
+
+    // 1. Stop accepting: closing the listen socket wakes accept().
+    accepting.store(false);
+    draining.store(true);
+    shutdown(listen_fd, SHUT_RDWR);
+    acceptor.join();
+    close(listen_fd);
+    listen_fd = -1;
+
+    // 2. Stop admitting: readers wake out of blocked reads with EOF and
+    // answer any frame already in flight with Unavailable (the draining
+    // check in ReaderLoop).
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu);
+      for (const auto& session : sessions) shutdown(session->fd, SHUT_RD);
+    }
+
+    // 3. Drain admitted work up to the drain deadline, then cancel
+    // stragglers: every in-flight execution polls the shared token at its
+    // next checkpoint and fails fast with DeadlineExceeded — but still
+    // writes its response, so nothing admitted goes unanswered.
+    {
+      std::unique_lock<std::mutex> lock(queue_mu);
+      const bool drained = drain_cv.wait_for(
+          lock, options.drain_timeout,
+          [this] { return queue.empty() && in_flight == 0; });
+      if (!drained) {
+        drain_cancel.Cancel();
+        drain_cv.wait(lock,
+                      [this] { return queue.empty() && in_flight == 0; });
+      }
+    }
+
+    // 4. Retire the worker pool and the per-session readers, then the
+    // sockets themselves.
+    stopping.store(true);
+    queue_cv.notify_all();
+    for (auto& worker : workers) worker.join();
+    workers.clear();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu);
+      for (const auto& session : sessions) {
+        session->reader.join();
+        session->alive.store(false);
+        close(session->fd);
+      }
+      sessions.clear();
+    }
+    return Status::OK();
+  }
+
+  void AcceptLoop() {
+    while (accepting.load()) {
+      const int fd = accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // Listen socket shut down (or a fatal accept error).
+      }
+      if (!accepting.load()) {
+        close(fd);
+        break;
+      }
+      c_connections->Add();
+      auto session = std::make_shared<Session>();
+      session->fd = fd;
+      {
+        std::lock_guard<std::mutex> lock(sessions_mu);
+        sessions.push_back(session);
+      }
+      session->reader = std::thread([this, session] { ReaderLoop(session); });
+    }
+  }
+
+  void ReaderLoop(const std::shared_ptr<Session>& session) {
+    // Set when the stream cannot be resynced (bad magic, truncation): the
+    // session socket is then half-closed so the peer sees EOF instead of
+    // waiting on a connection that will never speak again. The fd itself
+    // is only close()d at shutdown — closing here would race fd reuse
+    // against workers still writing responses for this session.
+    bool unrecoverable = false;
+    for (;;) {
+      char header_bytes[kWireHeaderBytes];
+      const int got = ReadFull(session->fd, header_bytes, kWireHeaderBytes);
+      if (got == 0) break;  // Clean close between frames.
+      if (got < 0) {
+        c_protocol_errors->Add();
+        unrecoverable = true;
+        break;  // Truncated header: the stream cannot be resynced.
+      }
+      const Result<FrameHeader> header =
+          DecodeFrameHeader(std::string_view(header_bytes, kWireHeaderBytes));
+      if (!header.ok()) {
+        // Bad magic / version / oversized length: report once (the peer's
+        // request id is untrustworthy, so echo 0) and close — nothing
+        // after a malformed header can be framed reliably.
+        c_protocol_errors->Add();
+        WriteResponse(*session, 0, 0, header.status(), {});
+        unrecoverable = true;
+        break;
+      }
+      std::string payload(header->payload_len, '\0');
+      if (header->payload_len > 0 &&
+          ReadFull(session->fd, payload.data(), payload.size()) != 1) {
+        c_protocol_errors->Add();
+        unrecoverable = true;
+        break;  // Truncated payload.
+      }
+      c_bytes_read->Add(kWireHeaderBytes + header->payload_len);
+      if ((header->opcode & kWireResponseBit) != 0 ||
+          !IsKnownOpcode(header->opcode)) {
+        // Recoverable: framing is intact, only the opcode is unknown.
+        WriteResponse(*session, header->opcode, header->request_id,
+                      Status::Unsupported("unknown opcode " +
+                                          std::to_string(header->opcode)),
+                      {});
+        continue;
+      }
+      if (draining.load()) {
+        c_rejected_draining->Add();
+        WriteResponse(*session, header->opcode, header->request_id,
+                      Status::Unavailable("server draining"), {});
+        continue;
+      }
+      WorkItem item;
+      item.session = session;
+      item.opcode = header->opcode;
+      item.request_id = header->request_id;
+      item.deadline = header->deadline_budget_ms > 0
+                          ? Deadline::AfterMillis(header->deadline_budget_ms)
+                          : Deadline::Infinite();
+      item.payload = std::move(payload);
+      item.admitted_at = std::chrono::steady_clock::now();
+      bool admitted = false;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        if (queue.size() < options.max_queue_depth) {
+          queue.push_back(std::move(item));
+          g_queue_depth->Set(static_cast<int64_t>(queue.size()));
+          admitted = true;
+        }
+      }
+      if (admitted) {
+        c_requests->Add();
+        queue_cv.notify_one();
+      } else {
+        // Explicit backpressure: shed now with a retryable status instead
+        // of queueing indefinitely.
+        c_shed->Add();
+        WriteResponse(*session, header->opcode, header->request_id,
+                      Status::Unavailable(
+                          "admission queue full (bound " +
+                          std::to_string(options.max_queue_depth) + ")"),
+                      {});
+      }
+    }
+    session->alive.store(false);
+    if (unrecoverable) {
+      // Give the peer EOF so it stops waiting; the fd itself is closed
+      // once at shutdown (closing here would race fd reuse against
+      // workers still holding this session).
+      session->writable.store(false);
+      shutdown(session->fd, SHUT_RDWR);
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      WorkItem item;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu);
+        queue_cv.wait(lock,
+                      [this] { return stopping.load() || !queue.empty(); });
+        if (queue.empty()) {
+          if (stopping.load()) return;
+          continue;
+        }
+        item = std::move(queue.front());
+        queue.pop_front();
+        g_queue_depth->Set(static_cast<int64_t>(queue.size()));
+        ++in_flight;
+        g_in_flight->Set(static_cast<int64_t>(in_flight));
+      }
+      h_queue_wait_us->Record(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - item.admitted_at)
+              .count());
+      std::string body;
+      Status status;
+      {
+        ScopedTimer timer(h_execute_us);
+        status = HandleRequest(item, &body);
+      }
+      WriteResponse(*item.session, item.opcode, item.request_id, status,
+                    body);
+      h_request_us->Record(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - item.admitted_at)
+              .count());
+      {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        --in_flight;
+        g_in_flight->Set(static_cast<int64_t>(in_flight));
+        if (queue.empty() && in_flight == 0) drain_cv.notify_all();
+      }
+    }
+  }
+
+  void WriteResponse(Session& session, uint16_t opcode, uint64_t request_id,
+                     const Status& status, std::string_view body) {
+    FrameHeader header;
+    header.opcode = static_cast<uint16_t>(opcode | kWireResponseBit);
+    header.request_id = request_id;
+    const std::string frame =
+        EncodeFrame(header, EncodeResponsePayload(status, body));
+    ScopedTimer timer(h_write_us);
+    std::lock_guard<std::mutex> lock(session.write_mu);
+    if (!session.writable.load()) return;
+    size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n = send(session.fd, frame.data() + off,
+                             frame.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        // Peer gone: remember it so later responses skip the socket.
+        session.writable.store(false);
+        c_write_errors->Add();
+        return;
+      }
+      off += static_cast<size_t>(n);
+    }
+    c_bytes_written->Add(frame.size());
+    c_responses->Add();
+  }
+
+  BatchOptions InvariantBatchOptions(const WorkItem& item) {
+    BatchOptions batch;
+    // Cross-request parallelism is the worker pool's job; keep each
+    // request single-threaded inside the pipeline.
+    batch.num_threads = 1;
+    batch.cache = &cache;
+    batch.deadline = item.deadline;
+    batch.cancel = &drain_cancel;
+    batch.metrics = registry;
+    return batch;
+  }
+
+  Status HandleRequest(const WorkItem& item, std::string* body) {
+    // A budget spent in the queue (or a drain cancellation) fails here,
+    // before any parsing or geometry work starts.
+    const StopSignal stop(item.deadline, &drain_cancel);
+    TOPODB_RETURN_NOT_OK(stop.Check());
+    WireReader reader(item.payload);
+    switch (static_cast<Opcode>(item.opcode)) {
+      case Opcode::kPing:
+        return reader.ExpectEnd();
+
+      case Opcode::kMetrics: {
+        TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+        AppendWireString(body, registry->ExportJson());
+        return Status::OK();
+      }
+
+      case Opcode::kComputeInvariant: {
+        TOPODB_ASSIGN_OR_RETURN(std::string text, reader.ReadWireString());
+        TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+        TOPODB_ASSIGN_OR_RETURN(SpatialInstance instance,
+                                ParseInstanceText(text));
+        auto results = BatchComputeInvariants(
+            std::span<const SpatialInstance>(&instance, 1),
+            InvariantBatchOptions(item));
+        TOPODB_RETURN_NOT_OK(results[0].status());
+        AppendWireString(body, results[0]->canonical());
+        return Status::OK();
+      }
+
+      case Opcode::kBatchInvariants: {
+        TOPODB_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+        if (n > options.max_batch_items) {
+          return Status::InvalidArgument(
+              "batch of " + std::to_string(n) + " items exceeds the " +
+              std::to_string(options.max_batch_items) + "-item request cap");
+        }
+        std::vector<std::string> texts;
+        texts.reserve(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          TOPODB_ASSIGN_OR_RETURN(std::string text, reader.ReadWireString());
+          texts.push_back(std::move(text));
+        }
+        TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+        // Parse failures are per-item results, not request failures —
+        // mirroring the batch pipeline's "never abort the batch" contract.
+        std::vector<Status> item_status(n);
+        std::vector<SpatialInstance> parsed;
+        std::vector<uint32_t> parsed_index;
+        for (uint32_t i = 0; i < n; ++i) {
+          Result<SpatialInstance> instance = ParseInstanceText(texts[i]);
+          if (instance.ok()) {
+            parsed.push_back(std::move(instance).value());
+            parsed_index.push_back(i);
+          } else {
+            item_status[i] = instance.status();
+          }
+        }
+        auto results =
+            BatchComputeInvariants(parsed, InvariantBatchOptions(item));
+        std::vector<std::string> canonical(n);
+        for (size_t j = 0; j < results.size(); ++j) {
+          if (results[j].ok()) {
+            canonical[parsed_index[j]] = results[j]->canonical();
+          } else {
+            item_status[parsed_index[j]] = results[j].status();
+          }
+        }
+        AppendU32(body, n);
+        for (uint32_t i = 0; i < n; ++i) {
+          AppendU32(body, WireStatusFromCode(item_status[i].code()));
+          AppendWireString(body, item_status[i].ok()
+                                     ? canonical[i]
+                                     : item_status[i].message());
+        }
+        return Status::OK();
+      }
+
+      case Opcode::kEvalQuery: {
+        TOPODB_ASSIGN_OR_RETURN(std::string text, reader.ReadWireString());
+        TOPODB_ASSIGN_OR_RETURN(std::string query, reader.ReadWireString());
+        TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+        TOPODB_ASSIGN_OR_RETURN(SpatialInstance instance,
+                                ParseInstanceText(text));
+        TOPODB_RETURN_NOT_OK(stop.Check());
+        TOPODB_ASSIGN_OR_RETURN(QueryEngine engine,
+                                QueryEngine::Build(instance));
+        EvalOptions eval = options.eval;
+        eval.deadline = item.deadline;
+        eval.cancel = &drain_cancel;
+        eval.metrics = registry;
+        TOPODB_ASSIGN_OR_RETURN(bool verdict, engine.Evaluate(query, eval));
+        AppendU8(body, verdict ? 1 : 0);
+        return Status::OK();
+      }
+
+      case Opcode::kIsoCheck: {
+        TOPODB_ASSIGN_OR_RETURN(std::string text_a, reader.ReadWireString());
+        TOPODB_ASSIGN_OR_RETURN(std::string text_b, reader.ReadWireString());
+        TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+        std::vector<SpatialInstance> instances(2);
+        TOPODB_ASSIGN_OR_RETURN(instances[0], ParseInstanceText(text_a));
+        TOPODB_ASSIGN_OR_RETURN(instances[1], ParseInstanceText(text_b));
+        auto results =
+            BatchComputeInvariants(instances, InvariantBatchOptions(item));
+        TOPODB_RETURN_NOT_OK(results[0].status());
+        TOPODB_RETURN_NOT_OK(results[1].status());
+        AppendU8(body, results[0]->EquivalentTo(*results[1]) ? 1 : 0);
+        return Status::OK();
+      }
+    }
+    return Status::Unsupported("unknown opcode " +
+                               std::to_string(item.opcode));
+  }
+};
+
+TopoDbServer::TopoDbServer(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+TopoDbServer::~TopoDbServer() = default;
+
+Status TopoDbServer::Start() { return impl_->StartImpl(); }
+
+uint16_t TopoDbServer::port() const { return impl_->bound_port; }
+
+Status TopoDbServer::Shutdown() { return impl_->ShutdownImpl(); }
+
+MetricsRegistry& TopoDbServer::metrics() { return *impl_->registry; }
+
+}  // namespace topodb

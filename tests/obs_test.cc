@@ -46,14 +46,45 @@ TEST(HistogramTest, ExactAggregatesApproximateQuantiles) {
   EXPECT_DOUBLE_EQ(h.min(), 1.0);
   EXPECT_DOUBLE_EQ(h.max(), 1000.0);
   EXPECT_DOUBLE_EQ(h.mean(), 203.0);
-  // Quantiles are bucket upper bounds: within a factor of 2, monotone,
-  // clamped to [min, max].
+  // Quantiles interpolate within a bucket: within a factor of 2,
+  // monotone, clamped to [min, max].
   const double p50 = h.Quantile(0.5);
   const double p99 = h.Quantile(0.99);
   EXPECT_GE(p50, 1.0);
   EXPECT_LE(p50, 4.0);
   EXPECT_LE(p50, p99);
   EXPECT_LE(p99, 1000.0);
+}
+
+TEST(HistogramTest, QuantileInterpolationIsDeterministic) {
+  // {1, 2, 4, 8, 1000} land in buckets [0,1], (1,2], (2,4], (4,8],
+  // (512,1024]. Rank 0.5*5 = 2.5 falls halfway into the (2,4] bucket, so
+  // p50 interpolates to exactly 3; rank 0.99*5 = 4.95 is 95% into the
+  // (512,1024] bucket: 512 + 0.95*512 = 998.4. Exact equality is the
+  // point — the estimate depends only on the recorded multiset.
+  Histogram h;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 1000.0}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 998.4);
+  EXPECT_DOUBLE_EQ(h.P50(), h.Quantile(0.50));
+  EXPECT_DOUBLE_EQ(h.P95(), h.Quantile(0.95));
+  EXPECT_DOUBLE_EQ(h.P99(), h.Quantile(0.99));
+  // Insertion order cannot matter: recording the reverse multiset gives
+  // bit-identical quantiles.
+  Histogram reversed;
+  for (double v : {1000.0, 8.0, 4.0, 2.0, 1.0}) reversed.Record(v);
+  EXPECT_DOUBLE_EQ(reversed.Quantile(0.5), h.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(reversed.P95(), h.P95());
+}
+
+TEST(HistogramTest, QuantileEdgeRanksClampToMinAndMax) {
+  Histogram h;
+  for (double v : {3.0, 5.0, 7.0}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 7.0);
+  // Out-of-range q is clamped, not rejected.
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), 7.0);
 }
 
 TEST(HistogramTest, NegativeSamplesClampToZero) {
@@ -91,13 +122,15 @@ TEST(RegistryTest, ExportJsonHasSchemaAndSections) {
   registry.histogram("c")->Record(3.0);
   const std::string json = registry.ExportJson();
   EXPECT_EQ(json.front(), '{');
-  EXPECT_NE(json.find("\"schema\": \"topodb.metrics.v1\""),
+  EXPECT_NE(json.find("\"schema\": \"topodb.metrics.v2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"a\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  // The v2 addition: every histogram carries a p95 estimate.
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
 }
 
 TEST(RegistryTest, ExportJsonEmptyRegistryIsWellFormed) {

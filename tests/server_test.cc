@@ -1,0 +1,431 @@
+// End-to-end tests for the TopoDB serving layer: every opcode against a
+// live loopback server compared with in-process library results, session
+// behavior on malformed frames, deadline propagation over the wire,
+// admission-queue shedding under overload, and graceful drain. This
+// suite also runs under TSan (ci/run_ci.sh) alongside concurrency_test.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "src/client/client.h"
+#include "src/invariant/canonical.h"
+#include "src/query/eval.h"
+#include "src/region/fixtures.h"
+#include "src/region/io.h"
+#include "src/server/server.h"
+#include "src/server/wire.h"
+#include "src/workload/generators.h"
+
+namespace topodb {
+namespace {
+
+// A query that enumerates far past any realistic budget on a 3x3 grid:
+// ~250ms of work before the candidate cap, so a 1ms budget is guaranteed
+// to trip mid-evaluation rather than win the race.
+constexpr char kPathologicalQuery[] =
+    "forall region r . exists region s . not connect(r, s)";
+
+std::string GridText() {
+  auto grid = RectGridInstance(3, 3);
+  EXPECT_TRUE(grid.ok());
+  return WriteInstanceText(*grid);
+}
+
+TopoDbClient ConnectOrDie(const TopoDbServer& server) {
+  auto client = TopoDbClient::Connect(server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return *std::move(client);
+}
+
+TEST(ServerTest, PingAndMetricsRoundTrip) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  TopoDbClient client = ConnectOrDie(server);
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.Ping(5000).ok());  // A budget on a cheap call is fine.
+
+  const auto json = client.Metrics();
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_NE(json->find("\"topodb.metrics.v2\""), std::string::npos);
+  EXPECT_NE(json->find("server.requests"), std::string::npos);
+
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(ServerTest, ComputeInvariantMatchesLocalLibrary) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+
+  const SpatialInstance instance = Fig1aInstance();
+  const auto remote = client.ComputeInvariant(WriteInstanceText(instance));
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  const auto local = TopologicalInvariant::Compute(instance);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(*remote, local->canonical());
+}
+
+TEST(ServerTest, BatchKeepsPerItemResultsAligned) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+
+  const std::vector<std::string> texts = {
+      WriteInstanceText(Fig1aInstance()),
+      "region garbage { this is not the text format }",
+      WriteInstanceText(NestedInstance()),
+  };
+  const auto results = client.BatchInvariants(texts);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 3u);
+
+  const auto local_a = TopologicalInvariant::Compute(Fig1aInstance());
+  const auto local_c = TopologicalInvariant::Compute(NestedInstance());
+  ASSERT_TRUE(local_a.ok() && local_c.ok());
+  ASSERT_TRUE((*results)[0].ok());
+  EXPECT_EQ((*results)[0].value(), local_a->canonical());
+  EXPECT_FALSE((*results)[1].ok());  // The bad item fails alone, in place.
+  ASSERT_TRUE((*results)[2].ok());
+  EXPECT_EQ((*results)[2].value(), local_c->canonical());
+}
+
+TEST(ServerTest, EvalQueryMatchesLocalEngine) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+
+  const SpatialInstance instance = Fig1dInstance();
+  const std::string text = WriteInstanceText(instance);
+  auto engine = QueryEngine::Build(instance);
+  ASSERT_TRUE(engine.ok());
+
+  for (const char* query :
+       {"exists region r . exists region s . inside(r, s)",
+        "forall region r . connect(r, r)",
+        "exists region r . forall region s . overlap(r, s)"}) {
+    const auto remote = client.EvalQuery(text, query);
+    ASSERT_TRUE(remote.ok()) << query << ": " << remote.status().ToString();
+    const auto local = engine->Evaluate(query, EvalOptions{});
+    ASSERT_TRUE(local.ok());
+    EXPECT_EQ(*remote, *local) << query;
+  }
+
+  // A malformed sentence fails the request without hurting the session.
+  EXPECT_EQ(client.EvalQuery(text, "exists banana . !").status().code(),
+            StatusCode::kParseError);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServerTest, IsoCheckMatchesTheoremThreeFour) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+
+  const std::string fig7a = WriteInstanceText(Fig7aInstance());
+  const std::string fig7a_prime = WriteInstanceText(Fig7aPrimeInstance());
+
+  auto same = client.IsoCheck(fig7a, fig7a);
+  ASSERT_TRUE(same.ok()) << same.status().ToString();
+  EXPECT_TRUE(*same);
+
+  // Fig 7(a) vs 7(a'): the paper's showcase pair — isomorphic graphs but
+  // distinct invariants (the mirrored component flips orientation).
+  auto different = client.IsoCheck(fig7a, fig7a_prime);
+  ASSERT_TRUE(different.ok());
+  EXPECT_FALSE(*different);
+}
+
+// Malformed frames: recoverable ones (unknown opcode on a well-formed
+// header) keep the session; unparseable ones (bad magic) close it — but
+// the server itself always survives for new connections.
+TEST(ServerTest, UnknownOpcodeIsRecoverable) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+
+  // Drive a raw socket beside the library client so we can send bytes the
+  // client class would never produce.
+  FrameHeader header;
+  header.opcode = 42;  // Well-formed header, meaningless opcode.
+  header.request_id = 9;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string frame = EncodeFrame(header, "");
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  // The server answers Unsupported and keeps the session: a subsequent
+  // well-formed PING on the same socket succeeds.
+  std::string response(kWireHeaderBytes, '\0');
+  size_t got = 0;
+  while (got < response.size()) {
+    const ssize_t n = ::recv(fd, response.data() + got,
+                             response.size() - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<size_t>(n);
+  }
+  const auto decoded = DecodeFrameHeader(response);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, 9u);
+  // Drain the error payload, then ping on the same connection.
+  std::string payload(decoded->payload_len, '\0');
+  got = 0;
+  while (got < payload.size()) {
+    const ssize_t n =
+        ::recv(fd, payload.data() + got, payload.size() - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<size_t>(n);
+  }
+  const auto error = DecodeResponsePayload(payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->status.code(), StatusCode::kUnsupported);
+
+  FrameHeader ping;
+  ping.opcode = static_cast<uint16_t>(Opcode::kPing);
+  ping.request_id = 10;
+  const std::string ping_frame = EncodeFrame(ping, "");
+  ASSERT_EQ(::send(fd, ping_frame.data(), ping_frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(ping_frame.size()));
+  got = 0;
+  while (got < response.size()) {
+    const ssize_t n = ::recv(fd, response.data() + got,
+                             response.size() - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<size_t>(n);
+  }
+  const auto pong = DecodeFrameHeader(response);
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->opcode,
+            static_cast<uint16_t>(Opcode::kPing) | kWireResponseBit);
+  ::close(fd);
+
+  // The library client on its own session was never disturbed.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServerTest, GarbageBytesCloseTheSessionButNotTheServer) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string garbage(64, 'X');  // No valid magic anywhere.
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(garbage.size()));
+  // The server replies with an error frame and/or closes; either way the
+  // connection reaches EOF instead of hanging.
+  char buf[256];
+  while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+  }
+  ::close(fd);
+
+  // Fresh sessions still work: the protocol error was contained.
+  TopoDbClient client = ConnectOrDie(server);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+// The acceptance test for end-to-end deadline propagation: a 1ms budget
+// on a pathological EVAL_QUERY dies with DeadlineExceeded over the wire
+// while a concurrent cheap request on the same server completes.
+TEST(ServerTest, DeadlinePropagatesWhileCheapRequestsComplete) {
+  ServerOptions options;
+  options.num_workers = 2;  // Both requests must run concurrently.
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string grid = GridText();
+
+  std::atomic<bool> cheap_ok{false};
+  std::thread cheap([&] {
+    auto client = TopoDbClient::Connect(server.port());
+    if (!client.ok()) return;
+    // A cheap query with no budget, issued while the pathological one is
+    // (briefly) burning its 1ms.
+    const auto verdict =
+        client->EvalQuery(WriteInstanceText(Fig1dInstance()),
+                          "forall region r . connect(r, r)");
+    cheap_ok = verdict.ok();
+  });
+
+  TopoDbClient client = ConnectOrDie(server);
+  const auto doomed = client.EvalQuery(grid, kPathologicalQuery, 1);
+  cheap.join();
+
+  ASSERT_FALSE(doomed.ok());
+  EXPECT_EQ(doomed.status().code(), StatusCode::kDeadlineExceeded)
+      << doomed.status().ToString();
+  EXPECT_TRUE(cheap_ok.load());
+
+  // The budget killed one evaluation, not the server: the same session
+  // immediately serves the same query unbudgeted (it terminates via the
+  // engine's own enumeration cap, not a deadline).
+  const auto unbudgeted = client.EvalQuery(grid, kPathologicalQuery);
+  EXPECT_NE(unbudgeted.status().code(), StatusCode::kDeadlineExceeded);
+
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+// Overload: one worker, queue bound 1, a stream of slow queries. The
+// queue fills while the worker grinds, so later arrivals shed with
+// kUnavailable — and every request that *was* admitted still gets its
+// own answer (OK or an individual DeadlineExceeded).
+TEST(ServerTest, OverloadShedsWithUnavailable) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 1;
+  options.drain_timeout = std::chrono::milliseconds(10000);
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string grid = GridText();
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 3;
+  std::atomic<int> answered{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto client = TopoDbClient::Connect(server.port());
+      if (!client.ok()) {
+        ++unexpected;
+        return;
+      }
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        // ~250ms of work against a 2s budget: admitted requests finish
+        // (possibly DeadlineExceeded under queue wait), shed ones don't.
+        const auto verdict = client->EvalQuery(grid, kPathologicalQuery, 2000);
+        if (verdict.ok() ||
+            verdict.status().code() == StatusCode::kResourceExhausted ||
+            verdict.status().code() == StatusCode::kDeadlineExceeded) {
+          ++answered;
+        } else if (verdict.status().code() == StatusCode::kUnavailable) {
+          ++shed;
+        } else {
+          ++unexpected;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every request got exactly one terminal outcome...
+  EXPECT_EQ(answered + shed, kThreads * kRequestsPerThread);
+  EXPECT_EQ(unexpected, 0);
+  // ...and with 12 slow requests against capacity 2 (1 worker + 1 queue
+  // slot), backpressure must actually have fired.
+  EXPECT_GT(shed.load(), 0);
+
+  EXPECT_TRUE(server.Shutdown().ok());
+  // The shed counter made it into the registry.
+  const auto shed_metric = server.metrics().ExportText();
+  EXPECT_NE(shed_metric.find("server.shed"), std::string::npos);
+}
+
+// Graceful drain: shutdown races a burst of in-flight slow requests.
+// Every admitted request is answered — outcomes are confined to
+// {OK/ResourceExhausted, DeadlineExceeded (cancelled straggler),
+// Unavailable (refused while draining)}; nothing hangs, nothing gets a
+// torn connection or Internal error.
+TEST(ServerTest, GracefulDrainAnswersEverything) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.max_queue_depth = 8;
+  options.drain_timeout = std::chrono::milliseconds(50);  // Force cancels.
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string grid = GridText();
+
+  constexpr int kThreads = 4;
+  std::atomic<int> clean{0};
+  std::atomic<int> dirty{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto client = TopoDbClient::Connect(server.port());
+      if (!client.ok()) {
+        // Connection refused after the listener closed is a clean outcome
+        // for a request that was never sent.
+        ++clean;
+        return;
+      }
+      for (int r = 0; r < 2; ++r) {
+        const auto verdict = client->EvalQuery(grid, kPathologicalQuery);
+        const StatusCode code = verdict.ok() ? StatusCode::kOk
+                                             : verdict.status().code();
+        switch (code) {
+          case StatusCode::kOk:
+          case StatusCode::kResourceExhausted:
+          case StatusCode::kDeadlineExceeded:
+          case StatusCode::kUnavailable:
+            ++clean;
+            break;
+          default:
+            ++dirty;
+            break;
+        }
+        if (!verdict.ok() &&
+            verdict.status().code() == StatusCode::kUnavailable) {
+          return;  // Draining — the session may be closing underneath us.
+        }
+      }
+    });
+  }
+
+  // Let the burst land, then shut down while requests are in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(server.Shutdown().ok());
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(dirty.load(), 0);
+  EXPECT_GT(clean.load(), 0);
+}
+
+TEST(ServerTest, ShutdownIsIdempotentAndStartValidatesOptions) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.Shutdown().ok());
+  EXPECT_TRUE(server.Shutdown().ok());  // Second call is a no-op.
+
+  ServerOptions bad;
+  bad.num_workers = -3;
+  TopoDbServer invalid(bad);
+  EXPECT_EQ(invalid.Start().code(), StatusCode::kInvalidArgument);
+
+  ServerOptions zero_queue;
+  zero_queue.max_queue_depth = 0;
+  TopoDbServer no_queue(zero_queue);
+  EXPECT_EQ(no_queue.Start().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace topodb

@@ -30,12 +30,29 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::DeadlineExceeded("x").code(),
             StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
 }
 
 TEST(StatusTest, DeadlineExceededRendersItsName) {
   EXPECT_EQ(Status::DeadlineExceeded("too slow").ToString(),
             "DeadlineExceeded: too slow");
+}
+
+TEST(StatusTest, UnavailableRendersItsName) {
+  EXPECT_EQ(Status::Unavailable("admission queue full").ToString(),
+            "Unavailable: admission queue full");
+}
+
+// The three overload-adjacent codes must stay distinguishable: clients
+// retry Unavailable (load shed), but not ResourceExhausted (a cap the
+// same request would hit again) or DeadlineExceeded (budget spent).
+TEST(StatusTest, UnavailableDistinctFromExhaustionAndDeadline) {
+  EXPECT_NE(Status::Unavailable("x").code(),
+            Status::ResourceExhausted("x").code());
+  EXPECT_NE(Status::Unavailable("x").code(),
+            Status::DeadlineExceeded("x").code());
+  EXPECT_EQ(Status::CodeName(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(ResultTest, HoldsValue) {
