@@ -40,6 +40,26 @@ void ReportFig5() {
   }
 }
 
+// Filtered vs pure-rational predicates on the Fig-5 workloads plus the
+// multi-limb stretch from the exactness ablation — the adversarial case for
+// the static filter stage, since the stretched coordinates fall far outside
+// the exact-small-integer range and every predicate needs at least the
+// interval stage.
+void ReportPredicateFilter() {
+  bench::PredicateFilterReport report("bench_fig05_cellcomplex");
+  report.Row("chain(32)", Unwrap(ChainInstance(32)));
+  report.Row("grid(5x5)", Unwrap(RectGridInstance(5, 5)));
+  report.Row("random-rect(32)", Unwrap(RandomRectInstance(32, 80, 11)));
+  BigInt factor(1);
+  for (int i = 0; i < 96; ++i) factor = factor * BigInt(2);
+  AffineTransform stretch = Unwrap(AffineTransform::Make(
+      Rational(factor, BigInt(3)), 0, Rational(BigInt(7), factor), 0,
+      Rational(factor, BigInt(5)), Rational(1, 3)));
+  report.Row("stretch-96bit(chain 8)",
+             Unwrap(stretch.ApplyToInstance(Unwrap(ChainInstance(8)))));
+  report.WriteJsonIfRequested();
+}
+
 void BM_BuildChain(benchmark::State& state) {
   SpatialInstance instance = Unwrap(ChainInstance(static_cast<int>(state.range(0))));
   for (auto _ : state) {
@@ -93,6 +113,7 @@ BENCHMARK(BM_ExactnessAblation)->DenseRange(8, 128, 40);
 
 int main(int argc, char** argv) {
   topodb::ReportFig5();
+  topodb::ReportPredicateFilter();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -76,6 +76,45 @@ void ReportBroadPhase() {
   }
 }
 
+// Filtered vs pure-rational predicates on the broad-phase workloads. The
+// acceptance bar for the three-stage filter (ISSUE 6): >= 3x faster
+// arrangement construction with identical output complexes.
+void ReportPredicateFilter() {
+  bench::PredicateFilterReport report("bench_pipeline_batch");
+  const std::vector<int> chain_sizes =
+      SmokeMode() ? std::vector<int>{16} : std::vector<int>{64, 128, 256, 512};
+  const std::vector<int> rect_sizes =
+      SmokeMode() ? std::vector<int>{16} : std::vector<int>{64, 128, 256};
+  for (int n : chain_sizes) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "chain(%d)", n);
+    report.Row(name, Unwrap(ChainInstance(n)));
+  }
+  for (int n : rect_sizes) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "random-rect(%d)", n);
+    report.Row(name, Unwrap(RandomRectInstance(n, 12 * n, 42)));
+  }
+  if (!SmokeMode()) {
+    // Larger coordinates: the arena where filtering pays off most, since
+    // the pure-rational baseline's multiplication cost grows with operand
+    // bit-length while the certified double stages do not. 40-bit integer
+    // coordinates model survey/CAD-scale fixed-point data; the stretched
+    // variant forces non-integer rationals through the whole overlay.
+    report.Row("random-rect(128) 40-bit",
+               Unwrap(RandomRectInstance(128, int64_t{1} << 40, 42)));
+    BigInt factor(1);
+    for (int i = 0; i < 64; ++i) factor = factor * BigInt(2);
+    AffineTransform stretch = Unwrap(AffineTransform::Make(
+        Rational(factor, BigInt(3)), 0, Rational(BigInt(7), factor), 0,
+        Rational(factor, BigInt(5)), Rational(1, 3)));
+    report.Row("stretch-64bit(rect 64)",
+               Unwrap(stretch.ApplyToInstance(
+                   Unwrap(RandomRectInstance(64, 12 * 64, 42)))));
+  }
+  report.WriteJsonIfRequested();
+}
+
 void ReportCache() {
   bench::Header("Canonical-string cache: repeated Isomorphic on one instance");
   const int kQueries = 50;
@@ -265,6 +304,7 @@ BENCHMARK(BM_BatchThreads)->Arg(1)->Arg(2)->Arg(4);
 
 int main(int argc, char** argv) {
   topodb::ReportBroadPhase();
+  topodb::ReportPredicateFilter();
   topodb::ReportCache();
   topodb::ReportBatch();
   topodb::ReportMetrics();

@@ -1,11 +1,19 @@
 #ifndef TOPODB_BENCH_BENCH_UTIL_H_
 #define TOPODB_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <utility>
+#include <vector>
 
+#include "src/arrangement/cell_complex.h"
 #include "src/base/status.h"
+#include "src/obs/metrics.h"
+#include "src/region/instance.h"
 
 namespace topodb::bench {
 
@@ -31,6 +39,104 @@ inline void Check(const Status& status) {
 inline void Header(const char* title) {
   std::cout << "\n=== " << title << " ===\n";
 }
+
+// Filtered-vs-exact predicate comparison shared by the arrangement benches:
+// times CellComplex construction with the three-stage arithmetic filter on
+// and off (both settings build bit-identical complexes), collects the
+// per-stage predicates.* hit counters of one filtered build, and writes the
+// rows as a topodb.bench_predicates.v1 JSON artifact when
+// TOPODB_BENCH_PREDICATES_JSON=<path> is set (CI archives and validates it;
+// a full run is checked in as BENCH_predicates.json).
+class PredicateFilterReport {
+ public:
+  explicit PredicateFilterReport(const char* bench_name)
+      : bench_name_(bench_name) {
+    Header("Predicate filter: pure-rational vs filtered arrangement build");
+    std::printf("%-22s | %10s | %10s | %7s | %s\n", "workload", "exact",
+                "filtered", "speedup", "hits static/interval/exact");
+    std::printf("%-22s | %10s | %10s | %7s |\n", "", "(ms)", "(ms)", "");
+  }
+
+  void Row(const std::string& name, const SpatialInstance& instance) {
+    auto time_build = [&](bool exact) {
+      ArrangementOptions options;
+      options.exact_predicates = exact;
+      double best = 0;
+      // Best of two: sheds one-off allocator noise without slowing the
+      // pure-rational baseline runs too much.
+      for (int rep = 0; rep < 2; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Unwrap(CellComplex::Build(instance, options));
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || ms < best) best = ms;
+      }
+      return best;
+    };
+    Entry e;
+    e.name = name;
+    e.exact_ms = time_build(true);
+    e.filtered_ms = time_build(false);
+    MetricsRegistry registry;
+    ArrangementOptions counted;
+    counted.metrics = &registry;
+    Unwrap(CellComplex::Build(instance, counted));
+    e.static_hits = registry.counter("predicates.static_hits")->value();
+    e.interval_hits = registry.counter("predicates.interval_hits")->value();
+    e.exact_fallbacks =
+        registry.counter("predicates.exact_fallbacks")->value();
+    std::printf("%-22s | %10.2f | %10.2f | %6.1fx | %llu/%llu/%llu\n",
+                e.name.c_str(), e.exact_ms, e.filtered_ms,
+                e.filtered_ms > 0 ? e.exact_ms / e.filtered_ms : 0.0,
+                static_cast<unsigned long long>(e.static_hits),
+                static_cast<unsigned long long>(e.interval_hits),
+                static_cast<unsigned long long>(e.exact_fallbacks));
+    entries_.push_back(std::move(e));
+  }
+
+  void WriteJsonIfRequested() const {
+    const char* path = std::getenv("TOPODB_BENCH_PREDICATES_JSON");
+    if (path == nullptr || path[0] == '\0') return;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write TOPODB_BENCH_PREDICATES_JSON=%s\n",
+                   path);
+      std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"schema\": \"topodb.bench_predicates.v1\",\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n  \"workloads\": [", bench_name_);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(
+          f,
+          "%s\n    {\"name\": \"%s\", \"exact_ms\": %.3f, "
+          "\"filtered_ms\": %.3f, \"speedup\": %.2f, \"static_hits\": %llu, "
+          "\"interval_hits\": %llu, \"exact_fallbacks\": %llu}",
+          i ? "," : "", e.name.c_str(), e.exact_ms, e.filtered_ms,
+          e.filtered_ms > 0 ? e.exact_ms / e.filtered_ms : 0.0,
+          static_cast<unsigned long long>(e.static_hits),
+          static_cast<unsigned long long>(e.interval_hits),
+          static_cast<unsigned long long>(e.exact_fallbacks));
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("predicate bench JSON written to %s\n", path);
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double exact_ms = 0;
+    double filtered_ms = 0;
+    uint64_t static_hits = 0;
+    uint64_t interval_hits = 0;
+    uint64_t exact_fallbacks = 0;
+  };
+
+  const char* bench_name_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace topodb::bench
 

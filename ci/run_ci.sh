@@ -14,7 +14,9 @@
 #      and assert the graceful-drain exit code. Also smoke-runs
 #      bench_server_load (closed loop + overload shed assertions) and
 #      archives its server metrics JSON.
-#   4. Rebuild the test suite under ASan+UBSan in build-asan/ and run it.
+#   4. Rebuild the test suite under ASan+UBSan (with float-cast-overflow)
+#      in build-asan/ and run it — this is what runs the predicate-filter
+#      differential fuzz suites with sanitized float<->int conversions.
 #   5. Rebuild under TSan in build-tsan/ and run the ConcurrencyTest and
 #      ServerTest suites (shared caches, shared registries, parallel
 #      fan-out, mid-flight cancellation, the full serving path) — the
@@ -40,6 +42,7 @@ echo "==> bench smoke: pipeline batch + query evaluation"
 mkdir -p ci/artifacts
 TOPODB_BENCH_SMOKE=1 \
 TOPODB_METRICS_JSON=ci/artifacts/pipeline_batch_metrics.json \
+TOPODB_BENCH_PREDICATES_JSON=ci/artifacts/bench_predicates.json \
   ./build-ci/bench/bench_pipeline_batch --benchmark_min_time=0.01
 TOPODB_BENCH_SMOKE=1 \
 TOPODB_METRICS_JSON=ci/artifacts/query_eval_metrics.json \
@@ -49,6 +52,16 @@ echo "==> metrics artifact: validate schema"
 python3 ci/check_metrics_json.py ci/artifacts/pipeline_batch_metrics.json
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
   ci/artifacts/query_eval_metrics.json
+# Exact-vs-filtered predicate comparison rows (timings + per-stage filter
+# hit counters). No --min-speedup in the smoke run: its workloads are
+# deliberately tiny; BENCH_predicates.json in the repo root records the
+# full-size numbers.
+python3 ci/check_bench_predicates.py ci/artifacts/bench_predicates.json
+# The checked-in full-size artifact must stay well-formed and keep the
+# headline >=3x row (stretch-64bit); regenerate with
+#   TOPODB_BENCH_PREDICATES_JSON=BENCH_predicates.json \
+#     build/bench/bench_pipeline_batch --benchmark_filter='^$'
+python3 ci/check_bench_predicates.py BENCH_predicates.json --min-speedup 3
 
 echo "==> server smoke: loopback PING + BATCH, graceful SIGTERM drain"
 # The daemon prints its bound address on stdout; parse the ephemeral port
@@ -81,11 +94,15 @@ TOPODB_METRICS_JSON=ci/artifacts/server_load_metrics.json \
 python3 ci/check_metrics_json.py ci/artifacts/server_load_metrics.json
 
 if [[ "${1:-}" != "--no-sanitizers" ]]; then
-  echo "==> sanitizers: ASan + UBSan"
+  echo "==> sanitizers: ASan + UBSan (incl. float-cast-overflow)"
+  # float-cast-overflow is not part of GCC's "undefined" group; it is named
+  # explicitly so the predicate-filter fuzz suites (predicate_filter_test,
+  # interval_test) run with their double<->rational conversion paths
+  # checked for out-of-range casts.
   run_suite build-asan \
     -DCMAKE_BUILD_TYPE=Debug \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined,float-cast-overflow -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined,float-cast-overflow"
 
   echo "==> sanitizers: TSan (ConcurrencyTest + ServerTest suites)"
   # A full TSan suite run would dominate CI wall-clock; these two suites

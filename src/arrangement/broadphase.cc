@@ -1,0 +1,74 @@
+#include "src/arrangement/broadphase.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace topodb {
+
+// Two closed boxes overlap iff neither is strictly beyond the other on
+// either axis:
+//   hix[a] >= lox[j] && hix[j] >= lox[a] && hiy[a] >= loy[j] && hiy[j] >= loy[a]
+// The SIMD paths evaluate the four comparisons lane-wise and read the
+// verdicts off a movemask; the scalar tail (and the no-SIMD build) uses the
+// same expression, which GCC/Clang auto-vectorize over the contiguous
+// arrays.
+void BoxOverlapBatch::OverlapsAfter(size_t a, std::vector<int>* out) const {
+  const size_t n = ids_.size();
+  if (a + 1 >= n) return;
+  const double alox = lox_[a], aloy = loy_[a];
+  const double ahix = hix_[a], ahiy = hiy_[a];
+  size_t j = a + 1;
+
+#if defined(__AVX2__)
+  const __m256d valox = _mm256_set1_pd(alox);
+  const __m256d valoy = _mm256_set1_pd(aloy);
+  const __m256d vahix = _mm256_set1_pd(ahix);
+  const __m256d vahiy = _mm256_set1_pd(ahiy);
+  for (; j + 4 <= n; j += 4) {
+    const __m256d jlox = _mm256_loadu_pd(&lox_[j]);
+    const __m256d jloy = _mm256_loadu_pd(&loy_[j]);
+    const __m256d jhix = _mm256_loadu_pd(&hix_[j]);
+    const __m256d jhiy = _mm256_loadu_pd(&hiy_[j]);
+    const __m256d m =
+        _mm256_and_pd(_mm256_and_pd(_mm256_cmp_pd(vahix, jlox, _CMP_GE_OQ),
+                                    _mm256_cmp_pd(jhix, valox, _CMP_GE_OQ)),
+                      _mm256_and_pd(_mm256_cmp_pd(vahiy, jloy, _CMP_GE_OQ),
+                                    _mm256_cmp_pd(jhiy, valoy, _CMP_GE_OQ)));
+    int mask = _mm256_movemask_pd(m);
+    while (mask) {
+      const int bit = __builtin_ctz(mask);
+      out->push_back(static_cast<int>(j) + bit);
+      mask &= mask - 1;
+    }
+  }
+#elif defined(__SSE2__)
+  const __m128d valox = _mm_set1_pd(alox);
+  const __m128d valoy = _mm_set1_pd(aloy);
+  const __m128d vahix = _mm_set1_pd(ahix);
+  const __m128d vahiy = _mm_set1_pd(ahiy);
+  for (; j + 2 <= n; j += 2) {
+    const __m128d jlox = _mm_loadu_pd(&lox_[j]);
+    const __m128d jloy = _mm_loadu_pd(&loy_[j]);
+    const __m128d jhix = _mm_loadu_pd(&hix_[j]);
+    const __m128d jhiy = _mm_loadu_pd(&hiy_[j]);
+    const __m128d m = _mm_and_pd(
+        _mm_and_pd(_mm_cmpge_pd(vahix, jlox), _mm_cmpge_pd(jhix, valox)),
+        _mm_and_pd(_mm_cmpge_pd(vahiy, jloy), _mm_cmpge_pd(jhiy, valoy)));
+    int mask = _mm_movemask_pd(m);
+    if (mask & 1) out->push_back(static_cast<int>(j));
+    if (mask & 2) out->push_back(static_cast<int>(j) + 1);
+  }
+#endif
+
+  for (; j < n; ++j) {
+    if (ahix >= lox_[j] && hix_[j] >= alox && ahiy >= loy_[j] &&
+        hiy_[j] >= aloy) {
+      out->push_back(static_cast<int>(j));
+    }
+  }
+}
+
+}  // namespace topodb

@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <queue>
 #include <set>
 #include <sstream>
 #include <unordered_map>
 
+#include "src/arrangement/broadphase.h"
 #include "src/base/check.h"
 #include "src/geom/polygon.h"
 #include "src/geom/predicates.h"
@@ -34,13 +36,66 @@ struct SubSeg {
 };
 
 // Sort key for points along a fixed segment direction (avoids division).
+// CompareAlongDirection is the filtered sign of Dot(p - q, dir), so the
+// order matches the exact rational comparison without materializing the
+// rational differences.
 struct ParamLess {
-  Point origin;
   Point dir;
   bool operator()(const Point& p, const Point& q) const {
-    return Dot(p - origin, dir) < Dot(q - origin, dir);
+    return CompareAlongDirection(p, q, dir) < 0;
   }
 };
+
+// A point decorated with certified enclosures of both coordinates, so
+// lexicographic comparisons and equality tests decide on doubles whenever
+// the enclosures are disjoint and fall back to the exact rationals only
+// when they overlap. Used for the filtered piece dedup.
+struct PieceEnd {
+  double xlo, xhi, ylo, yhi;
+  Point p;
+};
+
+// Lexicographic (x, y) three-way comparison; identical to the ordering of
+// Point::operator< because the interval decisions are certified.
+int PieceEndCompare(const PieceEnd& a, const PieceEnd& b) {
+  if (a.xhi < b.xlo) return -1;
+  if (b.xhi < a.xlo) return 1;
+  if (int c = a.p.x.Compare(b.p.x); c != 0) return c;
+  if (a.yhi < b.ylo) return -1;
+  if (b.yhi < a.ylo) return 1;
+  return a.p.y.Compare(b.p.y);
+}
+
+bool PieceEndsEqual(const PieceEnd& a, const PieceEnd& b) {
+  if (a.xhi < b.xlo || b.xhi < a.xlo || a.yhi < b.ylo || b.yhi < a.ylo) {
+    return false;
+  }
+  return a.p == b.p;
+}
+
+// A cut point decorated with a certified enclosure of its position along
+// the segment direction (see the sort in SplitAtIntersections) plus the
+// coordinate enclosures of the point itself.
+struct KeyedPoint {
+  double klo;
+  double khi;
+  PieceEnd e;
+};
+
+// One deduplicated-piece candidate: both decorated endpoints in (lo, hi)
+// order plus the owning region. Sorting these with DecoratedPieceLess
+// reproduces the iteration order of a std::map keyed by the exact
+// (lo, hi) point pair.
+struct DecoratedPiece {
+  PieceEnd lo;
+  PieceEnd hi;
+  int owner;
+};
+
+bool DecoratedPieceLess(const DecoratedPiece& a, const DecoratedPiece& b) {
+  if (int c = PieceEndCompare(a.lo, b.lo); c != 0) return c < 0;
+  return PieceEndCompare(a.hi, b.hi) < 0;
+}
 
 // Conservative double bounds of a rational: the grid broad phase only needs
 // an interval guaranteed to contain the exact value, so a relative pad far
@@ -73,6 +128,13 @@ class CellComplexBuilder {
     // Records wall time on every exit, including error returns.
     ScopedTimer build_timer(
         RegistryHistogram(options_.metrics, "arrangement.build_us"));
+    // Predicate mode for the whole build, including predicates reached
+    // indirectly (Polygon::Locate during face assignment). Stats are
+    // snapshotted so FlushMetrics can publish this build's deltas.
+    ScopedPredicateMode predicate_mode(options_.exact_predicates
+                                           ? PredicateMode::kExact
+                                           : PredicateMode::kFiltered);
+    pred_start_ = LocalPredicateFilterStats();
     complex_.region_names_ = instance_.names();
     CollectSegments();
     if (raw_.empty()) {
@@ -157,11 +219,61 @@ class CellComplexBuilder {
         for (size_t j = i + 1; j < n; ++j) cut_pair(i, j);
       }
     }
-    // Split each raw segment at its cut points and deduplicate pieces.
+    // Split each raw segment at its cut points and deduplicate pieces. The
+    // exact path keys pieces by an ordered std::map over the rational point
+    // pairs; the filtered path sorts pieces decorated with certified double
+    // enclosures instead. Both enumerate the deduplicated pieces in the same
+    // lexicographic (lo, hi) order, so node ids and subsegment numbering are
+    // identical.
     std::map<std::pair<Point, Point>, std::set<int>> pieces;
+    std::vector<DecoratedPiece> dpieces;
+    const bool filtered =
+        CurrentPredicateMode() == PredicateMode::kFiltered;
+    std::vector<KeyedPoint> keyed;
     for (size_t i = 0; i < n; ++i) {
       std::vector<Point>& pts = cuts[i];
-      ParamLess less{raw_[i].a, raw_[i].b - raw_[i].a};
+      const Point dir = raw_[i].b - raw_[i].a;
+      if (filtered) {
+        // Decorate-sort: cache a certified enclosure of Dot(p, dir) per cut
+        // point so the O(k log k) comparisons run on doubles; only pairs
+        // with overlapping enclosures re-enter the exact comparison. The
+        // order is the exact one either way.
+        const IntervalDouble dx = dir.x.ToIntervalDoubleFast();
+        const IntervalDouble dy = dir.y.ToIntervalDoubleFast();
+        keyed.clear();
+        keyed.reserve(pts.size());
+        for (Point& p : pts) {
+          const IntervalDouble ex = p.x.ToIntervalDoubleFast();
+          const IntervalDouble ey = p.y.ToIntervalDoubleFast();
+          const IntervalDouble k = ex * dx + ey * dy;
+          keyed.push_back({k.lo(), k.hi(),
+                           {ex.lo(), ex.hi(), ey.lo(), ey.hi(),
+                            std::move(p)}});
+        }
+        std::sort(keyed.begin(), keyed.end(),
+                  [&dir](const KeyedPoint& a, const KeyedPoint& b) {
+                    if (a.khi < b.klo) return true;
+                    if (b.khi < a.klo) return false;
+                    return CompareAlongDirection(a.e.p, b.e.p, dir) < 0;
+                  });
+        // Dedup in place (duplicates are adjacent after the sort), then emit
+        // one decorated piece per consecutive pair of cut points.
+        size_t m = 0;
+        for (size_t k = 1; k < keyed.size(); ++k) {
+          if (PieceEndsEqual(keyed[m].e, keyed[k].e)) continue;
+          keyed[++m] = std::move(keyed[k]);
+        }
+        keyed.resize(m + 1);
+        for (size_t k = 0; k + 1 < keyed.size(); ++k) {
+          const PieceEnd& a = keyed[k].e;
+          const PieceEnd& b = keyed[k + 1].e;
+          const bool a_first = PieceEndCompare(a, b) < 0;
+          dpieces.push_back({a_first ? a : b, a_first ? b : a,
+                             raw_[i].owner});
+        }
+        continue;
+      }
+      ParamLess less{dir};
       std::sort(pts.begin(), pts.end(), less);
       pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
       for (size_t k = 0; k + 1 < pts.size(); ++k) {
@@ -171,12 +283,45 @@ class CellComplexBuilder {
         pieces[{lo, hi}].insert(raw_[i].owner);
       }
     }
-    for (auto& [key, owners] : pieces) {
-      SubSeg sub;
-      sub.u = NodeId(key.first);
-      sub.v = NodeId(key.second);
-      sub.owners.assign(owners.begin(), owners.end());
-      subsegs_.push_back(std::move(sub));
+    if (filtered) {
+      // Sort indices rather than the pieces themselves: each DecoratedPiece
+      // carries two rational points, so moving them around during the sort
+      // would dwarf the comparison cost.
+      std::vector<uint32_t> order(dpieces.size());
+      for (uint32_t k = 0; k < order.size(); ++k) order[k] = k;
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return DecoratedPieceLess(dpieces[a], dpieces[b]);
+      });
+      std::vector<int> owners;
+      for (size_t s = 0; s < order.size();) {
+        // A run of equal pieces: the order is sorted, so two consecutive
+        // entries are equal exactly when neither is strictly less.
+        size_t e = s + 1;
+        while (e < order.size() &&
+               !DecoratedPieceLess(dpieces[order[s]], dpieces[order[e]])) {
+          ++e;
+        }
+        owners.clear();
+        for (size_t t = s; t < e; ++t) {
+          owners.push_back(dpieces[order[t]].owner);
+        }
+        std::sort(owners.begin(), owners.end());
+        owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+        SubSeg sub;
+        sub.u = NodeId(dpieces[order[s]].lo.p);
+        sub.v = NodeId(dpieces[order[s]].hi.p);
+        sub.owners.assign(owners.begin(), owners.end());
+        subsegs_.push_back(std::move(sub));
+        s = e;
+      }
+    } else {
+      for (auto& [key, owners] : pieces) {
+        SubSeg sub;
+        sub.u = NodeId(key.first);
+        sub.v = NodeId(key.second);
+        sub.owners.assign(owners.begin(), owners.end());
+        subsegs_.push_back(std::move(sub));
+      }
     }
     incident_.assign(node_points_.size(), {});
     for (size_t s = 0; s < subsegs_.size(); ++s) {
@@ -249,20 +394,28 @@ class CellComplexBuilder {
         }
       }
     }
+    // Pairwise scan within each bucket. The bucket's boxes are gathered
+    // into a structure-of-arrays batch so the box-overlap tests run over
+    // contiguous double arrays (vectorized; see broadphase.h); survivors go
+    // through the lowest-cell dedup check so each pair is cut exactly once,
+    // then to the exact narrow phase.
+    BoxOverlapBatch batch;
+    std::vector<int> hits;
     for (const auto& [key, segs] : buckets) {
       const int cx = static_cast<int>(key % nx);
       const int cy = static_cast<int>(key / nx);
-      for (size_t a = 0; a < segs.size(); ++a) {
+      batch.Clear();
+      batch.Reserve(segs.size());
+      for (int idx : segs) {
+        const GridEntry& e = entries[idx];
+        batch.Add(e.lox, e.loy, e.hix, e.hiy, idx);
+      }
+      for (size_t a = 0; a + 1 < segs.size(); ++a) {
         const GridEntry& ea = entries[segs[a]];
-        for (size_t b = a + 1; b < segs.size(); ++b) {
+        hits.clear();
+        batch.OverlapsAfter(a, &hits);
+        for (int b : hits) {
           const GridEntry& eb = entries[segs[b]];
-          // Skip pairs whose padded boxes are disjoint, and process the
-          // rest only in the lowest-indexed cell both boxes overlap so
-          // each pair is cut exactly once.
-          if (ea.hix < eb.lox || eb.hix < ea.lox || ea.hiy < eb.loy ||
-              eb.hiy < ea.loy) {
-            continue;
-          }
           if (std::max(ea.ix0, eb.ix0) != cx ||
               std::max(ea.iy0, eb.iy0) != cy) {
             continue;
@@ -424,9 +577,17 @@ class CellComplexBuilder {
         d = darts[d].next_in_face;
       } while (d != static_cast<int>(d0));
     }
-    // Geometry of each cycle: the closed walk's points, and its area.
+    // Geometry of each cycle: the closed walk's points, and its area. In
+    // filtered mode the area is accumulated in interval arithmetic; the
+    // exact rational accumulation (with a gcd per step) only runs for
+    // cycles whose interval cannot certify the sign.
     cycle_walks_.resize(cycle_reps_.size());
-    cycle_area2_.resize(cycle_reps_.size());
+    cycle_area_sign_.assign(cycle_reps_.size(), 0);
+    cycle_area_iv_.assign(cycle_reps_.size(), IntervalDouble());
+    cycle_area2_.assign(cycle_reps_.size(), std::nullopt);
+    const bool filtered =
+        CurrentPredicateMode() == PredicateMode::kFiltered;
+    std::vector<IntervalDouble> ivx, ivy;
     for (size_t c = 0; c < cycle_reps_.size(); ++c) {
       std::vector<Point>& walk = cycle_walks_[c];
       int d = cycle_reps_[c];
@@ -434,13 +595,51 @@ class CellComplexBuilder {
         AppendDartChain(d, &walk);
         d = complex_.darts_[d].next_in_face;
       } while (d != cycle_reps_[c]);
+      if (filtered) {
+        ivx.clear();
+        ivy.clear();
+        for (const Point& p : walk) {
+          ivx.push_back(p.x.ToIntervalDoubleFast());
+          ivy.push_back(p.y.ToIntervalDoubleFast());
+        }
+        IntervalDouble area;
+        for (size_t i = 0; i < walk.size(); ++i) {
+          const size_t j = (i + 1) % walk.size();
+          area = area + (ivx[i] * ivy[j] - ivy[i] * ivx[j]);
+        }
+        cycle_area_iv_[c] = area;
+        int sign = 0;
+        if (area.CertifiedSign(&sign) && sign != 0) {
+          cycle_area_sign_[c] = sign;
+          continue;
+        }
+      }
+      const Rational& area = ExactCycleArea(c);
+      cycle_area_sign_[c] = area.sign();
+      cycle_area_iv_[c] = area.ToIntervalDouble();
+      TOPODB_CHECK_MSG(!area.is_zero(), "degenerate face cycle");
+    }
+  }
+
+  // Exact signed area (times 2) of cycle c, memoized.
+  const Rational& ExactCycleArea(size_t c) {
+    if (!cycle_area2_[c].has_value()) {
+      const std::vector<Point>& walk = cycle_walks_[c];
       Rational area(0);
       for (size_t i = 0; i < walk.size(); ++i) {
         area += Cross(walk[i], walk[(i + 1) % walk.size()]);
       }
-      cycle_area2_[c] = area;
-      TOPODB_CHECK_MSG(!area.is_zero(), "degenerate face cycle");
+      cycle_area2_[c] = std::move(area);
     }
+    return *cycle_area2_[c];
+  }
+
+  // Exact truth of area(a) < area(b), deciding from the containing
+  // intervals whenever they are disjoint.
+  bool CycleAreaLess(size_t a, size_t b) {
+    if (cycle_area_iv_[a].hi() < cycle_area_iv_[b].lo()) return true;
+    if (cycle_area_iv_[b].hi() < cycle_area_iv_[a].lo()) return false;
+    return ExactCycleArea(a) < ExactCycleArea(b);
   }
 
   Status AssignCyclesToFaces() {
@@ -450,7 +649,7 @@ class CellComplexBuilder {
     face_of_cycle_.assign(cycle_reps_.size(), -1);
     std::vector<size_t> outer_cycles;
     for (size_t c = 0; c < cycle_reps_.size(); ++c) {
-      if (cycle_area2_[c].sign() > 0) {
+      if (cycle_area_sign_[c] > 0) {
         face_of_cycle_[c] = static_cast<int>(complex_.faces_.size());
         outer_cycles.push_back(c);
         CellComplex::Face face;
@@ -464,18 +663,20 @@ class CellComplexBuilder {
     complex_.faces_.push_back(std::move(unbounded));
 
     for (size_t c = 0; c < cycle_reps_.size(); ++c) {
-      if (cycle_area2_[c].sign() > 0) continue;
+      if (cycle_area_sign_[c] > 0) continue;
       const Point* leftmost = &cycle_walks_[c][0];
       for (const Point& p : cycle_walks_[c]) {
         if (p < *leftmost) leftmost = &p;
       }
       int best_face = complex_.exterior_face_;
-      const Rational* best_area = nullptr;
+      bool have_best = false;
+      size_t best_cycle = 0;
       for (size_t oc : outer_cycles) {
         Polygon poly(cycle_walks_[oc]);
         if (poly.Locate(*leftmost) != PointLocation::kInterior) continue;
-        if (best_area == nullptr || cycle_area2_[oc] < *best_area) {
-          best_area = &cycle_area2_[oc];
+        if (!have_best || CycleAreaLess(oc, best_cycle)) {
+          have_best = true;
+          best_cycle = oc;
           best_face = face_of_cycle_[oc];
         }
       }
@@ -497,6 +698,9 @@ class CellComplexBuilder {
     std::queue<int> queue;
     queue.push(complex_.exterior_face_);
     size_t visited = 1;
+    // Scratch label reused across darts: the copy-assign below reuses its
+    // capacity, avoiding an allocation per boundary dart.
+    CellLabel expected;
     while (!queue.empty()) {
       int f = queue.front();
       queue.pop();
@@ -506,7 +710,7 @@ class CellComplexBuilder {
         do {
           const CellComplex::Dart& dart = complex_.darts_[d];
           int g = complex_.darts_[dart.twin].face;
-          CellLabel expected = label;
+          expected = label;
           for (int owner : complex_.edges_[dart.edge].owners) {
             expected[owner] = expected[owner] == Sign::kInterior
                                   ? Sign::kExterior
@@ -532,41 +736,38 @@ class CellComplexBuilder {
   }
 
   void ComputeEdgeAndVertexLabels() {
-    const size_t num_regions = complex_.region_names_.size();
+    // For every region the edge does not bound, the two adjacent faces
+    // agree by construction (PropagateFaceLabels derives the right label
+    // from the left by flipping exactly the owner entries), so the edge
+    // label is the left face's label with the owners set to boundary —
+    // a vector copy plus O(owners) work instead of a loop over all regions.
     for (size_t e = 0; e < complex_.edges_.size(); ++e) {
       CellComplex::Edge& edge = complex_.edges_[e];
       const CellLabel& left = complex_.faces_[complex_.darts_[2 * e].face]
                                   .label;
       const CellLabel& right =
           complex_.faces_[complex_.darts_[2 * e + 1].face].label;
-      edge.label.assign(num_regions, Sign::kExterior);
-      for (size_t r = 0; r < num_regions; ++r) {
-        const bool owned = std::find(edge.owners.begin(), edge.owners.end(),
-                                     static_cast<int>(r)) != edge.owners.end();
-        if (owned) {
-          edge.label[r] = Sign::kBoundary;
-          TOPODB_CHECK(left[r] != right[r]);
-        } else {
-          TOPODB_CHECK(left[r] == right[r]);
-          edge.label[r] = left[r];
-        }
+      edge.label = left;
+      for (int owner : edge.owners) {
+        TOPODB_CHECK(left[owner] != right[owner]);
+        edge.label[owner] = Sign::kBoundary;
       }
     }
+    // A vertex is on r's boundary iff some incident edge is — and an edge is
+    // on r's boundary iff r owns it. For every other region all incident
+    // edges agree (the faces around the vertex coincide on r), so the first
+    // edge's label supplies the ambient values and the remaining edges only
+    // contribute their owner entries.
     for (auto& vertex : complex_.vertices_) {
-      vertex.label.assign(num_regions, Sign::kExterior);
-      for (size_t r = 0; r < num_regions; ++r) {
-        bool on_boundary = false;
-        Sign ambient = Sign::kExterior;
-        for (int d : vertex.darts) {
-          const CellComplex::Edge& edge =
-              complex_.edges_[complex_.darts_[d].edge];
-          if (edge.label[r] == Sign::kBoundary) {
-            on_boundary = true;
-            break;
-          }
-          ambient = edge.label[r];
+      const CellComplex::Edge& first =
+          complex_.edges_[complex_.darts_[vertex.darts[0]].edge];
+      vertex.label = first.label;
+      for (size_t k = 1; k < vertex.darts.size(); ++k) {
+        const CellComplex::Edge& edge =
+            complex_.edges_[complex_.darts_[vertex.darts[k]].edge];
+        for (int owner : edge.owners) {
+          vertex.label[owner] = Sign::kBoundary;
         }
-        vertex.label[r] = on_boundary ? Sign::kBoundary : ambient;
       }
     }
   }
@@ -604,6 +805,16 @@ class CellComplexBuilder {
         ->Record(static_cast<double>(complex_.edges_.size()));
     m->histogram("arrangement.faces")
         ->Record(static_cast<double>(complex_.faces_.size()));
+    // Per-stage predicate filter effectiveness for this build (deltas of
+    // the thread-local tallies; builds run single-threaded so the deltas
+    // are exactly this build's). All zero under exact_predicates.
+    const PredicateFilterStats& now = LocalPredicateFilterStats();
+    m->counter("predicates.static_hits")
+        ->Add(now.static_hits - pred_start_.static_hits);
+    m->counter("predicates.interval_hits")
+        ->Add(now.interval_hits - pred_start_.interval_hits);
+    m->counter("predicates.exact_fallbacks")
+        ->Add(now.exact_fallbacks - pred_start_.exact_fallbacks);
   }
 
   const SpatialInstance& instance_;
@@ -615,9 +826,12 @@ class CellComplexBuilder {
   uint64_t candidate_pairs_ = 0;
   uint64_t exact_intersections_ = 0;
   bool grid_fallback_ = false;
+  PredicateFilterStats pred_start_;
 
   std::vector<RawSeg> raw_;
-  std::map<Point, int> node_ids_;
+  // Node ids are assigned by insertion order, so the (unordered) lookup
+  // structure has no influence on the complex's numbering.
+  std::unordered_map<Point, int, PointHash> node_ids_;
   std::vector<Point> node_points_;
   std::vector<SubSeg> subsegs_;
   std::vector<std::vector<int>> incident_;
@@ -627,7 +841,13 @@ class CellComplexBuilder {
   std::vector<int> cycle_of_dart_;
   std::vector<int> cycle_reps_;
   std::vector<std::vector<Point>> cycle_walks_;
-  std::vector<Rational> cycle_area2_;
+  // Per-cycle signed area (times 2): the certified sign, a containing
+  // interval for cheap comparisons, and the exact rational computed lazily
+  // only when an interval comparison stays ambiguous (or in exact mode,
+  // where it is filled eagerly).
+  std::vector<int> cycle_area_sign_;
+  std::vector<IntervalDouble> cycle_area_iv_;
+  std::vector<std::optional<Rational>> cycle_area2_;
   std::vector<int> face_of_cycle_;
 };
 

@@ -270,6 +270,23 @@ BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
   return x;
 }
 
+BigInt BigInt::ShiftLeft(int bits) const {
+  TOPODB_CHECK_MSG(bits >= 0, "negative shift");
+  if (sign_ == 0 || bits == 0) return *this;
+  const int limb_shift = bits / 32;
+  const int bit_shift = bits % 32;
+  BigInt result;
+  result.sign_ = sign_;
+  result.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t cur = uint64_t{limbs_[i]} << bit_shift;
+    result.limbs_[i + limb_shift] |= static_cast<uint32_t>(cur & 0xffffffffu);
+    result.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(cur >> 32);
+  }
+  result.Trim();
+  return result;
+}
+
 BigInt BigInt::Abs() const {
   BigInt result = *this;
   if (result.sign_ < 0) result.sign_ = 1;

@@ -64,6 +64,9 @@ class BigInt {
   // Greatest common divisor of the absolute values; Gcd(0, 0) == 0.
   static BigInt Gcd(const BigInt& a, const BigInt& b);
 
+  // *this * 2^bits; bits must be non-negative.
+  BigInt ShiftLeft(int bits) const;
+
   BigInt Abs() const;
 
   // Number of significant bits of the magnitude (0 for zero).

@@ -1,10 +1,23 @@
 #include "src/base/rational.h"
 
+#include <cmath>
 #include <ostream>
 
 #include "src/base/check.h"
 
 namespace topodb {
+
+namespace {
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Rational::Rational(BigInt numerator, BigInt denominator)
     : num_(std::move(numerator)), den_(std::move(denominator)) {
@@ -21,6 +34,7 @@ void Rational::Reduce() {
     den_ = BigInt(1);
     return;
   }
+  if (den_ == BigInt(1)) return;  // Integers are already reduced.
   BigInt g = BigInt::Gcd(num_, den_);
   if (g != BigInt(1)) {
     num_ = num_ / g;
@@ -29,40 +43,90 @@ void Rational::Reduce() {
 }
 
 bool Rational::FromString(std::string_view text, Rational* out) {
-  size_t slash = text.find('/');
+  // One grammar for all three forms (see rational.h): a single optional
+  // leading sign applies to the whole value; every digit run is validated
+  // here rather than delegated, so no branch accepts stray signs or empty
+  // parts the others reject.
+  bool negative = false;
+  if (!text.empty() && (text[0] == '-' || text[0] == '+')) {
+    negative = text[0] == '-';
+    text.remove_prefix(1);
+  }
+  if (text.empty()) return false;
+
+  const size_t slash = text.find('/');
   if (slash != std::string_view::npos) {
-    BigInt num, den;
-    if (!BigInt::FromString(text.substr(0, slash), &num)) return false;
-    if (!BigInt::FromString(text.substr(slash + 1), &den)) return false;
+    const std::string_view num_part = text.substr(0, slash);
+    const std::string_view den_part = text.substr(slash + 1);
+    if (!AllDigits(num_part) || !AllDigits(den_part)) return false;
+    BigInt num(num_part), den(den_part);
     if (den.is_zero()) return false;
+    if (negative) num = -num;
     *out = Rational(std::move(num), std::move(den));
     return true;
   }
-  size_t dot = text.find('.');
+
+  const size_t dot = text.find('.');
   if (dot != std::string_view::npos) {
-    std::string_view frac = text.substr(dot + 1);
-    if (frac.empty()) return false;
-    std::string joined(text.substr(0, dot));
-    if (joined.empty() || joined == "-" || joined == "+") joined += '0';
+    const std::string_view int_part = text.substr(0, dot);
+    const std::string_view frac = text.substr(dot + 1);
+    // The integer part may be empty (".5"); the fractional part may not.
+    if (!int_part.empty() && !AllDigits(int_part)) return false;
+    if (!AllDigits(frac)) return false;
+    std::string joined(int_part);
     joined.append(frac);
-    BigInt num;
-    if (!BigInt::FromString(joined, &num)) return false;
+    BigInt num(joined);
     BigInt den(1);
     for (size_t i = 0; i < frac.size(); ++i) den = den * BigInt(10);
+    if (negative) num = -num;
     *out = Rational(std::move(num), std::move(den));
     return true;
   }
-  BigInt num;
-  if (!BigInt::FromString(text, &num)) return false;
+
+  if (!AllDigits(text)) return false;
+  BigInt num{text};
+  if (negative) num = -num;
   *out = Rational(std::move(num));
   return true;
 }
+
+namespace {
+thread_local bool tls_compare_filter = true;
+}  // namespace
+
+void SetRationalCompareFilterEnabled(bool enabled) {
+  tls_compare_filter = enabled;
+}
+
+bool RationalCompareFilterEnabled() { return tls_compare_filter; }
 
 int Rational::Compare(const Rational& other) const {
   // Signs first: avoids big multiplications in the common case.
   int s1 = num_.sign();
   int s2 = other.num_.sign();
   if (s1 != s2) return s1 < s2 ? -1 : 1;
+  if (tls_compare_filter) {
+    if (s1 == 0) return 0;
+    // Equal denominators order by numerator alone; since values are kept
+    // reduced, this also decides equality exactly. Catches every integer
+    // pair and every pair on the same subdivision grid.
+    if (den_.Compare(other.den_) == 0) return num_.Compare(other.num_);
+    // Certified double stage, the same bound the static predicate filter
+    // uses (src/geom/predicates.cc): for operands under 512 bits the
+    // quotient of the two ToDouble() conversions carries relative error
+    // below 2^-50, so a gap wider than 1.5 * 2^-50 * (|x| + |y|) certifies
+    // the sign. Magnitudes stay inside [2^-513, 2^513], hence the quotients
+    // and the tolerance can neither overflow nor go subnormal.
+    if (num_.BitLength() <= 512 && den_.BitLength() <= 512 &&
+        other.num_.BitLength() <= 512 && other.den_.BitLength() <= 512) {
+      const double x = num_.ToDouble() / den_.ToDouble();
+      const double y = other.num_.ToDouble() / other.den_.ToDouble();
+      const double tol = 0x1.8p-50 * (std::fabs(x) + std::fabs(y));
+      const double diff = x - y;
+      if (diff > tol) return 1;
+      if (diff < -tol) return -1;
+    }
+  }
   // Denominators are positive, so cross-multiplication preserves order.
   return (num_ * other.den_).Compare(other.num_ * den_);
 }
@@ -74,10 +138,20 @@ Rational Rational::operator-() const {
 }
 
 Rational Rational::operator+(const Rational& other) const {
+  // Equal denominators (all integer pairs included) need no cross products;
+  // the constructor's Reduce absorbs any common factor the sum introduces.
+  // Gated with the compare filter so the disabled state stays the plain
+  // textbook implementation the differential tests use as their oracle.
+  if (tls_compare_filter && den_.Compare(other.den_) == 0) {
+    return Rational(num_ + other.num_, den_);
+  }
   return Rational(num_ * other.den_ + other.num_ * den_, den_ * other.den_);
 }
 
 Rational Rational::operator-(const Rational& other) const {
+  if (tls_compare_filter && den_.Compare(other.den_) == 0) {
+    return Rational(num_ - other.num_, den_);
+  }
   return Rational(num_ * other.den_ - other.num_ * den_, den_ * other.den_);
 }
 
@@ -98,6 +172,68 @@ Rational Rational::Abs() const {
 
 double Rational::ToDouble() const {
   return num_.ToDouble() / den_.ToDouble();
+}
+
+IntervalDouble Rational::ToIntervalDoubleFast() const {
+  if (num_.is_zero()) return IntervalDouble();
+  if (den_ == BigInt(1) && num_.BitLength() <= 53) {
+    return IntervalDouble::Exact(num_.ToDouble());
+  }
+  if (num_.BitLength() <= 512 && den_.BitLength() <= 512) {
+    // v carries relative error below 2^-50 (see Compare above), so padding
+    // by 2^-49 * |v| covers it with a 2x margin that absorbs the rounding
+    // of the pad product, and the NextDown/NextUp step absorbs the rounding
+    // of the subtraction/addition. Magnitudes stay within [2^-513, 2^513],
+    // so nothing here can overflow or go subnormal.
+    const double v = num_.ToDouble() / den_.ToDouble();
+    const double pad = std::fabs(v) * 0x1p-49;
+    return IntervalDouble::FromBounds(NextDown(v - pad), NextUp(v + pad));
+  }
+  return ToIntervalDouble();
+}
+
+IntervalDouble Rational::ToIntervalDouble() const {
+  if (num_.is_zero()) return IntervalDouble();
+  // Scale the magnitude so the truncated quotient
+  //   q = floor(|num| * 2^shift / den)          (shift negative: den scaled)
+  // has exactly 52 or 53 significant bits: q and q+1 are then exactly
+  // representable doubles, and q * 2^-shift <= |r| < (q+1) * 2^-shift are
+  // certified magnitude bounds. ldexp is exact for normal results; in the
+  // subnormal range it rounds by at most half an ulp and on overflow it
+  // saturates to +inf — the outward NextDown/NextUp step below absorbs both
+  // (NextDown(+inf) == DBL_MAX, which is a valid lower bound for a value
+  // beyond double range). This is what makes the conversion correct even
+  // when the rational overflows or underflows double range.
+  const int shift = 52 + den_.BitLength() - num_.BitLength();
+  BigInt n = num_.Abs();
+  BigInt d = den_;
+  if (shift >= 0) {
+    n = n.ShiftLeft(shift);
+  } else {
+    d = d.ShiftLeft(-shift);
+  }
+  BigInt q, rem;
+  BigInt::DivMod(n, d, &q, &rem);
+  int64_t qi = 0;
+  TOPODB_CHECK(q.ToInt64(&qi));  // 2^51 <= q < 2^53 by construction.
+
+  // Exactly-representable value: q * 2^-shift with no remainder, away from
+  // the subnormal/overflow ranges where ldexp itself rounds. Returning a
+  // point interval lets downstream interval arithmetic certify exact signs.
+  if (rem.is_zero() && shift >= -960 && shift <= 1020) {
+    const double exact = std::ldexp(static_cast<double>(qi), -shift);
+    return num_.is_negative() ? IntervalDouble::Exact(-exact)
+                              : IntervalDouble::Exact(exact);
+  }
+
+  double lo = NextDown(std::ldexp(static_cast<double>(qi), -shift));
+  const double hi = NextUp(std::ldexp(static_cast<double>(qi + 1), -shift));
+  // The magnitude is positive; a lower bound below zero (possible when the
+  // value underflows to the densest subnormals) is valid but clamping it to
+  // zero is tighter and keeps the sign information.
+  if (lo < 0.0) lo = 0.0;
+  if (num_.is_negative()) return IntervalDouble::FromBounds(-hi, -lo);
+  return IntervalDouble::FromBounds(lo, hi);
 }
 
 std::string Rational::ToString() const {

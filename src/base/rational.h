@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "src/base/bigint.h"
+#include "src/base/interval.h"
 
 namespace topodb {
 
@@ -22,8 +23,19 @@ class Rational {
   Rational(int64_t numerator, int64_t denominator)
       : Rational(BigInt(numerator), BigInt(denominator)) {}
 
-  // Parses "a", "a/b", or decimal "a.b" (with optional sign). Returns false
-  // on malformed input or zero denominator.
+  // Parses a rational literal. The three surface forms share one grammar:
+  //
+  //   rational := sign? (digits | digits '/' digits | digits? '.' digits)
+  //   sign     := '-' | '+'
+  //   digits   := [0-9]+
+  //
+  // The one optional sign comes first and applies to the whole value; the
+  // '/' denominator is unsigned and must be nonzero. Leading zeros are
+  // accepted ("007", "0.50"); a decimal may omit the integer part (".5")
+  // but never the fractional part ("1." is malformed). Everything else —
+  // empty input, whitespace, a signed denominator ("1/-2"), a bare sign
+  // ("-", "-."), repeated dots — is rejected. Returns false on malformed
+  // input or zero denominator.
   static bool FromString(std::string_view text, Rational* out);
 
   const BigInt& num() const { return num_; }
@@ -34,6 +46,10 @@ class Rational {
   int sign() const { return num_.sign(); }
   bool is_integer() const { return den_ == BigInt(1); }
 
+  // Three-way comparison: -1, 0 or +1. Runs a certified double fast path
+  // first (see RationalCompareFilterEnabled below) and falls back to exact
+  // cross-multiplication whenever the fast path cannot certify the order,
+  // so the result is always exact.
   int Compare(const Rational& other) const;
 
   Rational operator-() const;
@@ -58,6 +74,26 @@ class Rational {
   }
 
   double ToDouble() const;
+
+  // Certified double enclosure: the returned interval always contains the
+  // exact value, even when it overflows double range (bounds saturate to
+  // [DBL_MAX, +inf] / [-inf, -DBL_MAX]) or underflows it (bounds collapse
+  // around zero without crossing to the wrong sign beyond one subnormal
+  // ulp). Exactly-representable values — including zero — come back as
+  // degenerate point intervals, which lets interval arithmetic downstream
+  // certify exact signs. Width is otherwise a few ulps.
+  IntervalDouble ToIntervalDouble() const;
+
+  // Cheaper but wider certified enclosure: pads the ToDouble() quotient by
+  // its proven relative error bound (2^-50 for operands under 512 bits)
+  // instead of running the bigint division ToIntervalDouble needs. Width is
+  // ~2^-49 relative — still plenty for sign certification away from zero.
+  // Integers up to 2^53 still come back as exact point intervals; operands
+  // over 512 bits fall back to ToIntervalDouble. Use this when enclosures
+  // are built in bulk (sort keys, accumulations); prefer ToIntervalDouble
+  // when tightness matters.
+  IntervalDouble ToIntervalDoubleFast() const;
+
   // "num" when integral, otherwise "num/den".
   std::string ToString() const;
 
@@ -90,6 +126,19 @@ class Rational {
   BigInt num_;
   BigInt den_;  // Always positive.
 };
+
+// Thread-local switch for the certified fast paths inside Rational::Compare
+// (equal-denominator shortcut and double comparison with a proven error
+// bound) and for the equal-denominator shortcut in operator+ / operator-.
+// Both settings return identical values — the fast paths answer only when
+// the result is certified — so the switch exists purely to keep the
+// disabled state a plain textbook implementation: the unaccelerated
+// baseline for benchmarks and the independent oracle for differential
+// tests. ScopedPredicateMode
+// (src/geom/predicates.h) keeps it in sync with the predicate filter mode;
+// prefer that RAII over calling the setter directly. Defaults to enabled.
+void SetRationalCompareFilterEnabled(bool enabled);
+bool RationalCompareFilterEnabled();
 
 }  // namespace topodb
 

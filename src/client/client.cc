@@ -32,12 +32,23 @@ Status SendAll(int fd, std::string_view bytes) {
   return Status::OK();
 }
 
-Status RecvAll(int fd, char* buf, size_t n) {
+// `mid_frame` marks reads whose frame is already partially consumed (the
+// payload after its header): an EOF there is a truncated frame even when
+// this particular buffer is still empty. An EOF at a frame boundary is an
+// ordinary connection loss; a truncated frame additionally reports how far
+// into the expected bytes the stream died, since the connection can never
+// be resynchronized from there.
+Status RecvAll(int fd, char* buf, size_t n, bool mid_frame) {
   size_t off = 0;
   while (off < n) {
     const ssize_t r = recv(fd, buf + off, n - off, 0);
     if (r == 0) {
-      return Status::Unavailable("connection closed by server");
+      if (off == 0 && !mid_frame) {
+        return Status::Unavailable("connection closed by server");
+      }
+      return Status::Unavailable(
+          "truncated frame: connection closed after " + std::to_string(off) +
+          " of " + std::to_string(n) + " expected bytes");
     }
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -98,8 +109,8 @@ Result<std::string> TopoDbClient::RoundTrip(uint16_t opcode,
   TOPODB_RETURN_NOT_OK(SendAll(fd_, EncodeFrame(header, payload)));
 
   char response_header_bytes[kWireHeaderBytes];
-  TOPODB_RETURN_NOT_OK(
-      RecvAll(fd_, response_header_bytes, kWireHeaderBytes));
+  TOPODB_RETURN_NOT_OK(RecvAll(fd_, response_header_bytes, kWireHeaderBytes,
+                               /*mid_frame=*/false));
   TOPODB_ASSIGN_OR_RETURN(
       FrameHeader response_header,
       DecodeFrameHeader(
@@ -121,7 +132,8 @@ Result<std::string> TopoDbClient::RoundTrip(uint16_t opcode,
   std::string response_payload(response_header.payload_len, '\0');
   if (response_header.payload_len > 0) {
     TOPODB_RETURN_NOT_OK(RecvAll(fd_, response_payload.data(),
-                                 response_payload.size()));
+                                 response_payload.size(),
+                                 /*mid_frame=*/true));
   }
   TOPODB_ASSIGN_OR_RETURN(DecodedResponse response,
                           DecodeResponsePayload(response_payload));

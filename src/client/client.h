@@ -28,6 +28,12 @@ class TopoDbClient {
   // Connects to a TopoDB server on the loopback interface.
   static Result<TopoDbClient> Connect(uint16_t port);
 
+  // Test-only: adopts an already-connected socket (e.g. one end of a
+  // socketpair) so transport-level failure paths — short reads, mid-frame
+  // EOF — can be driven deterministically without a real server. The
+  // client owns and closes the fd.
+  static TopoDbClient WrapFdForTest(int fd) { return TopoDbClient(fd); }
+
   TopoDbClient(TopoDbClient&& other) noexcept;
   TopoDbClient& operator=(TopoDbClient&& other) noexcept;
   TopoDbClient(const TopoDbClient&) = delete;

@@ -1,6 +1,7 @@
 #ifndef TOPODB_GEOM_PREDICATES_H_
 #define TOPODB_GEOM_PREDICATES_H_
 
+#include <cstdint>
 #include <optional>
 #include <utility>
 
@@ -10,18 +11,35 @@ namespace topodb {
 
 // Exact geometric predicates. Every return value is a decision, never an
 // approximation; robustness of the whole cell-complex pipeline rests here.
+//
+// Each predicate runs as a three-stage arithmetic filter (DESIGN.md §5e):
+//   1. semi-static double filter — evaluate in doubles alongside a certified
+//      absolute error bound; conclusive when |value| exceeds the bound (or
+//      when every input is a small exact integer, in which case the double
+//      result is the exact value, zero included);
+//   2. interval filter — re-evaluate in outward-rounded IntervalDouble
+//      arithmetic (src/base/interval.h);
+//   3. exact rational fallback — the original arbitrary-precision path.
+// A filter stage may only ever answer "certain" or "uncertain", never a
+// wrong sign, so every predicate below returns the same decision the pure
+// rational evaluation would — only faster. The *Exact variants skip the
+// filters entirely and are kept callable for differential testing.
 
 // Sign of the signed area of triangle (a, b, c):
 //   +1  c lies to the left of directed line a->b (counterclockwise turn),
 //    0  collinear,
 //   -1  right / clockwise turn.
 int Orientation(const Point& a, const Point& b, const Point& c);
+int OrientationExact(const Point& a, const Point& b, const Point& c);
 
 // True iff p lies on the closed segment [a, b] (degenerate segments allowed).
 bool OnSegment(const Point& p, const Point& a, const Point& b);
+bool OnSegmentExact(const Point& p, const Point& a, const Point& b);
 
 // True iff p lies strictly inside the open segment (a, b).
 bool StrictlyInsideSegment(const Point& p, const Point& a, const Point& b);
+bool StrictlyInsideSegmentExact(const Point& p, const Point& a,
+                                const Point& b);
 
 // Result of intersecting two closed segments.
 struct SegmentIntersection {
@@ -35,18 +53,70 @@ struct SegmentIntersection {
   Point p1;
 };
 
-// Exact intersection of closed segments [a,b] and [c,d].
+// Exact intersection of closed segments [a,b] and [c,d]. The filtered entry
+// point rejects the common disjoint case from orientation signs alone; any
+// pair that actually intersects falls through to exact rational arithmetic,
+// so reported intersection points are always exact.
 SegmentIntersection IntersectSegments(const Point& a, const Point& b,
                                       const Point& c, const Point& d);
+SegmentIntersection IntersectSegmentsExact(const Point& a, const Point& b,
+                                           const Point& c, const Point& d);
 
 // Strict cyclic counterclockwise order on direction vectors (nonzero).
 // Directions are ranked starting from the positive x-axis, sweeping
 // counterclockwise; ties (equal directions) compare false both ways.
 // This is the comparator that builds rotation systems around vertices.
 bool CcwDirectionLess(const Point& u, const Point& v);
+bool CcwDirectionLessExact(const Point& u, const Point& v);
 
 // True iff the two direction vectors are positive multiples of each other.
 bool SameDirection(const Point& u, const Point& v);
+bool SameDirectionExact(const Point& u, const Point& v);
+
+// Sign of Dot(p - q, dir): orders points along a carrier direction without
+// materializing the rational difference. This is the comparator used to
+// sort cut points along a segment.
+int CompareAlongDirection(const Point& p, const Point& q, const Point& dir);
+int CompareAlongDirectionExact(const Point& p, const Point& q,
+                               const Point& dir);
+
+// --- Filter observability ------------------------------------------------
+
+// Per-thread tallies of how each filtered sign evaluation was resolved.
+// Monotone counters; callers snapshot before/after a region of work and
+// publish the deltas (the arrangement builder exports them as the
+// predicates.* counters in topodb.metrics.v2). Thread-local so concurrent
+// pipeline workers never contend or cross-pollute.
+struct PredicateFilterStats {
+  uint64_t static_hits = 0;      // resolved by the semi-static double filter
+  uint64_t interval_hits = 0;    // resolved by interval arithmetic
+  uint64_t exact_fallbacks = 0;  // required the exact rational evaluation
+};
+const PredicateFilterStats& LocalPredicateFilterStats();
+
+// --- Evaluation mode ------------------------------------------------------
+
+// Per-thread predicate evaluation mode. In kExact mode the filtered entry
+// points above skip both filter stages and run pure rational arithmetic
+// (without touching the stats), so a differential test or an
+// ArrangementOptions{exact_predicates = true} build exercises the exact
+// path end to end — including predicates reached indirectly, e.g. through
+// Polygon::Locate.
+enum class PredicateMode { kFiltered, kExact };
+
+PredicateMode CurrentPredicateMode();
+
+// Installs a predicate mode for the lifetime of the scope (this thread).
+class ScopedPredicateMode {
+ public:
+  explicit ScopedPredicateMode(PredicateMode mode);
+  ~ScopedPredicateMode();
+  ScopedPredicateMode(const ScopedPredicateMode&) = delete;
+  ScopedPredicateMode& operator=(const ScopedPredicateMode&) = delete;
+
+ private:
+  PredicateMode saved_;
+};
 
 }  // namespace topodb
 

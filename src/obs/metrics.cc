@@ -1,6 +1,7 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "src/base/check.h"
@@ -89,6 +90,9 @@ double Histogram::mean() const {
 double Histogram::Quantile(double q) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) return 0;
+  // std::clamp on a NaN is undefined behavior (NaN breaks the comparator
+  // preconditions), so map it to 0 explicitly; infinities clamp fine.
+  if (std::isnan(q)) q = 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Fractional rank in (0, count]; ranks at or below 0 mean "the smallest
   // sample", which the clamp to min_ below handles exactly.

@@ -62,7 +62,10 @@ class Histogram {
   // bucket cumulative counts and linearly interpolated between the
   // bucket's bounds, then clamped to [min, max]. Deterministic: depends
   // only on the recorded multiset, never on insertion order or timing.
-  // q in [0, 1]; 0 when empty.
+  // q is clamped to [0, 1] (out-of-range and infinite values included);
+  // a NaN q is treated as 0. An empty histogram returns 0 for every q —
+  // the same convention as min()/max()/mean(), so dashboards render
+  // untouched stages as flat zero instead of NaN.
   double Quantile(double q) const;
   // Serving-dashboard shorthands for the latency percentiles every stage
   // exports (schema topodb.metrics.v2).

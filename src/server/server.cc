@@ -25,21 +25,32 @@
 namespace topodb {
 namespace {
 
-// Reads exactly n bytes. Returns 1 on success, 0 on orderly EOF before
-// the first byte (a clean connection close between frames), -1 on a read
-// error or EOF mid-buffer (a truncated frame).
-int ReadFull(int fd, char* buf, size_t n) {
+// Outcome of one exact-length read. A clean close is an EOF before the
+// first byte of the buffer (the peer finished between frames); a truncated
+// read is an EOF once the buffer — and hence the frame — is partially
+// consumed, and carries how many of the expected bytes arrived so the
+// caller can report or count it distinctly from a recv() error.
+struct ReadOutcome {
+  enum Kind { kOk, kCleanClose, kTruncated, kError } kind = kOk;
+  size_t bytes_read = 0;
+};
+
+// Reads exactly n bytes into buf, or reports why it could not.
+ReadOutcome ReadFull(int fd, char* buf, size_t n) {
   size_t off = 0;
   while (off < n) {
     const ssize_t r = recv(fd, buf + off, n - off, 0);
-    if (r == 0) return off == 0 ? 0 : -1;
+    if (r == 0) {
+      return {off == 0 ? ReadOutcome::kCleanClose : ReadOutcome::kTruncated,
+              off};
+    }
     if (r < 0) {
       if (errno == EINTR) continue;
-      return -1;
+      return {ReadOutcome::kError, off};
     }
     off += static_cast<size_t>(r);
   }
-  return 1;
+  return {ReadOutcome::kOk, off};
 }
 
 }  // namespace
@@ -114,6 +125,7 @@ struct TopoDbServer::Impl {
   Counter* c_rejected_draining = nullptr;
   Counter* c_responses = nullptr;
   Counter* c_protocol_errors = nullptr;
+  Counter* c_truncated_frames = nullptr;
   Counter* c_write_errors = nullptr;
   Counter* c_bytes_read = nullptr;
   Counter* c_bytes_written = nullptr;
@@ -183,6 +195,7 @@ struct TopoDbServer::Impl {
     c_rejected_draining = registry->counter("server.rejected_draining");
     c_responses = registry->counter("server.responses");
     c_protocol_errors = registry->counter("server.protocol_errors");
+    c_truncated_frames = registry->counter("server.truncated_frames");
     c_write_errors = registry->counter("server.write_errors");
     c_bytes_read = registry->counter("server.bytes_read");
     c_bytes_written = registry->counter("server.bytes_written");
@@ -287,12 +300,18 @@ struct TopoDbServer::Impl {
     bool unrecoverable = false;
     for (;;) {
       char header_bytes[kWireHeaderBytes];
-      const int got = ReadFull(session->fd, header_bytes, kWireHeaderBytes);
-      if (got == 0) break;  // Clean close between frames.
-      if (got < 0) {
+      const ReadOutcome got =
+          ReadFull(session->fd, header_bytes, kWireHeaderBytes);
+      if (got.kind == ReadOutcome::kCleanClose) break;
+      if (got.kind != ReadOutcome::kOk) {
+        // Truncated header (EOF after got.bytes_read of the header) or a
+        // recv failure: either way the stream cannot be resynced. Count
+        // truncation distinctly — it means the peer died mid-write, not
+        // that it spoke the wrong protocol.
+        if (got.kind == ReadOutcome::kTruncated) c_truncated_frames->Add();
         c_protocol_errors->Add();
         unrecoverable = true;
-        break;  // Truncated header: the stream cannot be resynced.
+        break;
       }
       const Result<FrameHeader> header =
           DecodeFrameHeader(std::string_view(header_bytes, kWireHeaderBytes));
@@ -306,11 +325,17 @@ struct TopoDbServer::Impl {
         break;
       }
       std::string payload(header->payload_len, '\0');
-      if (header->payload_len > 0 &&
-          ReadFull(session->fd, payload.data(), payload.size()) != 1) {
-        c_protocol_errors->Add();
-        unrecoverable = true;
-        break;  // Truncated payload.
+      if (header->payload_len > 0) {
+        const ReadOutcome pr =
+            ReadFull(session->fd, payload.data(), payload.size());
+        if (pr.kind != ReadOutcome::kOk) {
+          // Any EOF here is mid-frame — the header was already consumed —
+          // so a "clean" close still truncates the frame.
+          if (pr.kind != ReadOutcome::kError) c_truncated_frames->Add();
+          c_protocol_errors->Add();
+          unrecoverable = true;
+          break;
+        }
       }
       c_bytes_read->Add(kWireHeaderBytes + header->payload_len);
       if ((header->opcode & kWireResponseBit) != 0 ||

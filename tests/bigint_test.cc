@@ -205,5 +205,30 @@ TEST(BigIntTest, AdditionAlgebraRandomized) {
   }
 }
 
+TEST(BigIntTest, ShiftLeftBasics) {
+  EXPECT_EQ(BigInt(1).ShiftLeft(0), BigInt(1));
+  EXPECT_EQ(BigInt(1).ShiftLeft(10), BigInt(1024));
+  EXPECT_EQ(BigInt(-3).ShiftLeft(4), BigInt(-48));
+  EXPECT_EQ(BigInt(0).ShiftLeft(1000), BigInt(0));
+  // BitLength grows by exactly the shift amount.
+  EXPECT_EQ(BigInt(5).ShiftLeft(100).BitLength(), 3 + 100);
+}
+
+TEST(BigIntTest, ShiftLeftCrossesLimbBoundaries) {
+  // Shifts that are not limb-aligned, and shifts past several limbs, must
+  // agree with repeated doubling.
+  std::mt19937_64 rng(13);
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt v(static_cast<int64_t>(rng()));
+    const int bits = static_cast<int>(rng() % 200);
+    BigInt doubled = v;
+    for (int i = 0; i < bits; ++i) doubled = doubled + doubled;
+    EXPECT_EQ(v.ShiftLeft(bits), doubled) << v.ToString() << " << " << bits;
+  }
+  // 2^k * 2^m == 2^(k+m) across a multi-limb value.
+  EXPECT_EQ(BigInt(1).ShiftLeft(64).ShiftLeft(65),
+            BigInt(1).ShiftLeft(129));
+}
+
 }  // namespace
 }  // namespace topodb

@@ -2,6 +2,7 @@
 // Deadline/CancelToken/StopSignal cancellation plumbing.
 
 #include <chrono>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -85,6 +86,22 @@ TEST(HistogramTest, QuantileEdgeRanksClampToMinAndMax) {
   // Out-of-range q is clamped, not rejected.
   EXPECT_DOUBLE_EQ(h.Quantile(-0.5), 3.0);
   EXPECT_DOUBLE_EQ(h.Quantile(1.5), 7.0);
+}
+
+TEST(HistogramTest, QuantileNonFiniteArguments) {
+  Histogram h;
+  for (double v : {3.0, 5.0, 7.0}) h.Record(v);
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Infinities clamp like any out-of-range rank; NaN is documented to act
+  // as q == 0. None of them may leak NaN or trip UB inside std::clamp.
+  EXPECT_DOUBLE_EQ(h.Quantile(-inf), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(inf), 7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(nan), 3.0);
+  // The empty-histogram contract holds for extreme q too.
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(nan), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Quantile(inf), 0.0);
 }
 
 TEST(HistogramTest, NegativeSamplesClampToZero) {

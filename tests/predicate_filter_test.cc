@@ -1,0 +1,225 @@
+// Differential fuzz for the three-stage predicate filter (DESIGN.md §5e):
+// every filtered predicate must return bit-for-bit the decision of its
+// *Exact variant, on exactly the input families where a buggy filter would
+// diverge — collinear triples (the zero a static filter must never
+// mis-certify), one-ulp perturbations of collinear configurations (signs
+// far below double noise), and coordinates that overflow or underflow
+// double range entirely.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/bigint.h"
+#include "src/base/rational.h"
+#include "src/geom/point.h"
+#include "src/geom/predicates.h"
+
+namespace topodb {
+namespace {
+
+// One comparison of every predicate on a triple/quadruple of points.
+// Returns the number of checks performed so tests can assert coverage.
+void ExpectAllPredicatesAgree(const Point& a, const Point& b, const Point& c,
+                              const Point& d) {
+  ASSERT_EQ(CurrentPredicateMode(), PredicateMode::kFiltered);
+  EXPECT_EQ(Orientation(a, b, c), OrientationExact(a, b, c))
+      << a.ToString() << " " << b.ToString() << " " << c.ToString();
+  EXPECT_EQ(OnSegment(c, a, b), OnSegmentExact(c, a, b));
+  EXPECT_EQ(StrictlyInsideSegment(c, a, b),
+            StrictlyInsideSegmentExact(c, a, b));
+  if (!(a == b) && !(c == d)) {
+    const Point u = b - a;
+    const Point v = d - c;
+    EXPECT_EQ(CcwDirectionLess(u, v), CcwDirectionLessExact(u, v));
+    EXPECT_EQ(CcwDirectionLess(v, u), CcwDirectionLessExact(v, u));
+    EXPECT_EQ(SameDirection(u, v), SameDirectionExact(u, v));
+    EXPECT_EQ(CompareAlongDirection(a, c, u),
+              CompareAlongDirectionExact(a, c, u));
+  }
+  const SegmentIntersection filtered = IntersectSegments(a, b, c, d);
+  const SegmentIntersection exact = IntersectSegmentsExact(a, b, c, d);
+  EXPECT_EQ(static_cast<int>(filtered.kind), static_cast<int>(exact.kind))
+      << a.ToString() << "-" << b.ToString() << " x " << c.ToString() << "-"
+      << d.ToString();
+  if (filtered.kind == exact.kind &&
+      exact.kind != SegmentIntersection::Kind::kNone) {
+    // Bit-for-bit: the same exact rational point, not merely an equal one.
+    EXPECT_EQ(filtered.p0.x.num().ToString(), exact.p0.x.num().ToString());
+    EXPECT_EQ(filtered.p0.x.den().ToString(), exact.p0.x.den().ToString());
+    EXPECT_EQ(filtered.p0.y.num().ToString(), exact.p0.y.num().ToString());
+    if (exact.kind == SegmentIntersection::Kind::kOverlap) {
+      EXPECT_EQ(filtered.p1 == exact.p1, true);
+    }
+  }
+}
+
+TEST(PredicateFilterDifferentialTest, CollinearTriples) {
+  // Exact collinearity is the adversarial case for the static stage: the
+  // determinant is exactly zero, and any filter that certifies a nonzero
+  // sign from rounding noise breaks the arrangement. Points are a + t*dir
+  // for rational t, over directions with small and large slopes.
+  std::mt19937_64 rng(1);
+  const Point dirs[] = {{1, 0}, {0, 1}, {1, 1}, {3, -7}, {1000003, 999999},
+                        {-5, 12}, {1, -1}};
+  for (const Point& dir : dirs) {
+    for (int iter = 0; iter < 40; ++iter) {
+      const Point origin(static_cast<int64_t>(rng() % 2001) - 1000,
+                         static_cast<int64_t>(rng() % 2001) - 1000);
+      const auto t = [&rng]() {
+        return Rational(static_cast<int64_t>(rng() % 41) - 20,
+                        static_cast<int64_t>(rng() % 16) + 1);
+      };
+      const Point p = origin + dir * t();
+      const Point q = origin + dir * t();
+      const Point r = origin + dir * t();
+      EXPECT_EQ(Orientation(p, q, r), 0) << p.ToString();
+      ExpectAllPredicatesAgree(p, q, r, origin);
+    }
+  }
+}
+
+TEST(PredicateFilterDifferentialTest, OneUlpPerturbations) {
+  // Start from a collinear triple, then push one coordinate off the line
+  // by +/- 1/2^k for k up to far beyond double precision. The true sign is
+  // the perturbation's sign; doubles see zero from k ~ 60 on, so a filter
+  // that trusts an uncertified double result inverts or zeroes these.
+  std::mt19937_64 rng(2);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int64_t x0 = static_cast<int64_t>(rng() % 201) - 100;
+    const int64_t y0 = static_cast<int64_t>(rng() % 201) - 100;
+    const int64_t dx = static_cast<int64_t>(rng() % 9) + 1;
+    const int64_t dy = static_cast<int64_t>(rng() % 9) - 4;
+    const Point a(x0, y0);
+    const Point b(x0 + dx, y0 + dy);
+    const Point mid = a + (b - a) * Rational(1, 2);
+    const int k = 40 + static_cast<int>(rng() % 120);  // 2^-40 .. 2^-159.
+    const Rational eps(BigInt((rng() % 2) ? 1 : -1),
+                       BigInt(1).ShiftLeft(k));
+    const Point off(mid.x, mid.y + eps);
+    // The sign is decided by eps (b-a has positive x component).
+    EXPECT_EQ(Orientation(a, b, off), eps.sign() > 0 ? 1 : -1)
+        << "k=" << k;
+    EXPECT_FALSE(OnSegment(off, a, b));
+    ExpectAllPredicatesAgree(a, b, off, mid);
+    ExpectAllPredicatesAgree(a, off, b, mid);
+  }
+}
+
+TEST(PredicateFilterDifferentialTest, OverflowAndUnderflowCoordinates) {
+  // Coordinates far outside double range: 10^400 overflows to inf, 10^-400
+  // underflows to 0. The static stage must decline (bit-length caps), the
+  // interval stage saturates, and decisions still match the exact path.
+  Rational huge(1);
+  const Rational ten(10);
+  for (int i = 0; i < 400; ++i) huge = huge * ten;
+  const Rational tiny = Rational(1) / huge;
+
+  std::mt19937_64 rng(3);
+  const Rational scales[] = {huge, tiny};
+  for (const Rational& s : scales) {
+    for (int iter = 0; iter < 8; ++iter) {
+      const auto coord = [&]() {
+        return Rational(static_cast<int64_t>(rng() % 2001) - 1000,
+                        static_cast<int64_t>(rng() % 64) + 1) * s;
+      };
+      const Point a(coord(), coord());
+      const Point b(coord(), coord());
+      const Point c(coord(), coord());
+      const Point d(coord(), coord());
+      ExpectAllPredicatesAgree(a, b, c, d);
+      // Mixed magnitudes: one tiny point among huge ones (and vice versa)
+      // stresses the interval stage's saturation arithmetic.
+      const Point m(coord() * tiny, coord());
+      ExpectAllPredicatesAgree(a, b, m, d);
+    }
+  }
+  // Doubly-extreme scales (10^800): exact intersection points at this
+  // magnitude cost seconds of bigint gcd each, so stick to the sign
+  // predicates, which are the filter stages under test anyway.
+  for (const Rational& s : {huge * huge, tiny * tiny}) {
+    for (int iter = 0; iter < 4; ++iter) {
+      const auto coord = [&]() {
+        return Rational(static_cast<int64_t>(rng() % 2001) - 1000,
+                        static_cast<int64_t>(rng() % 64) + 1) * s;
+      };
+      const Point a(coord(), coord());
+      const Point b(coord(), coord());
+      const Point c(coord(), coord());
+      EXPECT_EQ(Orientation(a, b, c), OrientationExact(a, b, c));
+      EXPECT_EQ(OnSegment(c, a, b), OnSegmentExact(c, a, b));
+      EXPECT_EQ(StrictlyInsideSegment(c, a, b),
+                StrictlyInsideSegmentExact(c, a, b));
+    }
+  }
+  // Degenerate-but-extreme: collinear triples at overflow scale.
+  const Point p(huge, huge);
+  const Point q(huge * Rational(2), huge * Rational(2));
+  const Point r(huge * Rational(3), huge * Rational(3));
+  EXPECT_EQ(Orientation(p, q, r), 0);
+  ExpectAllPredicatesAgree(p, q, r, p);
+  EXPECT_TRUE(OnSegment(q, p, r));
+  EXPECT_TRUE(StrictlyInsideSegment(q, p, r));
+}
+
+TEST(PredicateFilterDifferentialTest, RandomSegmentPairsAndDegeneracies) {
+  // Broad random sweep plus the classic degeneracies: shared endpoints,
+  // T-junctions, containment, identical segments, zero-length segments.
+  std::mt19937_64 rng(4);
+  const auto coord = [&rng]() {
+    return Rational(static_cast<int64_t>(rng() % 401) - 200,
+                    static_cast<int64_t>(rng() % 8) + 1);
+  };
+  for (int iter = 0; iter < 300; ++iter) {
+    const Point a(coord(), coord());
+    const Point b(coord(), coord());
+    const Point c(coord(), coord());
+    const Point d(coord(), coord());
+    ExpectAllPredicatesAgree(a, b, c, d);
+    ExpectAllPredicatesAgree(a, b, b, c);  // Shared endpoint.
+    ExpectAllPredicatesAgree(a, b, a, b);  // Identical segments.
+    ExpectAllPredicatesAgree(a, a, c, d);  // Degenerate first segment.
+    const Point mid = a + (b - a) * Rational(1, 3);
+    ExpectAllPredicatesAgree(a, b, mid, c);  // T-junction at 1/3.
+    ExpectAllPredicatesAgree(a, b, mid, mid);
+  }
+}
+
+TEST(PredicateFilterStatsTest, StagesActuallyResolveWork) {
+  // Sanity on the observability contract: easy integer inputs are resolved
+  // by the static stage; adversarial perturbations reach the exact stage.
+  const PredicateFilterStats before = LocalPredicateFilterStats();
+  EXPECT_EQ(Orientation(Point(0, 0), Point(10, 0), Point(5, 3)), 1);
+  const PredicateFilterStats after_easy = LocalPredicateFilterStats();
+  EXPECT_EQ(after_easy.static_hits, before.static_hits + 1);
+  EXPECT_EQ(after_easy.exact_fallbacks, before.exact_fallbacks);
+
+  // A perturbation that survives the interval stage needs cancellation:
+  // det = 10 * (1/2 + eps) - 1 * 5 = 10 * eps, but the interval for
+  // 1/2 + eps is one ulp wide, so after scaling and subtracting, the
+  // enclosure of the determinant straddles zero and only the rational
+  // stage can decide the sign.
+  const Rational eps(BigInt(1), BigInt(1).ShiftLeft(200));
+  const Point off(Rational(5), Rational(1, 2) + eps);
+  EXPECT_EQ(Orientation(Point(0, 0), Point(10, 1), off), 1);
+  const PredicateFilterStats after_hard = LocalPredicateFilterStats();
+  EXPECT_EQ(after_hard.exact_fallbacks, after_easy.exact_fallbacks + 1);
+}
+
+TEST(PredicateFilterModeTest, ExactModeBypassesFilters) {
+  ScopedPredicateMode exact_mode(PredicateMode::kExact);
+  ASSERT_EQ(CurrentPredicateMode(), PredicateMode::kExact);
+  const PredicateFilterStats before = LocalPredicateFilterStats();
+  EXPECT_EQ(Orientation(Point(0, 0), Point(10, 0), Point(5, 3)), 1);
+  EXPECT_TRUE(OnSegment(Point(5, 0), Point(0, 0), Point(10, 0)));
+  const PredicateFilterStats after = LocalPredicateFilterStats();
+  // Exact mode runs pure rational arithmetic without touching the stats.
+  EXPECT_EQ(after.static_hits, before.static_hits);
+  EXPECT_EQ(after.interval_hits, before.interval_hits);
+  EXPECT_EQ(after.exact_fallbacks, before.exact_fallbacks);
+}
+
+}  // namespace
+}  // namespace topodb

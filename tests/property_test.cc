@@ -86,6 +86,22 @@ TEST_P(RandomInstanceProperty, GridAndAllPairsArrangementsAgree) {
   EXPECT_EQ(with_grid->DebugString(), with_all_pairs->DebugString());
 }
 
+TEST_P(RandomInstanceProperty, FilteredAndExactArrangementsAreIdentical) {
+  // The acceptance bar for the predicate filter (src/geom/predicates.h): a
+  // filter stage may only answer "uncertain", never a wrong sign, so the
+  // filtered build must be byte-for-byte the exact-rational build — same
+  // node numbering, same subsegments, same labels, same face structure.
+  SpatialInstance instance = Instance();
+  ArrangementOptions filtered;  // exact_predicates defaults to false.
+  ArrangementOptions exact;
+  exact.exact_predicates = true;
+  Result<CellComplex> with_filter = CellComplex::Build(instance, filtered);
+  Result<CellComplex> with_exact = CellComplex::Build(instance, exact);
+  ASSERT_TRUE(with_filter.ok());
+  ASSERT_TRUE(with_exact.ok());
+  EXPECT_EQ(with_filter->DebugString(), with_exact->DebugString());
+}
+
 TEST_P(RandomInstanceProperty, CachedCanonicalAgreesWithUncached) {
   InvariantData data = *ComputeInvariant(Instance());
   InvariantCache cache;
@@ -205,6 +221,26 @@ TEST_P(EmbedRoundTripProperty, RandomInstances) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EmbedRoundTripProperty,
                          ::testing::Range(1, 13));
+
+// Filtered == exact differential across the structured generator families,
+// whose degeneracies (shared corners, T-joints, collinear overlaps) differ
+// from the random rectangles covered by RandomInstanceProperty.
+TEST(FilteredExactDifferentialTest, GeneratorFamilies) {
+  ArrangementOptions exact;
+  exact.exact_predicates = true;
+  const SpatialInstance instances[] = {
+      *ChainInstance(12),      *RectGridInstance(3, 4), *CombInstance(4),
+      *FlowerInstance(5),      *NestedRingsInstance(3),
+      *RandomRectInstance(10, 1'000'000'000'000, 99),  // 40-bit coordinates.
+  };
+  for (const SpatialInstance& instance : instances) {
+    Result<CellComplex> with_filter = CellComplex::Build(instance);
+    Result<CellComplex> with_exact = CellComplex::Build(instance, exact);
+    ASSERT_TRUE(with_filter.ok());
+    ASSERT_TRUE(with_exact.ok());
+    EXPECT_EQ(with_filter->DebugString(), with_exact->DebugString());
+  }
+}
 
 }  // namespace
 }  // namespace topodb

@@ -141,5 +141,123 @@ TEST(RationalTest, HashConsistentWithEquality) {
   EXPECT_EQ(Rational(2, 4).Hash(), Rational(1, 2).Hash());
 }
 
+// Table-driven exercise of the unified FromString grammar: one optional
+// leading sign for the whole value, then integer | numerator/denominator |
+// decimal, with every digit run validated by the same rule. The reject
+// column is the contract — each entry names a string some lenient parser
+// (strtod, atoi, stringstream) would have accepted.
+TEST(RationalTest, ParseGrammarTableAccepts) {
+  struct Case {
+    const char* text;
+    const char* canonical;  // Expected ToString() of the parsed value.
+  };
+  const Case kAccepts[] = {
+      {"0", "0"},         {"007", "7"},        {"+42", "42"},
+      {"-42", "-42"},     {"12345678901234567890123", "12345678901234567890123"},
+      {"0/5", "0"},       {"3/6", "1/2"},      {"+3/6", "1/2"},
+      {"-3/6", "-1/2"},   {"22/7", "22/7"},    {"08/04", "2"},
+      {".5", "1/2"},      {"+.5", "1/2"},      {"-.5", "-1/2"},
+      {"0.50", "1/2"},    {"2.75", "11/4"},    {"-0.125", "-1/8"},
+      {"000.250", "1/4"}, {"10.0", "10"},
+  };
+  for (const Case& c : kAccepts) {
+    Rational r(99);
+    EXPECT_TRUE(Rational::FromString(c.text, &r)) << '"' << c.text << '"';
+    EXPECT_EQ(r.ToString(), c.canonical) << '"' << c.text << '"';
+  }
+}
+
+TEST(RationalTest, ParseGrammarTableRejects) {
+  const char* kRejects[] = {
+      // Empty-ish.
+      "", " ", "-", "+", ".", "-.", "+.",
+      // Missing digit runs around separators.
+      "1.", "1/", "/2", "./2", "5.5.5", "1.2.3",
+      // Signs anywhere but the front.
+      "1/-2", "1/+2", "-1/-2", "1.-5", "--1", "+-1", "1-",
+      // Division by zero is a parse error, not a crash later.
+      "1/0", "-1/0", "0/0", "1/00",
+      // No exponents, radix prefixes, separators, or whitespace.
+      "1e3", "1E3", "0x10", "1_000", "1,5", " 1", "1 ", "1 /2", "1/ 2",
+      // Non-digit garbage.
+      "a/2", "1/b", "abc", "½", "1.5f", "nan", "inf",
+  };
+  for (const char* text : kRejects) {
+    Rational r(99);
+    EXPECT_FALSE(Rational::FromString(text, &r)) << '"' << text << '"';
+    // A failed parse must not clobber the output.
+    EXPECT_EQ(r, Rational(99)) << '"' << text << '"';
+  }
+}
+
+// Differential check of the Compare fast paths (equal-denominator shortcut
+// and the certified-double stage) against the filter-disabled textbook
+// cross-multiplication, on operand families chosen to land in each stage:
+// near-equal values a half-ulp apart, equal denominators, and bit-lengths
+// beyond the 512-bit static cap.
+TEST(RationalTest, CompareFastPathsMatchTextbookComparison) {
+  std::mt19937_64 rng(20260809);
+  auto compare_both_ways = [](const Rational& a, const Rational& b) {
+    SetRationalCompareFilterEnabled(false);
+    const int expected = a.Compare(b);
+    SetRationalCompareFilterEnabled(true);
+    EXPECT_EQ(a.Compare(b), expected)
+        << a.ToString() << " vs " << b.ToString();
+  };
+  // Equal denominators, including sign boundaries.
+  for (int64_t n = -5; n <= 5; ++n) {
+    compare_both_ways(Rational(n, 7), Rational(n + 1, 7));
+    compare_both_ways(Rational(n, 7), Rational(n, 7));
+  }
+  // Random pairs across magnitudes (double stage decides most of these).
+  for (int iter = 0; iter < 500; ++iter) {
+    Rational a(static_cast<int64_t>(rng()) >> (rng() % 40),
+               (static_cast<int64_t>(rng() % 1'000'000)) + 1);
+    Rational b(static_cast<int64_t>(rng()) >> (rng() % 40),
+               (static_cast<int64_t>(rng() % 1'000'000)) + 1);
+    compare_both_ways(a, b);
+    // Near-equal: separated by 1/(den_a * den_b * 2^20) — far below the
+    // double stage's tolerance, forcing the exact fallback.
+    const Rational eps(BigInt(1),
+                       (a.den() * b.den()).ShiftLeft(20));
+    compare_both_ways(a, a + eps);
+    compare_both_ways(a + eps, a);
+    compare_both_ways(a, a - eps);
+  }
+  // Operands beyond the 512-bit cap must skip the double stage and still
+  // order correctly.
+  BigInt big(1);
+  for (int i = 0; i < 600; ++i) big = big * BigInt(2);
+  const Rational wide_a(big + BigInt(1), BigInt(3));
+  const Rational wide_b(big, BigInt(3));
+  const Rational tiny(BigInt(7), big);
+  compare_both_ways(wide_a, wide_b);
+  compare_both_ways(wide_b, wide_a);
+  compare_both_ways(tiny, Rational(0));
+  compare_both_ways(tiny, tiny);
+}
+
+// Same differential for the arithmetic fast path: the equal-denominator
+// shortcut in operator+/- must produce values identical (not just equal —
+// same reduced num/den) to the textbook cross-product formula.
+TEST(RationalTest, ArithmeticFastPathMatchesTextbookFormula) {
+  std::mt19937_64 rng(99);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int64_t den = static_cast<int64_t>(rng() % 1'000) + 1;
+    const Rational a(static_cast<int64_t>(rng() % 20'001) - 10'000, den);
+    const Rational b(static_cast<int64_t>(rng() % 20'001) - 10'000, den);
+    SetRationalCompareFilterEnabled(false);
+    const Rational sum_textbook = a + b;
+    const Rational diff_textbook = a - b;
+    SetRationalCompareFilterEnabled(true);
+    const Rational sum_fast = a + b;
+    const Rational diff_fast = a - b;
+    EXPECT_EQ(sum_fast.num().ToString(), sum_textbook.num().ToString());
+    EXPECT_EQ(sum_fast.den().ToString(), sum_textbook.den().ToString());
+    EXPECT_EQ(diff_fast.num().ToString(), diff_textbook.num().ToString());
+    EXPECT_EQ(diff_fast.den().ToString(), diff_textbook.den().ToString());
+  }
+}
+
 }  // namespace
 }  // namespace topodb
