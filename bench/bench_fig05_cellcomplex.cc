@@ -58,6 +58,7 @@ void ReportPredicateFilter() {
   report.Row("stretch-96bit(chain 8)",
              Unwrap(stretch.ApplyToInstance(Unwrap(ChainInstance(8)))));
   report.WriteJsonIfRequested();
+  report.WriteExactArithJsonIfRequested();
 }
 
 void BM_BuildChain(benchmark::State& state) {

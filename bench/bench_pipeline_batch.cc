@@ -113,6 +113,7 @@ void ReportPredicateFilter() {
                    Unwrap(RandomRectInstance(64, 12 * 64, 42)))));
   }
   report.WriteJsonIfRequested();
+  report.WriteExactArithJsonIfRequested();
 }
 
 void ReportCache() {

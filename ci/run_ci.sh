@@ -15,8 +15,11 @@
 #      bench_server_load (closed loop + overload shed assertions) and
 #      archives its server metrics JSON.
 #   4. Rebuild the test suite under ASan+UBSan (with float-cast-overflow)
-#      in build-asan/ and run it — this is what runs the predicate-filter
-#      differential fuzz suites with sanitized float<->int conversions.
+#      in build-asan/ and run it — this is what runs the predicate-filter,
+#      expansion-stage and BigInt fast-path differential fuzz suites with
+#      sanitized float<->int conversions, and what proves the limb-arena
+#      lifetime rules (a use-after-reset or double free of an arena block
+#      is an ASan error, not a silent corruption).
 #   5. Rebuild under TSan in build-tsan/ and run the ConcurrencyTest and
 #      ServerTest suites (shared caches, shared registries, parallel
 #      fan-out, mid-flight cancellation, the full serving path) — the
@@ -43,6 +46,7 @@ mkdir -p ci/artifacts
 TOPODB_BENCH_SMOKE=1 \
 TOPODB_METRICS_JSON=ci/artifacts/pipeline_batch_metrics.json \
 TOPODB_BENCH_PREDICATES_JSON=ci/artifacts/bench_predicates.json \
+TOPODB_BENCH_EXACT_ARITH_JSON=ci/artifacts/bench_exact_arith.json \
   ./build-ci/bench/bench_pipeline_batch --benchmark_min_time=0.01
 TOPODB_BENCH_SMOKE=1 \
 TOPODB_METRICS_JSON=ci/artifacts/query_eval_metrics.json \
@@ -62,6 +66,16 @@ python3 ci/check_bench_predicates.py ci/artifacts/bench_predicates.json
 #   TOPODB_BENCH_PREDICATES_JSON=BENCH_predicates.json \
 #     build/bench/bench_pipeline_batch --benchmark_filter='^$'
 python3 ci/check_bench_predicates.py BENCH_predicates.json --min-speedup 3
+# Exact-arithmetic rows (ISSUE 7): the smoke artifact must be well-formed;
+# the checked-in full-size BENCH_exact_arith.json must additionally beat
+# the PR 6 filtered timings in BENCH_predicates.json by the per-row floors
+# (>=2x on stretch-* rows, >=1.5x elsewhere). Regenerate with
+#   TOPODB_BENCH_EXACT_ARITH_JSON=BENCH_exact_arith.json \
+#     build/bench/bench_pipeline_batch --benchmark_filter='^$'
+# then merge the fig05 rows the same way as BENCH_predicates.json.
+python3 ci/check_bench_exact_arith.py ci/artifacts/bench_exact_arith.json
+python3 ci/check_bench_exact_arith.py BENCH_exact_arith.json \
+  --baseline BENCH_predicates.json
 
 echo "==> server smoke: loopback PING + BATCH, graceful SIGTERM drain"
 # The daemon prints its bound address on stdout; parse the ephemeral port

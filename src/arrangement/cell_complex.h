@@ -34,6 +34,14 @@ struct ArrangementOptions {
   // "uncertain", never a wrong sign — so this exists for differential
   // testing and as the reference when benchmarking the filter.
   bool exact_predicates = false;
+  // Back the build's temporary BigInt limb storage (piece endpoints,
+  // intersection points, sweep ordering keys, gcd chains) with a bump-reset
+  // LimbArena (src/base/limb_arena.h) instead of per-object heap blocks;
+  // escaping values are detached before the complex is returned. Forced off
+  // under exact_predicates so the exact build stays a plain textbook
+  // reference for differential tests (an arena bug could never corrupt both
+  // builds identically).
+  bool limb_arena = true;
   // Optional sink for build metrics (broad-phase candidate pairs vs exact
   // intersections found, per-stage predicate filter hits, cell counts, build
   // wall time). nullptr disables collection at near-zero cost.

@@ -5,7 +5,8 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
-#include <vector>
+
+#include "src/base/limbvec.h"
 
 namespace topodb {
 
@@ -19,9 +20,13 @@ namespace topodb {
 // over BigInt (see rational.h), so all such signs are computed exactly.
 //
 // Representation: sign (-1/0/+1) and little-endian base-2^32 magnitude with
-// no leading zero limbs; sign_ == 0 iff limbs_ is empty. Values produced by
-// the geometry pipeline are small (a few limbs), so the implementation
-// favours simplicity and correctness over asymptotics: schoolbook
+// no leading zero limbs; sign_ == 0 iff limbs_ is empty. Limbs live in a
+// LimbVec (limbvec.h): up to 8 limbs (256 bits) are stored inline in the
+// object, so the one- and two-limb values the geometry pipeline
+// overwhelmingly produces never touch the allocator, and every arithmetic
+// operator has a branch-predictable 64/128-bit fast path that promotes to
+// the general limb algorithms only on overflow. The general algorithms
+// favour simplicity and correctness over asymptotics: schoolbook
 // multiplication and shift-and-subtract division.
 class BigInt {
  public:
@@ -53,11 +58,24 @@ class BigInt {
   BigInt operator/(const BigInt& other) const;
   BigInt operator%(const BigInt& other) const;
 
-  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
-  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
-  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  // Compound assignments operate in place: small values stay in the inline
+  // limb buffer, larger same-sign additions reuse the existing storage.
+  // (Multiplication of multi-limb values still builds a fresh product
+  // buffer — schoolbook multiplication cannot run in place.)
+  BigInt& operator+=(const BigInt& other) {
+    return AddInPlace(other.sign_, other.limbs_);
+  }
+  BigInt& operator-=(const BigInt& other) {
+    return AddInPlace(-other.sign_, other.limbs_);
+  }
+  BigInt& operator*=(const BigInt& other);
 
   // Computes quotient and remainder in one pass; either output may be null.
+  // Bit-at-a-time shift-and-subtract division: the pre-Knuth-D general
+  // path, kept verbatim as the differential oracle the fast-path fuzz
+  // suite holds DivMod against. Never called on a hot path.
+  static void DivModReference(const BigInt& a, const BigInt& b,
+                              BigInt* quotient, BigInt* remainder);
   static void DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
                      BigInt* remainder);
 
@@ -79,6 +97,17 @@ class BigInt {
   double ToDouble() const;
 
   std::string ToString() const;
+
+  // Magnitude limb access (little-endian base 2^32, no leading zeros).
+  // Used by the expansion predicate stage to decompose values into exact
+  // double components without round-tripping through strings.
+  size_t LimbCount() const { return limbs_.size(); }
+  uint32_t Limb(size_t i) const { return limbs_[i]; }
+
+  // Copies arena-backed limb storage onto the normal heap (or back inline);
+  // see LimbVec::Detach. Must be called on values escaping a
+  // ScopedLimbArena's scope.
+  void Detach() { limbs_.Detach(); }
 
   friend bool operator==(const BigInt& a, const BigInt& b) {
     return a.Compare(b) == 0;
@@ -105,19 +134,35 @@ class BigInt {
   size_t Hash() const;
 
  private:
+  // *this += osign * olimbs, in place where possible. Safe when olimbs
+  // aliases this->limbs_.
+  BigInt& AddInPlace(int osign, const LimbVec& olimbs);
+
+  // Overwrites *this with sign * mag (sign_ becomes 0 when mag is 0).
+  void SetMag64(uint64_t mag, int sign);
+  void SetMag128(unsigned __int128 mag, int sign);
+  void SetI128(__int128 value);
+
   // Compares magnitudes only.
-  static int CompareMagnitude(const std::vector<uint32_t>& a,
-                              const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
+  static int CompareMagnitude(const LimbVec& a, const LimbVec& b);
+  static LimbVec AddMagnitude(const LimbVec& a, const LimbVec& b);
   // Requires |a| >= |b|.
-  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
+  static LimbVec SubMagnitude(const LimbVec& a, const LimbVec& b);
+  // In-place variants; Sub requires |a| >= |b|. Add is alias-safe.
+  static void AddMagnitudeInPlace(LimbVec* a, const LimbVec& b);
+  static void SubMagnitudeInPlace(LimbVec* a, const LimbVec& b);
   void Trim();
 
   int sign_;
-  std::vector<uint32_t> limbs_;
+  LimbVec limbs_;
 };
+
+// Thread-local toggle for the 64/128-bit small-value fast paths (default
+// on). The differential fuzz suite turns them off to re-run identical
+// operations through the general limb algorithms and assert bit-identical
+// results; production code never disables them.
+void SetBigIntFastPathEnabled(bool enabled);
+bool BigIntFastPathEnabled();
 
 }  // namespace topodb
 

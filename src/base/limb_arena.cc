@@ -1,0 +1,17 @@
+#include "src/base/limb_arena.h"
+
+namespace topodb {
+
+namespace {
+thread_local LimbArena* tls_active_arena = nullptr;
+}  // namespace
+
+LimbArena* ActiveLimbArena() { return tls_active_arena; }
+
+ScopedLimbArena::ScopedLimbArena() : saved_(tls_active_arena) {
+  tls_active_arena = &arena_;
+}
+
+ScopedLimbArena::~ScopedLimbArena() { tls_active_arena = saved_; }
+
+}  // namespace topodb

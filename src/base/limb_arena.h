@@ -1,0 +1,110 @@
+#ifndef TOPODB_BASE_LIMB_ARENA_H_
+#define TOPODB_BASE_LIMB_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace topodb {
+
+// Bump allocator for BigInt limb storage (see limbvec.h). Arrangement
+// construction creates millions of short-lived Rational temporaries —
+// intersection parameters, sweep ordering keys, gcd chains — whose heap
+// blocks would otherwise each pay one malloc and one free. With an arena
+// installed, every LimbVec spill inside the scope is a pointer bump, and
+// the whole build's scratch memory is reclaimed in one Reset.
+//
+// Lifetime rules (DESIGN.md §5f):
+//   * Individual blocks are never freed; memory is reclaimed only by
+//     Reset() or destruction of the arena.
+//   * A LimbVec whose heap block came from an arena must not be *used*
+//     (read, grown, copied from) after that arena resets. Destroying it is
+//     always safe: the destructor never dereferences arena blocks.
+//   * Values that escape the scope (e.g. the points stored in a finished
+//     CellComplex) must be detached first (LimbVec::Detach), which copies
+//     them onto the normal heap or back inline.
+class LimbArena {
+ public:
+  LimbArena() = default;
+  LimbArena(const LimbArena&) = delete;
+  LimbArena& operator=(const LimbArena&) = delete;
+
+  // Returns an uninitialized block of n limbs. n must be > 0.
+  uint32_t* Allocate(size_t n) {
+    while (active_ < chunks_.size()) {
+      Chunk& c = chunks_[active_];
+      if (c.cap - used_ >= n) {
+        uint32_t* p = c.limbs.get() + used_;
+        used_ += n;
+        return p;
+      }
+      ++active_;
+      used_ = 0;
+    }
+    // Geometric chunk growth keeps the number of chunks logarithmic in the
+    // total demand; a chunk always fits the request that created it.
+    size_t cap = chunks_.empty() ? kInitialLimbs : 2 * chunks_.back().cap;
+    if (cap < n) cap = n;
+    chunks_.push_back(Chunk{std::make_unique<uint32_t[]>(cap), cap});
+    active_ = chunks_.size() - 1;
+    used_ = n;
+    return chunks_.back().limbs.get();
+  }
+
+  // Invalidates every block handed out so far and makes the memory
+  // available again. Keeps only the largest chunk, so a reused arena
+  // converges to a single allocation sized by its peak demand.
+  void Reset() {
+    if (chunks_.size() > 1) {
+      std::swap(chunks_.front(), chunks_.back());
+      chunks_.resize(1);
+    }
+    active_ = 0;
+    used_ = 0;
+  }
+
+  // Total limbs of backing capacity (observability / tests).
+  size_t CapacityLimbs() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.cap;
+    return total;
+  }
+
+ private:
+  static constexpr size_t kInitialLimbs = 16 * 1024;  // 64 KiB
+
+  struct Chunk {
+    std::unique_ptr<uint32_t[]> limbs;
+    size_t cap;
+  };
+
+  std::vector<Chunk> chunks_;
+  size_t active_ = 0;  // Chunk currently bumping.
+  size_t used_ = 0;    // Limbs consumed in the active chunk.
+};
+
+// The arena LimbVec spills into on this thread, or null for plain heap
+// allocation. Installed/removed by ScopedLimbArena.
+LimbArena* ActiveLimbArena();
+
+// Installs an owned arena as this thread's active limb arena for the
+// lifetime of the scope; restores the previous arena (scopes nest) and
+// reclaims all blocks on destruction.
+class ScopedLimbArena {
+ public:
+  ScopedLimbArena();
+  ~ScopedLimbArena();
+  ScopedLimbArena(const ScopedLimbArena&) = delete;
+  ScopedLimbArena& operator=(const ScopedLimbArena&) = delete;
+
+  LimbArena& arena() { return arena_; }
+
+ private:
+  LimbArena arena_;
+  LimbArena* saved_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_BASE_LIMB_ARENA_H_

@@ -164,6 +164,65 @@ Rational Rational::operator/(const Rational& other) const {
   return Rational(num_ * other.den_, den_ * other.num_);
 }
 
+Rational& Rational::operator+=(const Rational& o) {
+  if (this == &o) {
+    // x += x doubles in place: the denominator is unchanged and the reduced
+    // form stays reduced unless the doubled numerator shares a factor 2.
+    num_ += num_;
+    Reduce();
+    return *this;
+  }
+  // Mirrors operator+ including the filter gating, so both spellings stay
+  // bit-identical under either filter setting.
+  if (tls_compare_filter && den_.Compare(o.den_) == 0) {
+    num_ += o.num_;
+  } else {
+    num_ *= o.den_;
+    num_ += o.num_ * den_;
+    den_ *= o.den_;
+  }
+  Reduce();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) {
+  if (this == &o) {
+    num_ = BigInt();
+    den_ = BigInt(1);
+    return *this;
+  }
+  if (tls_compare_filter && den_.Compare(o.den_) == 0) {
+    num_ -= o.num_;
+  } else {
+    num_ *= o.den_;
+    num_ -= o.num_ * den_;
+    den_ *= o.den_;
+  }
+  Reduce();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& o) {
+  // Alias-safe: BigInt::operator*= reads both operands before writing.
+  num_ *= o.num_;
+  den_ *= o.den_;
+  Reduce();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  TOPODB_CHECK_MSG(!o.is_zero(), "Rational division by zero");
+  if (this == &o) {
+    num_ = BigInt(1);
+    den_ = BigInt(1);
+    return *this;
+  }
+  num_ *= o.den_;
+  den_ *= o.num_;
+  Reduce();
+  return *this;
+}
+
 Rational Rational::Abs() const {
   Rational result = *this;
   result.num_ = result.num_.Abs();

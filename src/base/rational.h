@@ -59,10 +59,13 @@ class Rational {
   // other must be nonzero.
   Rational operator/(const Rational& other) const;
 
-  Rational& operator+=(const Rational& o) { return *this = *this + o; }
-  Rational& operator-=(const Rational& o) { return *this = *this - o; }
-  Rational& operator*=(const Rational& o) { return *this = *this * o; }
-  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+  // Compound assignments operate in place on num_/den_ (no whole-Rational
+  // temporary), so small values never leave BigInt's inline limb buffers.
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  // o must be nonzero.
+  Rational& operator/=(const Rational& o);
 
   Rational Abs() const;
 
@@ -96,6 +99,13 @@ class Rational {
 
   // "num" when integral, otherwise "num/den".
   std::string ToString() const;
+
+  // Copies any arena-backed limb storage out of the active LimbArena (see
+  // limb_arena.h); required before a value escapes a ScopedLimbArena scope.
+  void Detach() {
+    num_.Detach();
+    den_.Detach();
+  }
 
   friend bool operator==(const Rational& a, const Rational& b) {
     return a.Compare(b) == 0;

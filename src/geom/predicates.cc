@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/base/check.h"
+#include "src/base/expansion.h"
 #include "src/base/interval.h"
 
 namespace topodb {
@@ -236,14 +237,19 @@ bool IntervalCompare(const Rational& a, const Rational& b, int* sign) {
 }
 
 // ---------------------------------------------------------------------------
-// Filtered sign dispatch: static -> interval -> exact, with per-stage
-// bookkeeping. The exact evaluation is passed as a callable so the rational
-// temporaries are only materialized on fallback.
+// Filtered sign dispatch: static -> interval -> expansion -> exact, with
+// per-stage bookkeeping. The exact evaluation is passed as a callable so the
+// rational temporaries are only materialized on fallback. The expansion
+// stage (src/base/expansion.h) is itself exact — it answers every sign its
+// input envelope admits, zero included — so reaching the rational fallback
+// now requires coordinates with large denominators (e.g. constructed
+// intersection points under extreme stretch).
 // ---------------------------------------------------------------------------
 
-template <typename StaticStage, typename IntervalStage, typename ExactStage>
+template <typename StaticStage, typename IntervalStage, typename ExpansionStage,
+          typename ExactStage>
 int FilteredSign(const StaticStage& stage1, const IntervalStage& stage2,
-                 const ExactStage& exact) {
+                 const ExpansionStage& stage3, const ExactStage& exact) {
   if (tls_mode == PredicateMode::kExact) return exact();
   int sign = 0;
   if (stage1(&sign)) {
@@ -252,6 +258,10 @@ int FilteredSign(const StaticStage& stage1, const IntervalStage& stage2,
   }
   if (stage2(&sign)) {
     ++tls_stats.interval_hits;
+    return sign;
+  }
+  if (stage3(&sign)) {
+    ++tls_stats.expansion_hits;
     return sign;
   }
   ++tls_stats.exact_fallbacks;
@@ -263,6 +273,7 @@ int CompareFiltered(const Rational& a, const Rational& b) {
   return FilteredSign(
       [&](int* s) { return StaticCompare(a, b, s); },
       [&](int* s) { return IntervalCompare(a, b, s); },
+      [&](int* s) { return ExpansionCompareSign(a, b, s); },
       [&] { return a.Compare(b); });
 }
 
@@ -306,6 +317,9 @@ int Orientation(const Point& a, const Point& b, const Point& c) {
   return FilteredSign(
       [&](int* s) { return StaticOrientationSign(a, b, c, s); },
       [&](int* s) { return IntervalOrientationSign(a, b, c, s); },
+      [&](int* s) {
+        return ExpansionOrientation(a.x, a.y, b.x, b.y, c.x, c.y, s);
+      },
       [&] { return OrientationExact(a, b, c); });
 }
 
@@ -475,6 +489,7 @@ int CrossSignFiltered(const Point& u, const Point& v) {
   return FilteredSign(
       [&](int* s) { return StaticCrossSign(u, v, s); },
       [&](int* s) { return IntervalCrossSign(u, v, s); },
+      [&](int* s) { return ExpansionCrossSign(u.x, u.y, v.x, v.y, s); },
       [&] { return Cross(u, v).sign(); });
 }
 
@@ -482,6 +497,7 @@ int DotSignFiltered(const Point& u, const Point& v) {
   return FilteredSign(
       [&](int* s) { return StaticDotSign(u, v, s); },
       [&](int* s) { return IntervalDotSign(u, v, s); },
+      [&](int* s) { return ExpansionDotSign(u.x, u.y, v.x, v.y, s); },
       [&] { return Dot(u, v).sign(); });
 }
 
@@ -525,6 +541,9 @@ int CompareAlongDirection(const Point& p, const Point& q, const Point& dir) {
   return FilteredSign(
       [&](int* s) { return StaticAlongSign(p, q, dir, s); },
       [&](int* s) { return IntervalAlongSign(p, q, dir, s); },
+      [&](int* s) {
+        return ExpansionAlongSign(p.x, p.y, q.x, q.y, dir.x, dir.y, s);
+      },
       [&] { return CompareAlongDirectionExact(p, q, dir); });
 }
 

@@ -12,14 +12,18 @@ namespace topodb {
 // Exact geometric predicates. Every return value is a decision, never an
 // approximation; robustness of the whole cell-complex pipeline rests here.
 //
-// Each predicate runs as a three-stage arithmetic filter (DESIGN.md §5e):
+// Each predicate runs as a four-stage arithmetic filter (DESIGN.md §5e-f):
 //   1. semi-static double filter — evaluate in doubles alongside a certified
 //      absolute error bound; conclusive when |value| exceeds the bound (or
 //      when every input is a small exact integer, in which case the double
 //      result is the exact value, zero included);
 //   2. interval filter — re-evaluate in outward-rounded IntervalDouble
 //      arithmetic (src/base/interval.h);
-//   3. exact rational fallback — the original arbitrary-precision path.
+//   3. expansion stage — exact evaluation in fixed-size floating-point
+//      expansions (src/base/expansion.h) when the inputs fit its envelope
+//      (small denominators, numerators up to 128 bits); decides every sign,
+//      zero included, at a fraction of rational cost;
+//   4. exact rational fallback — the original arbitrary-precision path.
 // A filter stage may only ever answer "certain" or "uncertain", never a
 // wrong sign, so every predicate below returns the same decision the pure
 // rational evaluation would — only faster. The *Exact variants skip the
@@ -90,6 +94,7 @@ int CompareAlongDirectionExact(const Point& p, const Point& q,
 struct PredicateFilterStats {
   uint64_t static_hits = 0;      // resolved by the semi-static double filter
   uint64_t interval_hits = 0;    // resolved by interval arithmetic
+  uint64_t expansion_hits = 0;   // resolved by the expansion stage
   uint64_t exact_fallbacks = 0;  // required the exact rational evaluation
 };
 const PredicateFilterStats& LocalPredicateFilterStats();

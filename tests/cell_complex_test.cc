@@ -334,5 +334,42 @@ TEST(CellComplexTest, RegionIndexLookup) {
   EXPECT_EQ(complex->region_index("Z"), -1);
 }
 
+TEST(CellComplexTest, ArenaBuildsAreBitIdentical) {
+  // The limb arena changes where temporary limb buffers live, never what
+  // any of them contain: builds with the arena on, off, and through the
+  // pure exact-predicate path must produce the same complex down to every
+  // rational coordinate (DebugString prints them exactly). The crossing
+  // diagonals make intersection points with non-trivial denominators — the
+  // values DetachComplex must copy out of the arena before it dies.
+  SpatialInstance instance;
+  ASSERT_TRUE(instance
+                  .AddRegion("A", *Region::MakeRect(Point(0, 0), Point(7, 5)))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("B", *Region::MakePoly({Point(-2, -1), Point(9, 4),
+                                                     Point(3, 8)}))
+                  .ok());
+  ASSERT_TRUE(instance
+                  .AddRegion("C", *Region::MakePoly({Point(1, 6), Point(6, -2),
+                                                     Point(8, 7)}))
+                  .ok());
+  const auto build = [&](bool arena, bool exact) {
+    ArrangementOptions options;
+    options.limb_arena = arena;
+    options.exact_predicates = exact;
+    Result<CellComplex> complex = CellComplex::Build(instance, options);
+    EXPECT_TRUE(complex.ok());
+    return complex->DebugString();
+  };
+  const std::string with_arena = build(true, false);
+  const std::string without_arena = build(false, false);
+  const std::string exact = build(false, true);
+  const std::string exact_arena_requested = build(true, true);  // Forced off.
+  EXPECT_EQ(with_arena, without_arena);
+  EXPECT_EQ(with_arena, exact);
+  EXPECT_EQ(with_arena, exact_arena_requested);
+  EXPECT_NE(with_arena.find("vertices"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace topodb

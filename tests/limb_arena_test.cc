@@ -1,0 +1,199 @@
+// LimbVec small-buffer semantics and LimbArena lifetime rules (DESIGN.md
+// §5f): inline/heap/arena state transitions, Detach on escaping values,
+// scope nesting, and bump-reset reclamation. These are the invariants the
+// arrangement builder's arena-backed build leans on, so they are pinned
+// here independently of any geometry.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "src/base/bigint.h"
+#include "src/base/limb_arena.h"
+#include "src/base/limbvec.h"
+#include "src/base/rational.h"
+
+namespace topodb {
+namespace {
+
+TEST(LimbVecTest, StaysInlineUpToCapacity) {
+  LimbVec v;
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), LimbVec::kInlineCapacity);
+  for (uint32_t i = 0; i < LimbVec::kInlineCapacity; ++i) v.push_back(i * 7u);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_FALSE(v.from_arena());
+  EXPECT_EQ(v.size(), LimbVec::kInlineCapacity);
+  for (uint32_t i = 0; i < LimbVec::kInlineCapacity; ++i) EXPECT_EQ(v[i], i * 7u);
+}
+
+TEST(LimbVecTest, SpillsToHeapPreservingContents) {
+  LimbVec v;
+  for (uint32_t i = 0; i < 20; ++i) v.push_back(i + 100u);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_FALSE(v.from_arena());  // No arena installed.
+  EXPECT_GT(v.capacity(), LimbVec::kInlineCapacity);
+  for (uint32_t i = 0; i < 20; ++i) EXPECT_EQ(v[i], i + 100u);
+}
+
+TEST(LimbVecTest, CopiesShrinkBackInline) {
+  LimbVec v;
+  for (uint32_t i = 0; i < 20; ++i) v.push_back(i);
+  while (v.size() > 5) v.pop_back();
+  ASSERT_FALSE(v.is_inline());  // Shrinking does not release the block...
+  LimbVec copy(v);
+  EXPECT_TRUE(copy.is_inline());  // ...but a copy of 5 limbs fits inline.
+  EXPECT_EQ(copy.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(copy[i], i);
+}
+
+TEST(LimbVecTest, MoveStealsHeapBlockAndResetsSource) {
+  LimbVec v;
+  for (uint32_t i = 0; i < 20; ++i) v.push_back(i);
+  const uint32_t* block = v.data();
+  LimbVec moved(std::move(v));
+  EXPECT_EQ(moved.data(), block);  // No copy: the block moved over.
+  EXPECT_EQ(moved.size(), 20u);
+  EXPECT_TRUE(v.is_inline());  // NOLINT(bugprone-use-after-move): reset state.
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(LimbVecTest, AssignDiscardsOldContents) {
+  LimbVec v;
+  for (uint32_t i = 0; i < 12; ++i) v.push_back(i);
+  v.assign(30, 0xdeadbeefu);
+  EXPECT_EQ(v.size(), 30u);
+  for (uint32_t i = 0; i < 30; ++i) EXPECT_EQ(v[i], 0xdeadbeefu);
+  v.assign(2, 1u);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(LimbVecArenaTest, SpillInsideScopeComesFromArena) {
+  ScopedLimbArena scope;
+  ASSERT_EQ(ActiveLimbArena(), &scope.arena());
+  LimbVec v;
+  for (uint32_t i = 0; i < 20; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_TRUE(v.from_arena());
+  for (uint32_t i = 0; i < 20; ++i) EXPECT_EQ(v[i], i);
+  // Destruction of v at scope end must not free the arena block (the
+  // destructor never touches arena memory) — covered by running under
+  // ASan in CI, which would flag any double free.
+}
+
+TEST(LimbVecArenaTest, DetachCopiesOutOfArena) {
+  LimbVec small_escape;
+  LimbVec large_escape;
+  {
+    ScopedLimbArena scope;
+    LimbVec v;
+    for (uint32_t i = 0; i < 20; ++i) v.push_back(i);
+    while (v.size() > 6) v.pop_back();
+    ASSERT_TRUE(v.from_arena());
+    v.Detach();
+    EXPECT_TRUE(v.is_inline());  // 6 limbs fit back inline.
+    small_escape = v;
+
+    LimbVec w;
+    for (uint32_t i = 0; i < 40; ++i) w.push_back(i * 3u);
+    ASSERT_TRUE(w.from_arena());
+    w.Detach();
+    EXPECT_FALSE(w.is_inline());
+    EXPECT_FALSE(w.from_arena());  // Plain heap now, arena bypassed.
+    large_escape = std::move(w);
+  }
+  // Both values outlive the arena; their storage must be intact.
+  EXPECT_EQ(small_escape.size(), 6u);
+  for (uint32_t i = 0; i < 6; ++i) EXPECT_EQ(small_escape[i], i);
+  EXPECT_EQ(large_escape.size(), 40u);
+  for (uint32_t i = 0; i < 40; ++i) EXPECT_EQ(large_escape[i], i * 3u);
+}
+
+TEST(LimbVecArenaTest, DetachOnInlineOrPlainHeapIsANoOp) {
+  LimbVec inline_v;
+  inline_v.push_back(5);
+  inline_v.Detach();
+  EXPECT_TRUE(inline_v.is_inline());
+  EXPECT_EQ(inline_v[0], 5u);
+
+  LimbVec heap_v;
+  for (uint32_t i = 0; i < 20; ++i) heap_v.push_back(i);
+  const uint32_t* block = heap_v.data();
+  heap_v.Detach();
+  EXPECT_EQ(heap_v.data(), block);  // Already owned: nothing to copy.
+}
+
+TEST(LimbArenaTest, ScopesNestAndRestore) {
+  EXPECT_EQ(ActiveLimbArena(), nullptr);
+  {
+    ScopedLimbArena outer;
+    EXPECT_EQ(ActiveLimbArena(), &outer.arena());
+    {
+      ScopedLimbArena inner;
+      EXPECT_EQ(ActiveLimbArena(), &inner.arena());
+      EXPECT_NE(&inner.arena(), &outer.arena());
+    }
+    EXPECT_EQ(ActiveLimbArena(), &outer.arena());
+  }
+  EXPECT_EQ(ActiveLimbArena(), nullptr);
+}
+
+TEST(LimbArenaTest, ResetKeepsLargestChunk) {
+  LimbArena arena;
+  EXPECT_EQ(arena.CapacityLimbs(), 0u);
+  // First allocation creates the initial chunk; an oversized request later
+  // forces a larger chunk.
+  arena.Allocate(100);
+  const size_t first_cap = arena.CapacityLimbs();
+  EXPECT_GE(first_cap, 100u);
+  arena.Allocate(first_cap * 4);
+  const size_t grown_cap = arena.CapacityLimbs();
+  EXPECT_GT(grown_cap, first_cap);
+  arena.Reset();
+  // Only the largest chunk survives, so a reused arena converges to one
+  // block sized by peak demand.
+  EXPECT_EQ(arena.CapacityLimbs(), grown_cap - first_cap);
+  // And the retained chunk is immediately reusable without growth.
+  arena.Allocate(first_cap * 4);
+  EXPECT_EQ(arena.CapacityLimbs(), grown_cap - first_cap);
+}
+
+TEST(LimbArenaTest, BumpAllocationsDoNotOverlap) {
+  LimbArena arena;
+  uint32_t* a = arena.Allocate(16);
+  uint32_t* b = arena.Allocate(16);
+  for (int i = 0; i < 16; ++i) a[i] = 1;
+  for (int i = 0; i < 16; ++i) b[i] = 2;
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a[i], 1u);
+}
+
+TEST(LimbArenaTest, BigIntAndRationalDetachPreserveValues) {
+  // A value computed inside an arena scope, detached, must survive the
+  // scope with full precision — the exact pattern of CellComplex points.
+  BigInt big_escape;
+  Rational rat_escape;
+  std::string want_big, want_rat;
+  {
+    ScopedLimbArena scope;
+    BigInt v(1);
+    for (int i = 0; i < 30; ++i) v = v * BigInt(1000003);  // ~600 bits.
+    want_big = v.ToString();
+    // Detach the escaping object itself, last: a copy made while the arena
+    // is active is arena-backed again regardless of the source's state.
+    big_escape = v;
+    big_escape.Detach();
+
+    Rational r(BigInt(1).ShiftLeft(400) + BigInt(7), BigInt(3).ShiftLeft(100));
+    want_rat = r.ToString();
+    rat_escape = r;
+    rat_escape.Detach();
+  }
+  EXPECT_EQ(big_escape.ToString(), want_big);
+  EXPECT_EQ(rat_escape.ToString(), want_rat);
+}
+
+}  // namespace
+}  // namespace topodb

@@ -1,4 +1,4 @@
-// Differential fuzz for the three-stage predicate filter (DESIGN.md §5e):
+// Differential fuzz for the four-stage predicate filter (DESIGN.md §5e-f):
 // every filtered predicate must return bit-for-bit the decision of its
 // *Exact variant, on exactly the input families where a buggy filter would
 // diverge — collinear triples (the zero a static filter must never
