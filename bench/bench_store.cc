@@ -1,0 +1,224 @@
+// Catalog-vs-rebuild comparison for the persistent instance store: the
+// time from cold start to a served canonical invariant when the instance
+// comes from a memory-mapped store file (Catalog::Open + Find + read the
+// precomputed canonical) against the pre-catalog path (parse the text,
+// build the arrangement, canonicalize). The ISSUE acceptance bar is a
+// >=5x win on the largest workload row; outside smoke mode this binary
+// exits nonzero if the bar is missed, making the bench a gate.
+//
+// When TOPODB_BENCH_STORE_JSON=<path> is set the rows are written as a
+// topodb.bench_store.v1 artifact; ci/check_bench_store.py validates it
+// (and enforces the floor on the checked-in full-size BENCH_store.json).
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/invariant/canonical.h"
+#include "src/invariant/data.h"
+#include "src/region/io.h"
+#include "src/store/catalog.h"
+#include "src/workload/generators.h"
+
+namespace topodb {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+bool SmokeMode() { return std::getenv("TOPODB_BENCH_SMOKE") != nullptr; }
+
+std::string TempDirOrDie() {
+  std::string tmpl = "/tmp/topodb_bench_store_XXXXXX";
+  if (mkdtemp(tmpl.data()) == nullptr) {
+    std::perror("mkdtemp");
+    std::abort();
+  }
+  return tmpl;
+}
+
+// Minimum over adaptively many reps (same policy as the predicate-filter
+// report): the minimum is the path's true cost, everything above it is
+// preemption.
+template <typename F>
+double MinMillis(F&& body) {
+  double best = 0;
+  double total = 0;
+  for (int rep = 0; rep < 32 && (rep < 2 || total < 20.0); ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+    total += ms;
+  }
+  return best;
+}
+
+struct Row {
+  std::string workload;
+  double rebuild_ms = 0;
+  double catalog_ms = 0;
+  double speedup = 0;
+  uint64_t file_bytes = 0;
+};
+
+Row RunRow(const std::string& name, const SpatialInstance& instance) {
+  const std::string text = WriteInstanceText(instance);
+
+  // Offline ingest into a fresh catalog directory (not timed: LOAD is the
+  // once-per-instance cost the store exists to amortize away).
+  const std::string dir = TempDirOrDie();
+  Row row;
+  row.workload = name;
+  {
+    CatalogOptions options;
+    options.directory = dir;
+    auto catalog = Unwrap(Catalog::Open(options));
+    const auto entry = Unwrap(catalog->Ingest(name, text));
+    row.file_bytes = entry->file_bytes();
+  }
+
+  // Pre-catalog path: parse + arrangement build + canonicalize, per
+  // request.
+  std::string rebuilt_canonical;
+  row.rebuild_ms = MinMillis([&] {
+    const auto parsed = Unwrap(ParseInstanceText(text));
+    const auto invariant = Unwrap(ComputeInvariant(parsed));
+    rebuilt_canonical = Unwrap(CanonicalInvariantString(invariant));
+  });
+
+  // Catalog path: cold start (scan + mmap + checksum) through the first
+  // served canonical.
+  std::string served_canonical;
+  row.catalog_ms = MinMillis([&] {
+    CatalogOptions options;
+    options.directory = dir;
+    auto catalog = Unwrap(Catalog::Open(options));
+    const auto entry = Unwrap(catalog->Find(name));
+    served_canonical = std::string(entry->view().canonical());
+  });
+
+  if (served_canonical != rebuilt_canonical) {
+    std::fprintf(stderr, "bench_store: %s catalog canonical diverges from "
+                         "the rebuild path\n", name.c_str());
+    std::abort();
+  }
+  row.speedup = row.catalog_ms > 0 ? row.rebuild_ms / row.catalog_ms : 0;
+  return row;
+}
+
+std::vector<Row> Report() {
+  bench::Header(
+      "Store: catalog-backed startup + first query vs parse-and-rebuild");
+  std::printf("%-12s | %10s | %10s | %7s | %9s\n", "workload", "rebuild",
+              "catalog", "speedup", "file");
+  std::printf("%-12s | %10s | %10s | %7s | %9s\n", "", "(ms)", "(ms)", "",
+              "(bytes)");
+  std::vector<std::pair<std::string, SpatialInstance>> workloads;
+  if (SmokeMode()) {
+    workloads.emplace_back("chain:8", Unwrap(ChainInstance(8)));
+    workloads.emplace_back("grid:3x3", Unwrap(RectGridInstance(3, 3)));
+  } else {
+    workloads.emplace_back("chain:64", Unwrap(ChainInstance(64)));
+    workloads.emplace_back("nested:24", Unwrap(NestedRingsInstance(24)));
+    workloads.emplace_back("grid:8x8", Unwrap(RectGridInstance(8, 8)));
+    workloads.emplace_back("grid:12x12", Unwrap(RectGridInstance(12, 12)));
+  }
+  std::vector<Row> rows;
+  for (const auto& [name, instance] : workloads) {
+    rows.push_back(RunRow(name, instance));
+    const Row& r = rows.back();
+    std::printf("%-12s | %10.3f | %10.3f | %6.1fx | %9llu\n",
+                r.workload.c_str(), r.rebuild_ms, r.catalog_ms, r.speedup,
+                static_cast<unsigned long long>(r.file_bytes));
+  }
+  return rows;
+}
+
+void MaybeWriteJson(const std::vector<Row>& rows) {
+  const char* path = std::getenv("TOPODB_BENCH_STORE_JSON");
+  if (path == nullptr) return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::perror("bench_store: fopen artifact");
+    std::abort();
+  }
+  std::fprintf(f, "{\n  \"schema\": \"topodb.bench_store.v1\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n  \"rows\": [\n",
+               SmokeMode() ? "true" : "false");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"rebuild_ms\": %.4f, "
+                 "\"catalog_ms\": %.4f, \"speedup\": %.2f, "
+                 "\"file_bytes\": %llu}%s\n",
+                 r.workload.c_str(), r.rebuild_ms, r.catalog_ms, r.speedup,
+                 static_cast<unsigned long long>(r.file_bytes),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("bench_store: wrote %s\n", path);
+}
+
+// Timing series for the two paths on the mid-size grid, for trend lines.
+void BM_CatalogStartupAndFind(benchmark::State& state) {
+  const std::string text =
+      WriteInstanceText(Unwrap(RectGridInstance(4, 4)));
+  const std::string dir = TempDirOrDie();
+  {
+    CatalogOptions options;
+    options.directory = dir;
+    auto catalog = Unwrap(Catalog::Open(options));
+    Unwrap(catalog->Ingest("grid", text));
+  }
+  for (auto _ : state) {
+    CatalogOptions options;
+    options.directory = dir;
+    auto catalog = Unwrap(Catalog::Open(options));
+    const auto entry = Unwrap(catalog->Find("grid"));
+    benchmark::DoNotOptimize(entry->view().canonical().size());
+  }
+}
+BENCHMARK(BM_CatalogStartupAndFind);
+
+void BM_ParseAndCanonicalize(benchmark::State& state) {
+  const std::string text =
+      WriteInstanceText(Unwrap(RectGridInstance(4, 4)));
+  for (auto _ : state) {
+    const auto parsed = Unwrap(ParseInstanceText(text));
+    const auto invariant = Unwrap(ComputeInvariant(parsed));
+    benchmark::DoNotOptimize(Unwrap(CanonicalInvariantString(invariant)));
+  }
+}
+BENCHMARK(BM_ParseAndCanonicalize);
+
+}  // namespace
+}  // namespace topodb
+
+int main(int argc, char** argv) {
+  const auto rows = topodb::Report();
+  topodb::MaybeWriteJson(rows);
+  if (!topodb::SmokeMode()) {
+    // The acceptance floor rides on the largest row.
+    const auto& largest = rows.back();
+    if (largest.speedup < 5.0) {
+      std::fprintf(stderr,
+                   "bench_store: %s speedup %.1fx is below the 5x floor\n",
+                   largest.workload.c_str(), largest.speedup);
+      return 1;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

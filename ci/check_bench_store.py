@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validates a store benchmark artifact (topodb.bench_store.v1).
+
+Usage: check_bench_store.py <path> [--min-speedup X]
+
+The artifact compares catalog-backed startup + first served canonical
+(mmap + checksum + read) against the parse-and-rebuild path, per workload.
+The file must be well-formed, declare the expected schema, and have rows
+with positive timings and sizes. --min-speedup additionally requires the
+LAST row (the largest workload) to be at or above the given ratio — the
+ISSUE acceptance floor; CI's smoke artifact skips it since smoke workloads
+are deliberately tiny.
+"""
+import json
+import sys
+
+SCHEMA = "topodb.bench_store.v1"
+ROW_FIELDS = ["workload", "rebuild_ms", "catalog_ms", "speedup", "file_bytes"]
+
+
+def fail(message):
+    print(f"check_bench_store: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_store.py <path> [--min-speedup X]")
+    path = sys.argv[1]
+    min_speedup = None
+    if len(sys.argv) >= 4 and sys.argv[2] == "--min-speedup":
+        min_speedup = float(sys.argv[3])
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: no rows")
+    for row in rows:
+        missing = [k for k in ROW_FIELDS if k not in row]
+        if missing:
+            fail(f"{path}: row {row.get('workload')!r} missing {missing}")
+        if row["rebuild_ms"] <= 0 or row["catalog_ms"] <= 0:
+            fail(f"{path}: row {row['workload']!r} has non-positive timings")
+        if row["file_bytes"] <= 0:
+            fail(f"{path}: row {row['workload']!r} has no store bytes")
+        ratio = row["rebuild_ms"] / row["catalog_ms"]
+        if abs(ratio - row["speedup"]) > max(0.05 * ratio, 0.1):
+            fail(f"{path}: row {row['workload']!r} speedup "
+                 f"{row['speedup']} inconsistent with timings ({ratio:.2f})")
+
+    if min_speedup is not None:
+        largest = rows[-1]
+        if largest["speedup"] < min_speedup:
+            fail(f"{path}: largest workload {largest['workload']!r} speedup "
+                 f"{largest['speedup']:.1f}x below the {min_speedup}x floor")
+
+    print(f"check_bench_store: {path} OK "
+          f"({len(rows)} rows, largest {rows[-1]['workload']} "
+          f"{rows[-1]['speedup']:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

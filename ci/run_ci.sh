@@ -14,6 +14,12 @@
 #      and assert the graceful-drain exit code. Also smoke-runs
 #      bench_server_load (closed loop + overload shed assertions) and
 #      archives its server metrics JSON.
+#   3b. Catalog loopback smoke: ingest fixtures with topodb_load, start
+#      topodb_server --catalog against the directory, drive LOAD / LIST /
+#      DESCRIBE / ISO / BATCH through the CLI with @name catalog refs,
+#      assert the documented exit codes (NotFound=4 for an unknown name),
+#      then restart the server on the same directory and serve again with
+#      no re-ingest — the durability contract, end to end over TCP.
 #   4. Rebuild the test suite under ASan+UBSan (with float-cast-overflow)
 #      in build-asan/ and run it — this is what runs the predicate-filter,
 #      expansion-stage and BigInt fast-path differential fuzz suites with
@@ -106,6 +112,91 @@ TOPODB_BENCH_SMOKE=1 \
 TOPODB_METRICS_JSON=ci/artifacts/server_load_metrics.json \
   ./build-ci/bench/bench_server_load --benchmark_min_time=0.01
 python3 ci/check_metrics_json.py ci/artifacts/server_load_metrics.json
+
+echo "==> bench smoke: store (catalog startup vs parse-and-rebuild)"
+# Smoke workloads are tiny so no speedup floor is enforced on the smoke
+# artifact; the checked-in full-size BENCH_store.json carries the >=5x
+# acceptance bar. Regenerate with
+#   TOPODB_BENCH_STORE_JSON=BENCH_store.json \
+#     build/bench/bench_store --benchmark_filter='^$'
+TOPODB_BENCH_SMOKE=1 \
+TOPODB_BENCH_STORE_JSON=ci/artifacts/bench_store.json \
+  ./build-ci/bench/bench_store --benchmark_min_time=0.01
+python3 ci/check_bench_store.py ci/artifacts/bench_store.json
+python3 ci/check_bench_store.py BENCH_store.json --min-speedup 5
+
+echo "==> catalog smoke: ingest, serve, exit codes, restart"
+# expect_exit CODE cmd... : run under set -e, demand the documented exit
+# code (src/base/status.h ExitCodeForStatus — status_test pins the table).
+expect_exit() {
+  local want=$1; shift
+  local got=0
+  "$@" || got=$?
+  if [[ "$got" != "$want" ]]; then
+    echo "expected exit $want from: $* (got $got)"; exit 1
+  fi
+}
+catalog_dir=$(mktemp -d /tmp/topodb_ci_catalog_XXXXXX)
+trap 'rm -rf "$catalog_dir"' EXIT
+./build-ci/src/store/topodb_load --catalog "$catalog_dir" \
+  fixtures fig1a nested
+./build-ci/src/store/topodb_load --catalog "$catalog_dir" workload chain:16
+catalog_log=ci/artifacts/server_catalog_smoke.log
+./build-ci/src/server/topodb_server --workers 2 --queue 16 \
+  --catalog "$catalog_dir" > "$catalog_log" &
+catalog_pid=$!
+for _ in $(seq 1 50); do
+  grep -q "listening on" "$catalog_log" 2>/dev/null && break
+  sleep 0.1
+done
+catalog_port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+  "$catalog_log" | head -1)
+[[ -n "$catalog_port" ]] || { echo "catalog server never came up"; exit 1; }
+client="./build-ci/src/client/topodb_client --port $catalog_port"
+$client load fig1d fig1d
+$client list | grep -q "4 instance(s)" \
+  || { echo "catalog list should show 4 instances"; exit 1; }
+$client describe fig1a | grep -q "s-invariant" \
+  || { echo "describe fig1a failed"; exit 1; }
+# Byte-identity proxy: the catalog-served instance must be isomorphic to
+# the same fixture sent inline as text.
+$client iso @fig1a fig1a | grep -qx "isomorphic" \
+  || { echo "catalog fig1a diverges from the text path"; exit 1; }
+$client batch @fig1a @nested @chain:16 fig1d
+# Unknown catalog names are NotFound (4) uniformly across opcodes.
+expect_exit 4 $client describe ghost
+expect_exit 4 $client invariant @ghost
+expect_exit 4 $client iso @ghost fig1a
+# An invalid catalog name is rejected before ingest (InvalidArgument = 2).
+expect_exit 2 $client load "bad/name" fig1a
+kill -TERM "$catalog_pid"
+wait "$catalog_pid"
+grep -q "drained cleanly" "$catalog_log" \
+  || { echo "catalog server did not drain cleanly"; exit 1; }
+# Restart against the same directory: everything must serve from the
+# store files alone, including the entry loaded over the wire.
+./build-ci/src/server/topodb_server --workers 2 --queue 16 \
+  --catalog "$catalog_dir" > "$catalog_log" &
+catalog_pid=$!
+for _ in $(seq 1 50); do
+  grep -q "listening on" "$catalog_log" 2>/dev/null && break
+  sleep 0.1
+done
+catalog_port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+  "$catalog_log" | head -1)
+[[ -n "$catalog_port" ]] || { echo "catalog restart never came up"; exit 1; }
+client="./build-ci/src/client/topodb_client --port $catalog_port"
+$client list | grep -q "4 instance(s)" \
+  || { echo "restart lost catalog entries"; exit 1; }
+$client describe fig1d | grep -q "fig1d: entry" \
+  || { echo "restart lost the wire-loaded entry"; exit 1; }
+$client batch @fig1a @nested @chain:16 @fig1d
+$client iso @fig1d fig1d | grep -qx "isomorphic" \
+  || { echo "restarted catalog fig1d diverges from the text path"; exit 1; }
+kill -TERM "$catalog_pid"
+wait "$catalog_pid"
+grep -q "drained cleanly" "$catalog_log" \
+  || { echo "restarted catalog server did not drain cleanly"; exit 1; }
 
 if [[ "${1:-}" != "--no-sanitizers" ]]; then
   echo "==> sanitizers: ASan + UBSan (incl. float-cast-overflow)"

@@ -22,6 +22,7 @@ enum class StatusCode {
   kDeadlineExceeded,  // deadline passed or caller cancelled mid-flight
   kUnavailable,       // transient overload: shed now, safe to retry later
   kInternal,          // invariant violation that was recoverable
+  kDataLoss,          // persisted bytes are corrupt or truncated
 };
 
 // Arrow/RocksDB-style status object. The library does not use exceptions;
@@ -65,6 +66,14 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  // Persisted state failed validation: a store file whose magic, length,
+  // or checksum does not match what its header promises. Distinct from
+  // InvalidArgument (the caller's bytes were never durable) and from
+  // Internal (no invariant of the running process is violated — the disk
+  // simply does not hold what was written). Never retryable.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,6 +96,7 @@ class Status {
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
       case StatusCode::kUnavailable: return "Unavailable";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kDataLoss: return "DataLoss";
     }
     return "Unknown";
   }
@@ -95,6 +105,29 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+// Process exit code for a command-line tool surfacing `status`. The codes
+// are part of the CLI contract (ci/run_ci.sh asserts them): 0 is success,
+// 2 matches the traditional usage-error convention (and InvalidArgument
+// is exactly a usage error at the CLI surface), and every other family
+// gets a stable code so shell callers can branch on *why* a call failed,
+// not merely that it did. 1 is reserved for failures with no Status.
+inline int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 2;
+    case StatusCode::kInvalidInstance: return 3;
+    case StatusCode::kNotFound: return 4;
+    case StatusCode::kUnsupported: return 5;
+    case StatusCode::kResourceExhausted: return 6;
+    case StatusCode::kParseError: return 7;
+    case StatusCode::kDeadlineExceeded: return 8;
+    case StatusCode::kUnavailable: return 9;
+    case StatusCode::kInternal: return 10;
+    case StatusCode::kDataLoss: return 11;
+  }
+  return 1;
+}
 
 // Result<T> holds either a value or an error Status.
 template <typename T>

@@ -146,10 +146,10 @@ Status TopoDbClient::Ping(uint32_t budget_ms) {
       .status();
 }
 
-Result<std::string> TopoDbClient::ComputeInvariant(
-    const std::string& instance_text, uint32_t budget_ms) {
+Result<std::string> TopoDbClient::ComputeInvariant(const InstanceRef& ref,
+                                                   uint32_t budget_ms) {
   std::string payload;
-  AppendWireString(&payload, instance_text);
+  AppendInstanceRef(&payload, ref);
   TOPODB_ASSIGN_OR_RETURN(
       std::string body,
       RoundTrip(static_cast<uint16_t>(Opcode::kComputeInvariant), payload,
@@ -161,11 +161,11 @@ Result<std::string> TopoDbClient::ComputeInvariant(
 }
 
 Result<std::vector<Result<std::string>>> TopoDbClient::BatchInvariants(
-    const std::vector<std::string>& instance_texts, uint32_t budget_ms) {
+    const std::vector<InstanceRef>& refs, uint32_t budget_ms) {
   std::string payload;
-  AppendU32(&payload, static_cast<uint32_t>(instance_texts.size()));
-  for (const std::string& text : instance_texts) {
-    AppendWireString(&payload, text);
+  AppendU32(&payload, static_cast<uint32_t>(refs.size()));
+  for (const InstanceRef& ref : refs) {
+    AppendInstanceRef(&payload, ref);
   }
   TOPODB_ASSIGN_OR_RETURN(
       std::string body,
@@ -173,10 +173,10 @@ Result<std::vector<Result<std::string>>> TopoDbClient::BatchInvariants(
                 budget_ms));
   WireReader reader(body);
   TOPODB_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
-  if (n != instance_texts.size()) {
+  if (n != refs.size()) {
     return Status::Internal(
         "batch response has " + std::to_string(n) + " items, sent " +
-        std::to_string(instance_texts.size()));
+        std::to_string(refs.size()));
   }
   std::vector<Result<std::string>> results;
   results.reserve(n);
@@ -194,11 +194,21 @@ Result<std::vector<Result<std::string>>> TopoDbClient::BatchInvariants(
   return results;
 }
 
-Result<bool> TopoDbClient::EvalQuery(const std::string& instance_text,
+Result<std::vector<Result<std::string>>> TopoDbClient::BatchInvariants(
+    const std::vector<std::string>& instance_texts, uint32_t budget_ms) {
+  std::vector<InstanceRef> refs;
+  refs.reserve(instance_texts.size());
+  for (const std::string& text : instance_texts) {
+    refs.push_back(InstanceRef::Text(text));
+  }
+  return BatchInvariants(refs, budget_ms);
+}
+
+Result<bool> TopoDbClient::EvalQuery(const InstanceRef& ref,
                                      const std::string& query,
                                      uint32_t budget_ms) {
   std::string payload;
-  AppendWireString(&payload, instance_text);
+  AppendInstanceRef(&payload, ref);
   AppendWireString(&payload, query);
   TOPODB_ASSIGN_OR_RETURN(
       std::string body,
@@ -210,12 +220,12 @@ Result<bool> TopoDbClient::EvalQuery(const std::string& instance_text,
   return verdict != 0;
 }
 
-Result<bool> TopoDbClient::IsoCheck(const std::string& instance_a,
-                                    const std::string& instance_b,
+Result<bool> TopoDbClient::IsoCheck(const InstanceRef& ref_a,
+                                    const InstanceRef& ref_b,
                                     uint32_t budget_ms) {
   std::string payload;
-  AppendWireString(&payload, instance_a);
-  AppendWireString(&payload, instance_b);
+  AppendInstanceRef(&payload, ref_a);
+  AppendInstanceRef(&payload, ref_b);
   TOPODB_ASSIGN_OR_RETURN(
       std::string body,
       RoundTrip(static_cast<uint16_t>(Opcode::kIsoCheck), payload,
@@ -224,6 +234,66 @@ Result<bool> TopoDbClient::IsoCheck(const std::string& instance_a,
   TOPODB_ASSIGN_OR_RETURN(uint8_t isomorphic, reader.ReadU8());
   TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
   return isomorphic != 0;
+}
+
+Result<TopoDbClient::LoadResult> TopoDbClient::Load(
+    const std::string& name, const std::string& instance_text,
+    uint32_t budget_ms) {
+  std::string payload;
+  AppendWireString(&payload, name);
+  AppendWireString(&payload, instance_text);
+  TOPODB_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(static_cast<uint16_t>(Opcode::kLoad), payload, budget_ms));
+  WireReader reader(body);
+  LoadResult result;
+  TOPODB_ASSIGN_OR_RETURN(result.entry_id, reader.ReadU64());
+  TOPODB_ASSIGN_OR_RETURN(result.file_bytes, reader.ReadU64());
+  TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+  return result;
+}
+
+Result<std::vector<CatalogEntryInfo>> TopoDbClient::List(uint32_t budget_ms) {
+  TOPODB_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(static_cast<uint16_t>(Opcode::kList), {}, budget_ms));
+  WireReader reader(body);
+  TOPODB_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+  std::vector<CatalogEntryInfo> entries;
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CatalogEntryInfo info;
+    TOPODB_ASSIGN_OR_RETURN(info.name, reader.ReadWireString());
+    TOPODB_ASSIGN_OR_RETURN(info.entry_id, reader.ReadU64());
+    TOPODB_ASSIGN_OR_RETURN(info.file_bytes, reader.ReadU64());
+    entries.push_back(std::move(info));
+  }
+  TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+  return entries;
+}
+
+Result<InstanceDescription> TopoDbClient::Describe(const std::string& name,
+                                                   uint32_t budget_ms) {
+  std::string payload;
+  AppendWireString(&payload, name);
+  TOPODB_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(static_cast<uint16_t>(Opcode::kDescribe), payload,
+                budget_ms));
+  WireReader reader(body);
+  InstanceDescription description;
+  TOPODB_ASSIGN_OR_RETURN(description.name, reader.ReadWireString());
+  TOPODB_ASSIGN_OR_RETURN(description.entry_id, reader.ReadU64());
+  TOPODB_ASSIGN_OR_RETURN(description.file_bytes, reader.ReadU64());
+  TOPODB_ASSIGN_OR_RETURN(description.num_regions, reader.ReadU64());
+  TOPODB_ASSIGN_OR_RETURN(description.num_vertices, reader.ReadU64());
+  TOPODB_ASSIGN_OR_RETURN(description.num_edges, reader.ReadU64());
+  TOPODB_ASSIGN_OR_RETURN(description.num_faces, reader.ReadU64());
+  TOPODB_ASSIGN_OR_RETURN(uint8_t has_s, reader.ReadU8());
+  description.has_s_invariant = has_s != 0;
+  TOPODB_ASSIGN_OR_RETURN(description.canonical_bytes, reader.ReadU64());
+  TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+  return description;
 }
 
 Result<std::string> TopoDbClient::Metrics(uint32_t budget_ms) {

@@ -20,8 +20,31 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/server/wire.h"
 
 namespace topodb {
+
+// One LIST row: a catalog entry's name, stable content id, and on-disk
+// size.
+struct CatalogEntryInfo {
+  std::string name;
+  uint64_t entry_id = 0;
+  uint64_t file_bytes = 0;
+};
+
+// The DESCRIBE body: everything the server knows about a catalog entry
+// without decoding its invariant sections.
+struct InstanceDescription {
+  std::string name;
+  uint64_t entry_id = 0;
+  uint64_t file_bytes = 0;
+  uint64_t num_regions = 0;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_faces = 0;
+  bool has_s_invariant = false;
+  uint64_t canonical_bytes = 0;
+};
 
 class TopoDbClient {
  public:
@@ -43,24 +66,59 @@ class TopoDbClient {
   // PING: liveness round trip.
   Status Ping(uint32_t budget_ms = 0);
 
-  // COMPUTE_INVARIANT: the canonical invariant string of the instance
-  // (text format of src/region/io.h).
-  Result<std::string> ComputeInvariant(const std::string& instance_text,
+  // COMPUTE_INVARIANT: the canonical invariant string of the referenced
+  // instance — inline text (format of src/region/io.h) or a catalog name
+  // served from the server's precomputed store. The string overloads keep
+  // the pre-catalog call sites working unchanged.
+  Result<std::string> ComputeInvariant(const InstanceRef& ref,
                                        uint32_t budget_ms = 0);
+  Result<std::string> ComputeInvariant(const std::string& instance_text,
+                                       uint32_t budget_ms = 0) {
+    return ComputeInvariant(InstanceRef::Text(instance_text), budget_ms);
+  }
 
   // BATCH_INVARIANTS: positionally aligned per-item results; a per-item
-  // failure (parse error, deadline) never fails the request.
+  // failure (parse error, unknown name, deadline) never fails the request.
+  Result<std::vector<Result<std::string>>> BatchInvariants(
+      const std::vector<InstanceRef>& refs, uint32_t budget_ms = 0);
   Result<std::vector<Result<std::string>>> BatchInvariants(
       const std::vector<std::string>& instance_texts, uint32_t budget_ms = 0);
 
   // EVAL_QUERY: evaluates a query-language sentence against an instance.
+  Result<bool> EvalQuery(const InstanceRef& ref, const std::string& query,
+                         uint32_t budget_ms = 0);
   Result<bool> EvalQuery(const std::string& instance_text,
-                         const std::string& query, uint32_t budget_ms = 0);
+                         const std::string& query, uint32_t budget_ms = 0) {
+    return EvalQuery(InstanceRef::Text(instance_text), query, budget_ms);
+  }
 
   // ISO_CHECK: Theorem 3.4 equivalence of two instances.
+  Result<bool> IsoCheck(const InstanceRef& ref_a, const InstanceRef& ref_b,
+                        uint32_t budget_ms = 0);
   Result<bool> IsoCheck(const std::string& instance_a,
                         const std::string& instance_b,
-                        uint32_t budget_ms = 0);
+                        uint32_t budget_ms = 0) {
+    return IsoCheck(InstanceRef::Text(instance_a),
+                    InstanceRef::Text(instance_b), budget_ms);
+  }
+
+  // LOAD: ingests instance text into the server's catalog under `name`
+  // (parse + build + canonicalize + persist server-side), returning the
+  // durable entry id and store-file size.
+  struct LoadResult {
+    uint64_t entry_id = 0;
+    uint64_t file_bytes = 0;
+  };
+  Result<LoadResult> Load(const std::string& name,
+                          const std::string& instance_text,
+                          uint32_t budget_ms = 0);
+
+  // LIST: every catalog entry, sorted by name.
+  Result<std::vector<CatalogEntryInfo>> List(uint32_t budget_ms = 0);
+
+  // DESCRIBE: stats for one catalog entry; NotFound for unknown names.
+  Result<InstanceDescription> Describe(const std::string& name,
+                                       uint32_t budget_ms = 0);
 
   // METRICS: the server registry's JSON export (topodb.metrics.v2).
   Result<std::string> Metrics(uint32_t budget_ms = 0);

@@ -1,18 +1,26 @@
 // Command-line client for the TopoDB server, used by CI's loopback smoke
-// stage and the README quickstart. Instances are named paper fixtures
-// serialized through the text format, so a shell can exercise every
-// opcode without authoring geometry.
+// stage and the README quickstart. Instance arguments are either named
+// paper fixtures (serialized through the text format and sent inline) or
+// `@name` references to the server's catalog, so a shell can exercise
+// every opcode — including the catalog ones — without authoring geometry.
 //
 // Usage:
 //   topodb_client --port N ping [budget_ms]
 //   topodb_client --port N metrics
-//   topodb_client --port N invariant <fixture>
-//   topodb_client --port N batch <fixture>...
-//   topodb_client --port N eval <fixture> <query> [budget_ms]
-//   topodb_client --port N iso <fixture> <fixture>
+//   topodb_client --port N invariant <instance>
+//   topodb_client --port N batch <instance>...
+//   topodb_client --port N eval <instance> <query> [budget_ms]
+//   topodb_client --port N iso <instance> <instance>
+//   topodb_client --port N load <name> <fixture>
+//   topodb_client --port N list
+//   topodb_client --port N describe <name>
 //
-// Fixtures: fig1a fig1b fig1c fig1d fig6 fig7a fig7a_prime fig7b
-//           fig7b_prime single nested disjoint
+// <instance> is a fixture name (fig1a fig1b fig1c fig1d fig6 fig7a
+// fig7a_prime fig7b fig7b_prime single nested disjoint) or @<catalog-name>.
+//
+// Exit codes follow ExitCodeForStatus (src/base/status.h): 0 success,
+// 2 InvalidArgument/usage, 4 NotFound, 8 DeadlineExceeded, 9 Unavailable,
+// ... — the CI loopback stage asserts them.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,31 +38,34 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: topodb_client --port N "
-      "(ping [budget_ms] | metrics | invariant <fixture> | "
-      "batch <fixture>... | eval <fixture> <query> [budget_ms] | "
-      "iso <fixture> <fixture>)\n");
+      "(ping [budget_ms] | metrics | invariant <instance> | "
+      "batch <instance>... | eval <instance> <query> [budget_ms] | "
+      "iso <instance> <instance> | load <name> <fixture> | list | "
+      "describe <name>)\n"
+      "<instance> is a fixture name or @<catalog-name>\n");
   return 2;
 }
 
-bool FixtureText(const std::string& name, std::string* text) {
-  topodb::SpatialInstance instance;
-  if (name == "fig1a") instance = topodb::Fig1aInstance();
-  else if (name == "fig1b") instance = topodb::Fig1bInstance();
-  else if (name == "fig1c") instance = topodb::Fig1cInstance();
-  else if (name == "fig1d") instance = topodb::Fig1dInstance();
-  else if (name == "fig6") instance = topodb::Fig6Instance();
-  else if (name == "fig7a") instance = topodb::Fig7aInstance();
-  else if (name == "fig7a_prime") instance = topodb::Fig7aPrimeInstance();
-  else if (name == "fig7b") instance = topodb::Fig7bInstance();
-  else if (name == "fig7b_prime") instance = topodb::Fig7bPrimeInstance();
-  else if (name == "single") instance = topodb::SingleRegionInstance();
-  else if (name == "nested") instance = topodb::NestedInstance();
-  else if (name == "disjoint") instance = topodb::DisjointPairInstance();
-  else {
-    std::fprintf(stderr, "topodb_client: unknown fixture %s\n", name.c_str());
+// Reports an error and converts it to the process exit code.
+int Fail(const topodb::Status& status) {
+  std::fprintf(stderr, "topodb_client: %s\n", status.ToString().c_str());
+  return topodb::ExitCodeForStatus(status);
+}
+
+// "fig1a" -> inline text ref; "@coast" -> catalog name ref.
+bool MakeInstanceRef(const std::string& arg, topodb::InstanceRef* ref,
+                     int* exit_code) {
+  if (!arg.empty() && arg[0] == '@') {
+    *ref = topodb::InstanceRef::Name(arg.substr(1));
+    return true;
+  }
+  topodb::Result<topodb::SpatialInstance> fixture =
+      topodb::FixtureByName(arg);
+  if (!fixture.ok()) {
+    *exit_code = Fail(fixture.status());
     return false;
   }
-  *text = topodb::WriteInstanceText(instance);
+  *ref = topodb::InstanceRef::Text(topodb::WriteInstanceText(*fixture));
   return true;
 }
 
@@ -81,44 +92,30 @@ int main(int argc, char** argv) {
   const std::string command = argv[i++];
 
   auto connected = topodb::TopoDbClient::Connect(port);
-  if (!connected.ok()) {
-    std::fprintf(stderr, "topodb_client: %s\n",
-                 connected.status().ToString().c_str());
-    return 1;
-  }
+  if (!connected.ok()) return Fail(connected.status());
   topodb::TopoDbClient client = *std::move(connected);
 
   if (command == "ping") {
     const uint32_t budget_ms = i < argc ? ParseBudgetMs(argv[i]) : 0;
     const topodb::Status st = client.Ping(budget_ms);
-    if (!st.ok()) {
-      std::fprintf(stderr, "topodb_client: %s\n", st.ToString().c_str());
-      return 1;
-    }
+    if (!st.ok()) return Fail(st);
     std::printf("PONG\n");
     return 0;
   }
 
   if (command == "metrics") {
     const auto json = client.Metrics();
-    if (!json.ok()) {
-      std::fprintf(stderr, "topodb_client: %s\n",
-                   json.status().ToString().c_str());
-      return 1;
-    }
+    if (!json.ok()) return Fail(json.status());
     std::printf("%s", json->c_str());
     return 0;
   }
 
   if (command == "invariant" && i < argc) {
-    std::string text;
-    if (!FixtureText(argv[i], &text)) return 2;
-    const auto canonical = client.ComputeInvariant(text);
-    if (!canonical.ok()) {
-      std::fprintf(stderr, "topodb_client: %s\n",
-                   canonical.status().ToString().c_str());
-      return 1;
-    }
+    topodb::InstanceRef ref;
+    int exit_code = 0;
+    if (!MakeInstanceRef(argv[i], &ref, &exit_code)) return exit_code;
+    const auto canonical = client.ComputeInvariant(ref);
+    if (!canonical.ok()) return Fail(canonical.status());
     std::printf("%s: canonical invariant, %zu bytes\n", argv[i],
                 canonical->size());
     return 0;
@@ -126,20 +123,19 @@ int main(int argc, char** argv) {
 
   if (command == "batch" && i < argc) {
     std::vector<std::string> names;
-    std::vector<std::string> texts;
+    std::vector<topodb::InstanceRef> refs;
     for (; i < argc; ++i) {
-      std::string text;
-      if (!FixtureText(argv[i], &text)) return 2;
+      topodb::InstanceRef ref;
+      int exit_code = 0;
+      if (!MakeInstanceRef(argv[i], &ref, &exit_code)) return exit_code;
       names.push_back(argv[i]);
-      texts.push_back(std::move(text));
+      refs.push_back(std::move(ref));
     }
-    const auto results = client.BatchInvariants(texts);
-    if (!results.ok()) {
-      std::fprintf(stderr, "topodb_client: %s\n",
-                   results.status().ToString().c_str());
-      return 1;
-    }
-    bool all_ok = true;
+    const auto results = client.BatchInvariants(refs);
+    if (!results.ok()) return Fail(results.status());
+    // The worst per-item status decides the exit code, so a batch with a
+    // failed item is distinguishable from an all-green one in shell.
+    int exit_code = 0;
     for (size_t j = 0; j < results->size(); ++j) {
       const auto& item = (*results)[j];
       if (item.ok()) {
@@ -148,39 +144,77 @@ int main(int argc, char** argv) {
       } else {
         std::printf("%s: %s\n", names[j].c_str(),
                     item.status().ToString().c_str());
-        all_ok = false;
+        exit_code = topodb::ExitCodeForStatus(item.status());
       }
     }
-    return all_ok ? 0 : 1;
+    return exit_code;
   }
 
   if (command == "eval" && i + 1 < argc) {
-    std::string text;
-    if (!FixtureText(argv[i], &text)) return 2;
+    topodb::InstanceRef ref;
+    int exit_code = 0;
+    if (!MakeInstanceRef(argv[i], &ref, &exit_code)) return exit_code;
     const std::string query = argv[i + 1];
     const uint32_t budget_ms = i + 2 < argc ? ParseBudgetMs(argv[i + 2]) : 0;
-    const auto verdict = client.EvalQuery(text, query, budget_ms);
-    if (!verdict.ok()) {
-      std::fprintf(stderr, "topodb_client: %s\n",
-                   verdict.status().ToString().c_str());
-      return 1;
-    }
+    const auto verdict = client.EvalQuery(ref, query, budget_ms);
+    if (!verdict.ok()) return Fail(verdict.status());
     std::printf("%s\n", *verdict ? "true" : "false");
     return 0;
   }
 
   if (command == "iso" && i + 1 < argc) {
-    std::string text_a, text_b;
-    if (!FixtureText(argv[i], &text_a) || !FixtureText(argv[i + 1], &text_b)) {
-      return 2;
+    topodb::InstanceRef ref_a, ref_b;
+    int exit_code = 0;
+    if (!MakeInstanceRef(argv[i], &ref_a, &exit_code) ||
+        !MakeInstanceRef(argv[i + 1], &ref_b, &exit_code)) {
+      return exit_code;
     }
-    const auto isomorphic = client.IsoCheck(text_a, text_b);
-    if (!isomorphic.ok()) {
-      std::fprintf(stderr, "topodb_client: %s\n",
-                   isomorphic.status().ToString().c_str());
-      return 1;
-    }
+    const auto isomorphic = client.IsoCheck(ref_a, ref_b);
+    if (!isomorphic.ok()) return Fail(isomorphic.status());
     std::printf("%s\n", *isomorphic ? "isomorphic" : "not isomorphic");
+    return 0;
+  }
+
+  if (command == "load" && i + 1 < argc) {
+    const std::string name = argv[i];
+    const auto fixture = topodb::FixtureByName(argv[i + 1]);
+    if (!fixture.ok()) return Fail(fixture.status());
+    const auto loaded =
+        client.Load(name, topodb::WriteInstanceText(*fixture));
+    if (!loaded.ok()) return Fail(loaded.status());
+    std::printf("loaded %s: entry %016llx, %llu bytes\n", name.c_str(),
+                static_cast<unsigned long long>(loaded->entry_id),
+                static_cast<unsigned long long>(loaded->file_bytes));
+    return 0;
+  }
+
+  if (command == "list") {
+    const auto entries = client.List();
+    if (!entries.ok()) return Fail(entries.status());
+    for (const auto& entry : *entries) {
+      std::printf("%s: entry %016llx, %llu bytes\n", entry.name.c_str(),
+                  static_cast<unsigned long long>(entry.entry_id),
+                  static_cast<unsigned long long>(entry.file_bytes));
+    }
+    std::printf("%zu instance(s)\n", entries->size());
+    return 0;
+  }
+
+  if (command == "describe" && i < argc) {
+    const auto description = client.Describe(argv[i]);
+    if (!description.ok()) return Fail(description.status());
+    std::printf(
+        "%s: entry %016llx, %llu bytes, %llu region(s), %llu vertices, "
+        "%llu edges, %llu faces, s-invariant %s, canonical %llu bytes\n",
+        description->name.c_str(),
+        static_cast<unsigned long long>(description->entry_id),
+        static_cast<unsigned long long>(description->file_bytes),
+        static_cast<unsigned long long>(description->num_regions),
+        static_cast<unsigned long long>(description->num_vertices),
+        static_cast<unsigned long long>(description->num_edges),
+        static_cast<unsigned long long>(description->num_faces),
+        description->has_s_invariant ? "yes" : "no",
+        static_cast<unsigned long long>(description->canonical_bytes));
     return 0;
   }
 

@@ -1,0 +1,63 @@
+#ifndef TOPODB_PIPELINE_ENGINE_CACHE_H_
+#define TOPODB_PIPELINE_ENGINE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <utility>
+
+#include "src/base/status.h"
+#include "src/query/eval.h"
+
+namespace topodb {
+
+// Caches built QueryEngines for catalog-backed instances, keyed by
+// (entry_id, store format_version). The entry id is the store file's
+// payload checksum, so any change to the persisted instance — a re-ingest
+// under the same name included — changes the key and the stale engine is
+// simply never hit again; the format version rides along so bytes decoded
+// under a different layout can never alias. Inline-text requests are
+// *not* cached here: their text has no durable identity, and hashing it
+// per request would just duplicate the parse cost the cache exists to
+// avoid.
+//
+// Engines are handed out as shared_ptr<const QueryEngine>; Evaluate is
+// const and internally synchronized, so one cached engine serves many
+// concurrent requests, and a Clear() cannot unmap an engine still in use.
+class EngineCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  EngineCache() = default;
+  EngineCache(const EngineCache&) = delete;
+  EngineCache& operator=(const EngineCache&) = delete;
+
+  // Returns the engine for the key, building it from `instance_text` on a
+  // miss. The build runs outside the cache lock (two concurrent misses on
+  // the same key may both build; the first insert wins and both callers
+  // get a usable engine — a duplicate build is cheaper than serializing
+  // every build behind one mutex).
+  Result<std::shared_ptr<const QueryEngine>> GetOrBuild(
+      uint64_t entry_id, uint32_t format_version,
+      std::string_view instance_text);
+
+  Stats stats() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  using Key = std::pair<uint64_t, uint32_t>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const QueryEngine>> engines_;
+  Stats stats_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_PIPELINE_ENGINE_CACHE_H_

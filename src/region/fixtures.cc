@@ -157,4 +157,51 @@ SpatialInstance DisjointPairInstance() {
   return instance;
 }
 
+namespace {
+
+struct NamedFixture {
+  const char* name;
+  SpatialInstance (*make)();
+};
+
+// Presentation order: the paper's figures first, then the degenerate and
+// disconnected helpers.
+constexpr NamedFixture kFixtures[] = {
+    {"fig1a", Fig1aInstance},
+    {"fig1b", Fig1bInstance},
+    {"fig1c", Fig1cInstance},
+    {"fig1d", Fig1dInstance},
+    {"fig6", Fig6Instance},
+    {"fig7a", Fig7aInstance},
+    {"fig7a_prime", Fig7aPrimeInstance},
+    {"fig7b", Fig7bInstance},
+    {"fig7b_prime", Fig7bPrimeInstance},
+    {"single", SingleRegionInstance},
+    {"nested", NestedInstance},
+    {"disjoint", DisjointPairInstance},
+};
+
+}  // namespace
+
+Result<SpatialInstance> FixtureByName(const std::string& name) {
+  for (const NamedFixture& fixture : kFixtures) {
+    if (name == fixture.name) return fixture.make();
+  }
+  std::string valid;
+  for (const NamedFixture& fixture : kFixtures) {
+    if (!valid.empty()) valid += ' ';
+    valid += fixture.name;
+  }
+  return Status::NotFound("unknown fixture '" + name + "' (valid: " + valid +
+                          ")");
+}
+
+std::vector<std::string> FixtureNames() {
+  std::vector<std::string> names;
+  for (const NamedFixture& fixture : kFixtures) {
+    names.emplace_back(fixture.name);
+  }
+  return names;
+}
+
 }  // namespace topodb

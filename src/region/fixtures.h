@@ -65,6 +65,14 @@ SpatialInstance NestedInstance();
 // Two disjoint regions side by side (disconnected skeleton, both in f0).
 SpatialInstance DisjointPairInstance();
 
+// CLI-facing fixture lookup shared by topodb_client and topodb_load:
+// "fig1a" ... "fig7b_prime", "single", "nested", "disjoint". NotFound for
+// unknown names (the message lists the valid ones).
+Result<SpatialInstance> FixtureByName(const std::string& name);
+
+// The valid FixtureByName names, in presentation order.
+std::vector<std::string> FixtureNames();
+
 }  // namespace topodb
 
 #endif  // TOPODB_REGION_FIXTURES_H_

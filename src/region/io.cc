@@ -116,6 +116,20 @@ Result<SpatialInstance> ParseInstanceText(const std::string& text) {
       if (!Rational::FromString(xs, &x) || !Rational::FromString(ys, &y)) {
         return LineError(line_no, "bad coordinate in '" + Snippet(pair) + "'");
       }
+      // Also cap the canonical (lowest-terms) form: WriteInstanceText
+      // emits it, and a long decimal literal can normalize to a fraction
+      // with nearly twice the digits ("0.00...01" gains a power-of-ten
+      // denominator). Without this check an accepted instance could
+      // serialize to a literal this very parser rejects, breaking the
+      // Write-then-Parse round trip.
+      if (x.ToString().size() > kMaxCoordinateChars ||
+          y.ToString().size() > kMaxCoordinateChars) {
+        return LineError(line_no,
+                         "coordinate value needs more than " +
+                             std::to_string(kMaxCoordinateChars) +
+                             " chars in canonical form: '" + Snippet(pair) +
+                             "'");
+      }
       vertices.push_back(Point(std::move(x), std::move(y)));
     }
     Polygon poly(std::move(vertices));

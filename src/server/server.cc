@@ -19,8 +19,10 @@
 #include "src/invariant/canonical.h"
 #include "src/obs/deadline.h"
 #include "src/pipeline/batch.h"
+#include "src/pipeline/engine_cache.h"
 #include "src/region/io.h"
 #include "src/server/wire.h"
+#include "src/store/catalog.h"
 
 namespace topodb {
 namespace {
@@ -95,6 +97,10 @@ struct TopoDbServer::Impl {
   // Canonical strings repeat across requests exactly as they do across
   // batch items; one shared cache serves the whole process lifetime.
   InvariantCache cache;
+  // Built QueryEngines for catalog-backed EVAL_QUERY requests, keyed by
+  // (entry id, store format version): the arrangement is built once per
+  // catalog entry, not once per request.
+  EngineCache engine_cache;
 
   int listen_fd = -1;
   uint16_t bound_port = 0;
@@ -476,6 +482,58 @@ struct TopoDbServer::Impl {
     return batch;
   }
 
+  Result<std::shared_ptr<const CatalogEntry>> FindCatalogEntry(
+      const std::string& name) {
+    // No catalog means no named instances: the same unified NotFound an
+    // absent name gets on a configured catalog, so clients see one error
+    // shape for "that name does not resolve" across every opcode.
+    if (options.catalog == nullptr) return UnknownInstanceError(name);
+    return options.catalog->Find(name);
+  }
+
+  // Resolves every ref to its canonical invariant string, positionally
+  // aligned and never aborting (per-item failures stay per-item, the
+  // batch contract). Catalog names are served from the precomputed
+  // section of the mapped store file; text refs run through the shared
+  // pipeline in one batch. Both paths produce the canonical form under
+  // default options, so a catalog hit is byte-identical to what the text
+  // path would have computed.
+  std::vector<Result<std::string>> ResolveCanonicals(
+      const std::vector<InstanceRef>& refs, const WorkItem& item) {
+    std::vector<Result<std::string>> out(
+        refs.size(), Result<std::string>(Status::Internal("unresolved")));
+    std::vector<SpatialInstance> parsed;
+    std::vector<size_t> parsed_index;
+    for (size_t i = 0; i < refs.size(); ++i) {
+      if (refs[i].kind == InstanceRef::Kind::kCatalogName) {
+        Result<std::shared_ptr<const CatalogEntry>> entry =
+            FindCatalogEntry(refs[i].value);
+        if (entry.ok()) {
+          out[i] = std::string((*entry)->view().canonical());
+        } else {
+          out[i] = entry.status();
+        }
+      } else {
+        Result<SpatialInstance> instance = ParseInstanceText(refs[i].value);
+        if (instance.ok()) {
+          parsed.push_back(std::move(instance).value());
+          parsed_index.push_back(i);
+        } else {
+          out[i] = instance.status();
+        }
+      }
+    }
+    auto results = BatchComputeInvariants(parsed, InvariantBatchOptions(item));
+    for (size_t j = 0; j < results.size(); ++j) {
+      if (results[j].ok()) {
+        out[parsed_index[j]] = results[j]->canonical();
+      } else {
+        out[parsed_index[j]] = results[j].status();
+      }
+    }
+    return out;
+  }
+
   Status HandleRequest(const WorkItem& item, std::string* body) {
     // A budget spent in the queue (or a drain cancellation) fails here,
     // before any parsing or geometry work starts.
@@ -493,15 +551,11 @@ struct TopoDbServer::Impl {
       }
 
       case Opcode::kComputeInvariant: {
-        TOPODB_ASSIGN_OR_RETURN(std::string text, reader.ReadWireString());
+        TOPODB_ASSIGN_OR_RETURN(InstanceRef ref, reader.ReadInstanceRef());
         TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
-        TOPODB_ASSIGN_OR_RETURN(SpatialInstance instance,
-                                ParseInstanceText(text));
-        auto results = BatchComputeInvariants(
-            std::span<const SpatialInstance>(&instance, 1),
-            InvariantBatchOptions(item));
+        auto results = ResolveCanonicals({std::move(ref)}, item);
         TOPODB_RETURN_NOT_OK(results[0].status());
-        AppendWireString(body, results[0]->canonical());
+        AppendWireString(body, *results[0]);
         return Status::OK();
       }
 
@@ -512,77 +566,119 @@ struct TopoDbServer::Impl {
               "batch of " + std::to_string(n) + " items exceeds the " +
               std::to_string(options.max_batch_items) + "-item request cap");
         }
-        std::vector<std::string> texts;
-        texts.reserve(n);
+        std::vector<InstanceRef> refs;
+        refs.reserve(n);
         for (uint32_t i = 0; i < n; ++i) {
-          TOPODB_ASSIGN_OR_RETURN(std::string text, reader.ReadWireString());
-          texts.push_back(std::move(text));
+          TOPODB_ASSIGN_OR_RETURN(InstanceRef ref, reader.ReadInstanceRef());
+          refs.push_back(std::move(ref));
         }
         TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
-        // Parse failures are per-item results, not request failures —
-        // mirroring the batch pipeline's "never abort the batch" contract.
-        std::vector<Status> item_status(n);
-        std::vector<SpatialInstance> parsed;
-        std::vector<uint32_t> parsed_index;
-        for (uint32_t i = 0; i < n; ++i) {
-          Result<SpatialInstance> instance = ParseInstanceText(texts[i]);
-          if (instance.ok()) {
-            parsed.push_back(std::move(instance).value());
-            parsed_index.push_back(i);
-          } else {
-            item_status[i] = instance.status();
-          }
-        }
-        auto results =
-            BatchComputeInvariants(parsed, InvariantBatchOptions(item));
-        std::vector<std::string> canonical(n);
-        for (size_t j = 0; j < results.size(); ++j) {
-          if (results[j].ok()) {
-            canonical[parsed_index[j]] = results[j]->canonical();
-          } else {
-            item_status[parsed_index[j]] = results[j].status();
-          }
-        }
+        // Parse failures and unknown names are per-item results, not
+        // request failures — mirroring the batch pipeline's "never abort
+        // the batch" contract.
+        auto results = ResolveCanonicals(refs, item);
         AppendU32(body, n);
         for (uint32_t i = 0; i < n; ++i) {
-          AppendU32(body, WireStatusFromCode(item_status[i].code()));
-          AppendWireString(body, item_status[i].ok()
-                                     ? canonical[i]
-                                     : item_status[i].message());
+          const Status item_status = results[i].status();
+          AppendU32(body, WireStatusFromCode(item_status.code()));
+          AppendWireString(body, item_status.ok() ? *results[i]
+                                                  : item_status.message());
         }
         return Status::OK();
       }
 
       case Opcode::kEvalQuery: {
-        TOPODB_ASSIGN_OR_RETURN(std::string text, reader.ReadWireString());
+        TOPODB_ASSIGN_OR_RETURN(InstanceRef ref, reader.ReadInstanceRef());
         TOPODB_ASSIGN_OR_RETURN(std::string query, reader.ReadWireString());
         TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
-        TOPODB_ASSIGN_OR_RETURN(SpatialInstance instance,
-                                ParseInstanceText(text));
-        TOPODB_RETURN_NOT_OK(stop.Check());
-        TOPODB_ASSIGN_OR_RETURN(QueryEngine engine,
-                                QueryEngine::Build(instance));
         EvalOptions eval = options.eval;
         eval.deadline = item.deadline;
         eval.cancel = &drain_cancel;
         eval.metrics = registry;
+        if (ref.kind == InstanceRef::Kind::kCatalogName) {
+          TOPODB_ASSIGN_OR_RETURN(std::shared_ptr<const CatalogEntry> entry,
+                                  FindCatalogEntry(ref.value));
+          TOPODB_RETURN_NOT_OK(stop.Check());
+          TOPODB_ASSIGN_OR_RETURN(
+              std::shared_ptr<const QueryEngine> engine,
+              engine_cache.GetOrBuild(entry->entry_id(),
+                                      entry->view().format_version(),
+                                      entry->view().instance_text()));
+          TOPODB_ASSIGN_OR_RETURN(bool verdict,
+                                  engine->Evaluate(query, eval));
+          AppendU8(body, verdict ? 1 : 0);
+          return Status::OK();
+        }
+        TOPODB_ASSIGN_OR_RETURN(SpatialInstance instance,
+                                ParseInstanceText(ref.value));
+        TOPODB_RETURN_NOT_OK(stop.Check());
+        TOPODB_ASSIGN_OR_RETURN(QueryEngine engine,
+                                QueryEngine::Build(instance));
         TOPODB_ASSIGN_OR_RETURN(bool verdict, engine.Evaluate(query, eval));
         AppendU8(body, verdict ? 1 : 0);
         return Status::OK();
       }
 
       case Opcode::kIsoCheck: {
-        TOPODB_ASSIGN_OR_RETURN(std::string text_a, reader.ReadWireString());
-        TOPODB_ASSIGN_OR_RETURN(std::string text_b, reader.ReadWireString());
+        TOPODB_ASSIGN_OR_RETURN(InstanceRef ref_a, reader.ReadInstanceRef());
+        TOPODB_ASSIGN_OR_RETURN(InstanceRef ref_b, reader.ReadInstanceRef());
         TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
-        std::vector<SpatialInstance> instances(2);
-        TOPODB_ASSIGN_OR_RETURN(instances[0], ParseInstanceText(text_a));
-        TOPODB_ASSIGN_OR_RETURN(instances[1], ParseInstanceText(text_b));
+        // Theorem 3.4 equivalence is canonical-string equality, so a
+        // catalog ref's precomputed canonical and a text ref's freshly
+        // computed one compare on equal footing.
         auto results =
-            BatchComputeInvariants(instances, InvariantBatchOptions(item));
+            ResolveCanonicals({std::move(ref_a), std::move(ref_b)}, item);
         TOPODB_RETURN_NOT_OK(results[0].status());
         TOPODB_RETURN_NOT_OK(results[1].status());
-        AppendU8(body, results[0]->EquivalentTo(*results[1]) ? 1 : 0);
+        AppendU8(body, *results[0] == *results[1] ? 1 : 0);
+        return Status::OK();
+      }
+
+      case Opcode::kLoad: {
+        TOPODB_ASSIGN_OR_RETURN(std::string name, reader.ReadWireString());
+        TOPODB_ASSIGN_OR_RETURN(std::string text, reader.ReadWireString());
+        TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+        if (options.catalog == nullptr) {
+          return Status::Unsupported(
+              "no catalog configured (start the server with --catalog)");
+        }
+        TOPODB_ASSIGN_OR_RETURN(
+            std::shared_ptr<const CatalogEntry> entry,
+            options.catalog->Ingest(name, text, stop));
+        AppendU64(body, entry->entry_id());
+        AppendU64(body, entry->file_bytes());
+        return Status::OK();
+      }
+
+      case Opcode::kList: {
+        TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+        std::vector<CatalogListing> listings;
+        if (options.catalog != nullptr) listings = options.catalog->List();
+        AppendU32(body, static_cast<uint32_t>(listings.size()));
+        for (const CatalogListing& listing : listings) {
+          AppendWireString(body, listing.name);
+          AppendU64(body, listing.entry_id);
+          AppendU64(body, listing.file_bytes);
+        }
+        return Status::OK();
+      }
+
+      case Opcode::kDescribe: {
+        TOPODB_ASSIGN_OR_RETURN(std::string name, reader.ReadWireString());
+        TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+        TOPODB_ASSIGN_OR_RETURN(std::shared_ptr<const CatalogEntry> entry,
+                                FindCatalogEntry(name));
+        const StoreFileView& view = entry->view();
+        const StoreStats stats = view.stats();
+        AppendWireString(body, std::string(view.name()));
+        AppendU64(body, entry->entry_id());
+        AppendU64(body, entry->file_bytes());
+        AppendU64(body, stats.num_regions);
+        AppendU64(body, stats.num_vertices);
+        AppendU64(body, stats.num_edges);
+        AppendU64(body, stats.num_faces);
+        AppendU8(body, view.has_s_invariant() ? 1 : 0);
+        AppendU64(body, view.canonical().size());
         return Status::OK();
       }
     }

@@ -38,6 +38,7 @@
 #include "src/obs/metrics.h"
 #include "src/pipeline/invariant_cache.h"
 #include "src/query/eval.h"
+#include "src/store/catalog.h"
 
 namespace topodb {
 
@@ -69,6 +70,13 @@ struct ServerOptions {
   // write) and the METRICS opcode. nullptr = the server owns a private
   // registry, reachable via metrics().
   MetricsRegistry* metrics = nullptr;
+  // Optional instance catalog (src/store/catalog.h), non-owning; must
+  // outlive the server. With a catalog, LOAD/LIST/DESCRIBE are live and
+  // catalog-name InstanceRefs serve precomputed invariants straight from
+  // the mapped store files. Without one, LOAD is Unsupported, LIST is
+  // empty, and every name lookup is NotFound — the same unified error an
+  // absent name gets on a configured catalog.
+  Catalog* catalog = nullptr;
 };
 
 class TopoDbServer {

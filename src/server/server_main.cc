@@ -4,15 +4,24 @@
 // admitted request was answered before the process left.
 //
 // Usage: topodb_server [--port N] [--workers N] [--queue N] [--drain-ms N]
+//                      [--catalog DIR]
+//
+// With --catalog, the instance catalog under DIR is opened (corrupt files
+// skipped with a stderr report) before binding the port, so the LOAD /
+// LIST / DESCRIBE opcodes and catalog-name instance refs are live from
+// the first accepted connection.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "src/obs/metrics.h"
 #include "src/server/server.h"
+#include "src/store/catalog.h"
 
 namespace {
 
@@ -35,6 +44,7 @@ long ParseLongOrDie(const char* flag, const char* value) {
 
 int main(int argc, char** argv) {
   topodb::ServerOptions options;
+  std::string catalog_dir;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -48,12 +58,41 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--drain-ms") == 0 && has_value) {
       options.drain_timeout =
           std::chrono::milliseconds(ParseLongOrDie(arg, argv[++i]));
+    } else if (std::strcmp(arg, "--catalog") == 0 && has_value) {
+      catalog_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: topodb_server [--port N] [--workers N] "
-                   "[--queue N] [--drain-ms N]\n");
+                   "[--queue N] [--drain-ms N] [--catalog DIR]\n");
       return 2;
     }
+  }
+
+  // One registry shared by the serving stages and the catalog, so the
+  // METRICS opcode exports catalog hit/miss/ingest counters alongside the
+  // request-path metrics.
+  topodb::MetricsRegistry registry;
+  options.metrics = &registry;
+
+  std::unique_ptr<topodb::Catalog> catalog;
+  if (!catalog_dir.empty()) {
+    topodb::CatalogOptions catalog_options;
+    catalog_options.directory = catalog_dir;
+    catalog_options.metrics = &registry;
+    topodb::CatalogScanReport report;
+    auto opened = topodb::Catalog::Open(catalog_options, &report);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "topodb_server: catalog: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    catalog = std::move(opened).value();
+    options.catalog = catalog.get();
+    std::printf(
+        "topodb_server catalog %s: %zu loaded, %zu corrupt skipped, "
+        "%zu stray tmp removed\n",
+        catalog_dir.c_str(), report.loaded, report.skipped_corrupt,
+        report.removed_tmp);
   }
 
   topodb::TopoDbServer server(options);

@@ -24,6 +24,9 @@ bool IsKnownOpcode(uint16_t raw) {
     case Opcode::kEvalQuery:
     case Opcode::kIsoCheck:
     case Opcode::kMetrics:
+    case Opcode::kLoad:
+    case Opcode::kList:
+    case Opcode::kDescribe:
       return true;
   }
   return false;
@@ -39,6 +42,9 @@ std::string OpcodeName(uint16_t raw) {
     case Opcode::kEvalQuery: name = "EVAL_QUERY"; break;
     case Opcode::kIsoCheck: name = "ISO_CHECK"; break;
     case Opcode::kMetrics: name = "METRICS"; break;
+    case Opcode::kLoad: name = "LOAD"; break;
+    case Opcode::kList: name = "LIST"; break;
+    case Opcode::kDescribe: name = "DESCRIBE"; break;
     default: name = "?"; break;
   }
   return response ? name + "_RESPONSE" : name;
@@ -63,6 +69,11 @@ void AppendU64(std::string* out, uint64_t v) {
 void AppendWireString(std::string* out, std::string_view s) {
   AppendU32(out, static_cast<uint32_t>(s.size()));
   out->append(s);
+}
+
+void AppendInstanceRef(std::string* out, const InstanceRef& ref) {
+  AppendU8(out, static_cast<uint8_t>(ref.kind));
+  AppendWireString(out, ref.value);
 }
 
 Result<uint8_t> WireReader::ReadU8() {
@@ -109,6 +120,16 @@ Result<std::string> WireReader::ReadWireString() {
   std::string s(data_.substr(pos_, len));
   pos_ += len;
   return s;
+}
+
+Result<InstanceRef> WireReader::ReadInstanceRef() {
+  TOPODB_ASSIGN_OR_RETURN(uint8_t kind, ReadU8());
+  if (kind > static_cast<uint8_t>(InstanceRef::Kind::kCatalogName)) {
+    return Status::InvalidArgument("unknown instance-ref kind " +
+                                   std::to_string(kind));
+  }
+  TOPODB_ASSIGN_OR_RETURN(std::string value, ReadWireString());
+  return InstanceRef{static_cast<InstanceRef::Kind>(kind), std::move(value)};
 }
 
 Status WireReader::ExpectEnd() const {
@@ -174,6 +195,7 @@ uint32_t WireStatusFromCode(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return 7;
     case StatusCode::kUnavailable: return 8;
     case StatusCode::kInternal: return 9;
+    case StatusCode::kDataLoss: return 10;
   }
   return 9;
 }
@@ -189,6 +211,7 @@ StatusCode CodeFromWireStatus(uint32_t wire) {
     case 6: return StatusCode::kParseError;
     case 7: return StatusCode::kDeadlineExceeded;
     case 8: return StatusCode::kUnavailable;
+    case 10: return StatusCode::kDataLoss;
     default: return StatusCode::kInternal;
   }
 }

@@ -9,7 +9,7 @@
 // `payload_len` payload bytes:
 //
 //   offset  0  u32  magic               "TPDB" (0x42445054)
-//   offset  4  u16  version             kWireVersion (= 1)
+//   offset  4  u16  version             kWireVersion (= 2)
 //   offset  6  u16  opcode              request opcode; responses set
 //                                       kWireResponseBit on top of it
 //   offset  8  u64  request_id          client-chosen; echoed verbatim in
@@ -37,7 +37,11 @@
 namespace topodb {
 
 inline constexpr uint32_t kWireMagic = 0x42445054;  // "TPDB" as LE bytes.
-inline constexpr uint16_t kWireVersion = 1;
+// v2: instance arguments of COMPUTE_INVARIANT / BATCH_INVARIANTS /
+// EVAL_QUERY / ISO_CHECK are tagged InstanceRefs (inline text or catalog
+// name) instead of bare strings, and the catalog opcodes LOAD / LIST /
+// DESCRIBE exist.
+inline constexpr uint16_t kWireVersion = 2;
 inline constexpr size_t kWireHeaderBytes = 24;
 // Hard cap on a single frame's payload; a header announcing more is a
 // protocol error and closes the connection (a corrupted length must not
@@ -49,17 +53,45 @@ inline constexpr uint16_t kWireResponseBit = 0x80;
 // Request opcodes. Values are wire-stable: never renumber, only append.
 enum class Opcode : uint16_t {
   kPing = 1,              // empty payload -> empty body
-  kComputeInvariant = 2,  // string instance_text -> string canonical
-  kBatchInvariants = 3,   // u32 n, n instance strings ->
+  kComputeInvariant = 2,  // instance ref -> string canonical
+  kBatchInvariants = 3,   // u32 n, n instance refs ->
                           //   u32 n, n * (u32 status, string canonical|msg)
-  kEvalQuery = 4,         // string instance_text, string query -> u8 verdict
-  kIsoCheck = 5,          // string instance_a, string instance_b -> u8 iso
+  kEvalQuery = 4,         // instance ref, string query -> u8 verdict
+  kIsoCheck = 5,          // instance ref a, instance ref b -> u8 iso
   kMetrics = 6,           // empty payload -> string metrics JSON
+  kLoad = 7,              // string name, string instance_text ->
+                          //   u64 entry_id, u64 file_bytes
+  kList = 8,              // empty payload -> u32 n, n * (string name,
+                          //   u64 entry_id, u64 file_bytes)
+  kDescribe = 9,          // string name -> description (see
+                          //   InstanceDescription in client.h)
 };
 
 bool IsKnownOpcode(uint16_t raw);
 // "PING", "COMPUTE_INVARIANT", ... ("?" for unknown raw values).
 std::string OpcodeName(uint16_t raw);
+
+// An instance argument on the wire: either the instance text itself
+// (parsed and built per request, the pre-catalog behavior) or the name of
+// a catalog entry whose precomputed invariants the server serves without
+// rebuilding anything. Encoded as a kind byte followed by one wire string;
+// unknown kind bytes are an InvalidArgument at decode, so a newer client
+// cannot make an older server misread text as a name.
+struct InstanceRef {
+  enum class Kind : uint8_t { kInlineText = 0, kCatalogName = 1 };
+
+  Kind kind = Kind::kInlineText;
+  std::string value;
+
+  static InstanceRef Text(std::string text) {
+    return {Kind::kInlineText, std::move(text)};
+  }
+  static InstanceRef Name(std::string name) {
+    return {Kind::kCatalogName, std::move(name)};
+  }
+};
+
+void AppendInstanceRef(std::string* out, const InstanceRef& ref);
 
 struct FrameHeader {
   uint16_t version = kWireVersion;
@@ -89,6 +121,7 @@ class WireReader {
   Result<uint32_t> ReadU32();
   Result<uint64_t> ReadU64();
   Result<std::string> ReadWireString();
+  Result<InstanceRef> ReadInstanceRef();
 
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }

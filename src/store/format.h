@@ -1,0 +1,151 @@
+#ifndef TOPODB_STORE_FORMAT_H_
+#define TOPODB_STORE_FORMAT_H_
+
+// The TopoDB store-file format: one named spatial instance together with
+// everything ingest precomputed for it (normalized instance text,
+// canonical invariant string, optional S-invariant, the flat topological
+// invariant, thematic relations), serialized as a single flat byte blob
+// that a server memory-maps read-only at startup and serves without any
+// per-request parsing or arrangement rebuild.
+//
+// Layout (all integers little-endian):
+//
+//   offset  0  u32  magic           "TPDS" (0x53445054)
+//   offset  4  u32  format_version  kStoreFormatVersion (= 1)
+//   offset  8  u64  payload_len     bytes following the 32-byte header
+//   offset 16  u64  checksum        FNV-1a 64 over the payload bytes
+//   offset 24  u64  reserved        0
+//   offset 32  payload:
+//     u32 section_count
+//     section_count * { u32 kind, u32 reserved, u64 offset, u64 len }
+//     ... section bytes (offsets relative to payload start) ...
+//
+// Sections appear in ascending kind order; every section is optional on
+// read (readers probe by kind), and readers must skip unknown kinds so a
+// newer writer can append sections without a version bump. Changing the
+// meaning or encoding of an existing section IS a version bump: the
+// golden byte-layout test in tests/store_test.cc exists to make any
+// layout drift an explicit, reviewed change.
+//
+// Everything inside a section is either raw bytes (strings), fixed-width
+// little-endian arrays, or u32-length-prefixed strings — a mapped file is
+// readable in place with base-offset arithmetic only, no pointer fix-up.
+//
+// Validation contract: Parse() checks the magic, the version, that the
+// header-announced payload length matches the bytes actually present,
+// the payload checksum, and that every section lies inside the payload.
+// A corrupt or truncated file is a clean DataLoss error (an unknown
+// format version is Unsupported), never UB — the corrupt-store suite
+// drives every one of these paths under ASan/UBSan.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/invariant/data.h"
+#include "src/thematic/thematic.h"
+
+namespace topodb {
+
+inline constexpr uint32_t kStoreMagic = 0x53445054;  // "TPDS" as LE bytes.
+inline constexpr uint32_t kStoreFormatVersion = 1;
+inline constexpr size_t kStoreHeaderBytes = 32;
+
+// Section kinds. Values are format-stable: never renumber, only append.
+enum class StoreSection : uint32_t {
+  kName = 1,           // Catalog entry name, raw bytes.
+  kInstanceText = 2,   // WriteInstanceText output (the geometry source).
+  kCanonical = 3,      // Canonical invariant string (default options).
+  kSInvariant = 4,     // S-invariant canonical; absent unless rectilinear.
+  kInvariantData = 5,  // Flat InvariantData encoding (see format.cc).
+  kThematic = 6,       // Serialized thematic relations.
+  kStats = 7,          // Fixed u64 counts for LIST/DESCRIBE.
+};
+
+// The kStats section, also surfaced by DESCRIBE.
+struct StoreStats {
+  uint64_t num_regions = 0;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_faces = 0;
+};
+
+// Everything ingest precomputes for one named instance.
+struct StoredInstance {
+  std::string name;
+  std::string instance_text;
+  std::string canonical;
+  bool has_s_invariant = false;
+  std::string s_invariant;
+  InvariantData invariant;
+  ThematicInstance thematic;
+};
+
+// FNV-1a 64-bit digest — the payload checksum. Not cryptographic: it
+// detects truncation and bit rot, not tampering (the catalog directory is
+// trusted local state, same threat model as the data it stores).
+uint64_t Fnv1a64(std::string_view bytes);
+
+// Serializes header + payload. Deterministic: equal StoredInstances
+// produce byte-identical files (the golden-layout test relies on this).
+std::string EncodeStoreFile(const StoredInstance& in);
+
+// A validated, zero-copy view over store-file bytes (typically an mmap).
+// Holds offsets into the underlying buffer only; the buffer must outlive
+// the view (the catalog guarantees this by owning the mapping and the
+// view together — see catalog.h for the lifetime rules).
+class StoreFileView {
+ public:
+  // Validates header, length, checksum, and section bounds.
+  static Result<StoreFileView> Parse(std::string_view bytes);
+
+  // Stable content id of this entry: the payload checksum, so any change
+  // to any persisted byte (name, text, invariants) changes the id. Cache
+  // keys derived from an entry pair this with format_version().
+  uint64_t entry_id() const { return checksum_; }
+  uint32_t format_version() const { return format_version_; }
+
+  std::string_view name() const { return Section(StoreSection::kName); }
+  std::string_view instance_text() const {
+    return Section(StoreSection::kInstanceText);
+  }
+  std::string_view canonical() const {
+    return Section(StoreSection::kCanonical);
+  }
+  bool has_s_invariant() const {
+    return HasSection(StoreSection::kSInvariant);
+  }
+  std::string_view s_invariant() const {
+    return Section(StoreSection::kSInvariant);
+  }
+  StoreStats stats() const;
+
+  // Materializing decoders, used by EVAL-over-catalog serving and the
+  // round-trip tests. Both re-validate internal structure (index ranges,
+  // array extents) so a section that passed the checksum but encodes
+  // nonsense still fails cleanly.
+  Result<InvariantData> DecodeInvariantData() const;
+  Result<ThematicInstance> DecodeThematic() const;
+
+ private:
+  struct SectionSpan {
+    uint32_t kind = 0;
+    uint64_t offset = 0;  // Relative to payload start.
+    uint64_t len = 0;
+  };
+
+  bool HasSection(StoreSection kind) const;
+  // Empty view for absent sections.
+  std::string_view Section(StoreSection kind) const;
+
+  std::string_view bytes_;  // The whole file, header included.
+  uint32_t format_version_ = 0;
+  uint64_t checksum_ = 0;
+  std::vector<SectionSpan> sections_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_STORE_FORMAT_H_

@@ -163,6 +163,96 @@ TEST(IoTest, CoordinateLiteralAtTheLimitStillParses) {
   EXPECT_TRUE(ParseInstanceText(text).ok());
 }
 
+TEST(IoTest, CanonicalFormExceedingTheLimitIsRejected) {
+  // A 4096-char decimal literal is within the literal cap, but its
+  // lowest-terms fraction ("1/10^4095") is nearly twice as long. The
+  // parser must reject it up front — accepting it would make
+  // WriteInstanceText emit a literal ParseInstanceText itself refuses,
+  // breaking the round trip.
+  std::string tiny = "." + std::string(4094, '0') + "1";  // 4096 chars.
+  ASSERT_EQ(tiny.size(), 4096u);
+  const std::string text =
+      "A: (0 0, 1 0, 1 " + tiny + ", 0 " + tiny + ")\n";
+  const Result<SpatialInstance> instance = ParseInstanceText(text);
+  ASSERT_FALSE(instance.ok());
+  EXPECT_EQ(instance.status().code(), StatusCode::kParseError);
+  EXPECT_NE(instance.status().message().find("canonical form"),
+            std::string::npos)
+      << instance.status().ToString();
+}
+
+// Deterministic fuzz: random instances mixing integer, decimal, and
+// fraction literals (redundant forms included — "2/4", trailing zeros)
+// and names that stress the writer's formatting. The first Write output
+// must re-parse, and a second Write must reproduce it byte for byte.
+TEST(IoTest, RandomizedWriteParseRoundTripIsByteStable) {
+  uint64_t rng_state = 0x5eed5eed5eedull;
+  auto next = [&rng_state]() {
+    // SplitMix64: deterministic across platforms, no <random> variance.
+    uint64_t z = (rng_state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  // Awkward but valid names: spaces, parens, commas, internal '#',
+  // slashes, dots, dashes. (Colons, control chars, leading '#', and
+  // leading/trailing blanks are rejected by ValidateRegionName.)
+  const std::vector<std::string> kNames = {
+      "plain", "two words", "r(1)", "x,y", "w#2", "a/b", "dot.ted",
+      "-dash", "()", "q__",
+  };
+  // A literal for a value in [base, base + 1), in a random surface form.
+  auto literal = [&](int64_t base) -> std::string {
+    switch (next() % 4) {
+      case 0:  // Bare integer, sometimes with an explicit '+'.
+        return (base >= 0 && next() % 2 ? "+" : "") + std::to_string(base);
+      case 1: {  // Decimal with 1..6 digits, trailing zeros allowed.
+        const size_t digits = 1 + next() % 6;
+        std::string frac;
+        for (size_t i = 0; i < digits; ++i) {
+          frac.push_back(static_cast<char>('0' + next() % 10));
+        }
+        if (base < 0) {
+          // "-2.5" means -(2.5): emit the magnitude after the sign.
+          return "-" + std::to_string(-base - 1) + "." + frac;
+        }
+        return std::to_string(base) + "." + frac;
+      }
+      default: {  // Fraction (base*q + p)/q, not necessarily lowest terms.
+        const int64_t q = 2 + static_cast<int64_t>(next() % 98);
+        const int64_t p = static_cast<int64_t>(next() % q);
+        const int64_t scale = next() % 2 ? 1 : 2 + (next() % 9);
+        return std::to_string((base * q + p) * scale) + "/" +
+               std::to_string(q * scale);
+      }
+    }
+  };
+  for (int round = 0; round < 50; ++round) {
+    const size_t num_regions = 1 + next() % 4;
+    std::string text = "# fuzz round " + std::to_string(round) + "\n";
+    for (size_t r = 0; r < num_regions; ++r) {
+      // Disjoint axis-aligned rectangles with x0 < x1, y0 < y1 by
+      // construction; an offset keeps some coordinates negative.
+      const int64_t bx = 3 * static_cast<int64_t>(r) - 4;
+      const std::string x0 = literal(bx), x1 = literal(bx + 1);
+      const std::string y0 = literal(-2), y1 = literal(0);
+      text += kNames[(round + r) % kNames.size()] + ": (" + x0 + " " + y0 +
+              ", " + x1 + " " + y0 + ", " + x1 + " " + y1 + ", " + x0 +
+              " " + y1 + ")\n";
+    }
+    const Result<SpatialInstance> first = ParseInstanceText(text);
+    ASSERT_TRUE(first.ok()) << "round " << round << ": "
+                            << first.status().ToString() << "\n" << text;
+    const std::string written = WriteInstanceText(*first);
+    const Result<SpatialInstance> second = ParseInstanceText(written);
+    ASSERT_TRUE(second.ok()) << "round " << round << ": "
+                             << second.status().ToString() << "\n" << written;
+    EXPECT_EQ(second->size(), first->size()) << "round " << round;
+    EXPECT_EQ(WriteInstanceText(*second), written)
+        << "round " << round << " is not byte-stable";
+  }
+}
+
 TEST(IoTest, EmptyTextIsEmptyInstance) {
   Result<SpatialInstance> instance = ParseInstanceText("# nothing here\n");
   ASSERT_TRUE(instance.ok());

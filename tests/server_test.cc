@@ -410,6 +410,203 @@ TEST(ServerTest, GracefulDrainAnswersEverything) {
   EXPECT_GT(clean.load(), 0);
 }
 
+std::string TempCatalogDir() {
+  std::string tmpl = testing::TempDir() + "topodb_server_cat_XXXXXX";
+  EXPECT_NE(mkdtemp(tmpl.data()), nullptr);
+  return tmpl;
+}
+
+TEST(ServerTest, CatalogServingMatchesTheTextPathByteForByte) {
+  const std::string dir = TempCatalogDir();
+  MetricsRegistry metrics;  // Shared, as topodb_server --catalog wires it.
+  CatalogOptions catalog_options;
+  catalog_options.directory = dir;
+  catalog_options.metrics = &metrics;
+  auto catalog = Catalog::Open(catalog_options);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+
+  ServerOptions options;
+  options.catalog = catalog->get();
+  options.metrics = &metrics;
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+
+  const std::string text = WriteInstanceText(Fig1aInstance());
+  const auto loaded = client.Load("fig1a", text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NE(loaded->entry_id, 0u);
+  EXPECT_GT(loaded->file_bytes, 0u);
+
+  // LIST and DESCRIBE see the ingested entry.
+  const auto listing = client.List();
+  ASSERT_TRUE(listing.ok()) << listing.status().ToString();
+  ASSERT_EQ(listing->size(), 1u);
+  EXPECT_EQ((*listing)[0].name, "fig1a");
+  EXPECT_EQ((*listing)[0].entry_id, loaded->entry_id);
+  const auto described = client.Describe("fig1a");
+  ASSERT_TRUE(described.ok()) << described.status().ToString();
+  EXPECT_EQ(described->entry_id, loaded->entry_id);
+  EXPECT_EQ(described->num_regions, Fig1aInstance().size());
+  EXPECT_GT(described->num_faces, 0u);
+  EXPECT_GT(described->canonical_bytes, 0u);
+
+  // The acceptance bar: a catalog-name request returns byte-identical
+  // results to the inline-text request, for every opcode that takes a
+  // reference.
+  const auto by_name = client.ComputeInvariant(InstanceRef::Name("fig1a"));
+  const auto by_text = client.ComputeInvariant(text);
+  ASSERT_TRUE(by_name.ok()) << by_name.status().ToString();
+  ASSERT_TRUE(by_text.ok());
+  EXPECT_EQ(*by_name, *by_text);
+
+  const auto batch = client.BatchInvariants(std::vector<InstanceRef>{
+      InstanceRef::Name("fig1a"), InstanceRef::Text(text)});
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 2u);
+  ASSERT_TRUE((*batch)[0].ok() && (*batch)[1].ok());
+  EXPECT_EQ((*batch)[0].value(), (*batch)[1].value());
+
+  const auto eval_name =
+      client.EvalQuery(InstanceRef::Name("fig1a"), "connect(A, B)");
+  const auto eval_text = client.EvalQuery(text, "connect(A, B)");
+  ASSERT_TRUE(eval_name.ok()) << eval_name.status().ToString();
+  ASSERT_TRUE(eval_text.ok());
+  EXPECT_EQ(*eval_name, *eval_text);
+
+  const auto iso =
+      client.IsoCheck(InstanceRef::Name("fig1a"), InstanceRef::Text(text));
+  ASSERT_TRUE(iso.ok()) << iso.status().ToString();
+  EXPECT_TRUE(*iso);
+
+  // The catalog serving path shows up in the metrics export.
+  const auto json = client.Metrics();
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("catalog.hits"), std::string::npos);
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(ServerTest, UnknownCatalogNameIsUniformNotFoundAcrossOpcodes) {
+  const std::string dir = TempCatalogDir();
+  CatalogOptions catalog_options;
+  catalog_options.directory = dir;
+  auto catalog = Catalog::Open(catalog_options);
+  ASSERT_TRUE(catalog.ok());
+  ServerOptions options;
+  options.catalog = catalog->get();
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+
+  const std::string text = WriteInstanceText(Fig1aInstance());
+  const InstanceRef ghost = InstanceRef::Name("ghost");
+  auto expect_unknown = [](const Status& status) {
+    EXPECT_EQ(status.code(), StatusCode::kNotFound) << status.ToString();
+    EXPECT_NE(status.message().find("unknown instance 'ghost'"),
+              std::string::npos)
+        << status.ToString();
+  };
+  expect_unknown(client.ComputeInvariant(ghost).status());
+  expect_unknown(client.EvalQuery(ghost, "connect(A, B)").status());
+  expect_unknown(client.IsoCheck(ghost, InstanceRef::Text(text)).status());
+  expect_unknown(client.IsoCheck(InstanceRef::Text(text), ghost).status());
+  expect_unknown(client.Describe("ghost").status());
+  const auto batch = client.BatchInvariants(
+      std::vector<InstanceRef>{ghost, InstanceRef::Text(text)});
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 2u);
+  expect_unknown((*batch)[0].status());
+  EXPECT_TRUE((*batch)[1].ok());  // The healthy item still succeeds.
+}
+
+TEST(ServerTest, CatalogFreeServerUnifiesNameErrorsAndRefusesLoad) {
+  TopoDbServer server(ServerOptions{});  // No catalog configured.
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+
+  // Name lookups fail with the same NotFound shape as a configured-but-
+  // missing name, so clients need exactly one error path.
+  const auto compute = client.ComputeInvariant(InstanceRef::Name("ghost"));
+  ASSERT_FALSE(compute.ok());
+  EXPECT_EQ(compute.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(compute.status().message().find("unknown instance 'ghost'"),
+            std::string::npos);
+
+  const auto loaded = client.Load("x", WriteInstanceText(Fig1aInstance()));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnsupported);
+
+  const auto listing = client.List();
+  ASSERT_TRUE(listing.ok()) << listing.status().ToString();
+  EXPECT_TRUE(listing->empty());
+}
+
+TEST(ServerTest, RestartedServerServesTheCatalogWithoutReingest) {
+  const std::string dir = TempCatalogDir();
+  const std::string text = WriteInstanceText(Fig1aInstance());
+  uint64_t entry_id = 0;
+  std::string canonical;
+  {
+    CatalogOptions catalog_options;
+    catalog_options.directory = dir;
+    auto catalog = Catalog::Open(catalog_options);
+    ASSERT_TRUE(catalog.ok());
+    ServerOptions options;
+    options.catalog = catalog->get();
+    TopoDbServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    TopoDbClient client = ConnectOrDie(server);
+    const auto loaded = client.Load("persist", text);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    entry_id = loaded->entry_id;
+    const auto canon = client.ComputeInvariant(InstanceRef::Name("persist"));
+    ASSERT_TRUE(canon.ok());
+    canonical = *canon;
+    ASSERT_TRUE(server.Shutdown().ok());
+  }
+  // A brand-new catalog + server against the same directory: the entry is
+  // served from the mapped store file, no LOAD needed, same bytes.
+  CatalogOptions catalog_options;
+  catalog_options.directory = dir;
+  auto catalog = Catalog::Open(catalog_options);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  ServerOptions options;
+  options.catalog = catalog->get();
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+  const auto described = client.Describe("persist");
+  ASSERT_TRUE(described.ok()) << described.status().ToString();
+  EXPECT_EQ(described->entry_id, entry_id);
+  const auto canon = client.ComputeInvariant(InstanceRef::Name("persist"));
+  ASSERT_TRUE(canon.ok());
+  EXPECT_EQ(*canon, canonical);
+  const auto by_text = client.ComputeInvariant(text);
+  ASSERT_TRUE(by_text.ok());
+  EXPECT_EQ(*canon, *by_text);
+}
+
+TEST(ServerTest, LoadValidatesNamesAndTextOverTheWire) {
+  const std::string dir = TempCatalogDir();
+  CatalogOptions catalog_options;
+  catalog_options.directory = dir;
+  auto catalog = Catalog::Open(catalog_options);
+  ASSERT_TRUE(catalog.ok());
+  ServerOptions options;
+  options.catalog = catalog->get();
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+
+  EXPECT_EQ(client.Load("a/b", "A: (0 0, 1 0, 1 1)\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.Load("ok", "garbage").status().code(),
+            StatusCode::kParseError);
+  const auto listing = client.List();
+  ASSERT_TRUE(listing.ok());
+  EXPECT_TRUE(listing->empty());  // Nothing was persisted.
+}
+
 TEST(ServerTest, ShutdownIsIdempotentAndStartValidatesOptions) {
   TopoDbServer server(ServerOptions{});
   ASSERT_TRUE(server.Start().ok());

@@ -32,6 +32,27 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
             StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, DataLossRendersItsName) {
+  EXPECT_EQ(Status::DataLoss("bad store").ToString(), "DataLoss: bad store");
+}
+
+TEST(StatusTest, ExitCodesAreAStableContract) {
+  // ci/run_ci.sh asserts these exact values against the CLI binaries; a
+  // change here is a break for every script matching on $?.
+  EXPECT_EQ(ExitCodeForStatus(Status::OK()), 0);
+  EXPECT_EQ(ExitCodeForStatus(Status::InvalidArgument("x")), 2);
+  EXPECT_EQ(ExitCodeForStatus(Status::InvalidInstance("x")), 3);
+  EXPECT_EQ(ExitCodeForStatus(Status::NotFound("x")), 4);
+  EXPECT_EQ(ExitCodeForStatus(Status::Unsupported("x")), 5);
+  EXPECT_EQ(ExitCodeForStatus(Status::ResourceExhausted("x")), 6);
+  EXPECT_EQ(ExitCodeForStatus(Status::ParseError("x")), 7);
+  EXPECT_EQ(ExitCodeForStatus(Status::DeadlineExceeded("x")), 8);
+  EXPECT_EQ(ExitCodeForStatus(Status::Unavailable("x")), 9);
+  EXPECT_EQ(ExitCodeForStatus(Status::Internal("x")), 10);
+  EXPECT_EQ(ExitCodeForStatus(Status::DataLoss("x")), 11);
 }
 
 TEST(StatusTest, DeadlineExceededRendersItsName) {

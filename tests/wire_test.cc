@@ -21,8 +21,8 @@ std::string Bytes(std::initializer_list<int> bytes) {
   return out;
 }
 
-// The shared 4-byte magic + version prefix of every frame.
-std::string MagicV1() { return Bytes({0x54, 0x50, 0x44, 0x42, 0x01, 0x00}); }
+// The shared 4-byte magic + version prefix of every frame (wire v2).
+std::string MagicV2() { return Bytes({0x54, 0x50, 0x44, 0x42, 0x02, 0x00}); }
 
 TEST(WireGoldenTest, PingRequestFrame) {
   FrameHeader header;
@@ -30,7 +30,7 @@ TEST(WireGoldenTest, PingRequestFrame) {
   header.request_id = 7;
   header.deadline_budget_ms = 250;
   const std::string expected =
-      MagicV1() + Bytes({0x01, 0x00,                                // opcode
+      MagicV2() + Bytes({0x01, 0x00,                                // opcode
                          0x07, 0, 0, 0, 0, 0, 0, 0,                // id
                          0xfa, 0x00, 0x00, 0x00,                   // budget
                          0x00, 0x00, 0x00, 0x00});                 // len
@@ -42,12 +42,13 @@ TEST(WireGoldenTest, ComputeInvariantRequestFrame) {
   header.opcode = static_cast<uint16_t>(Opcode::kComputeInvariant);
   header.request_id = 0x0102030405060708ull;
   std::string payload;
-  AppendWireString(&payload, "hi");
+  AppendInstanceRef(&payload, InstanceRef::Text("hi"));
   const std::string expected =
-      MagicV1() + Bytes({0x02, 0x00,                                // opcode
+      MagicV2() + Bytes({0x02, 0x00,                                // opcode
                          0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
                          0x00, 0x00, 0x00, 0x00,                   // budget
-                         0x06, 0x00, 0x00, 0x00,                   // len
+                         0x07, 0x00, 0x00, 0x00,                   // len
+                         0x00,  // ref kind: inline text
                          0x02, 0x00, 0x00, 0x00, 'h', 'i'});
   EXPECT_EQ(EncodeFrame(header, payload), expected);
 }
@@ -58,16 +59,16 @@ TEST(WireGoldenTest, BatchInvariantsRequestFrame) {
   header.request_id = 2;
   std::string payload;
   AppendU32(&payload, 2);
-  AppendWireString(&payload, "a");
-  AppendWireString(&payload, "bc");
+  AppendInstanceRef(&payload, InstanceRef::Text("a"));
+  AppendInstanceRef(&payload, InstanceRef::Name("bc"));
   const std::string expected =
-      MagicV1() + Bytes({0x03, 0x00,
+      MagicV2() + Bytes({0x03, 0x00,
                          0x02, 0, 0, 0, 0, 0, 0, 0,
                          0x00, 0x00, 0x00, 0x00,
-                         0x0f, 0x00, 0x00, 0x00,  // 4 + 5 + 6 payload bytes
+                         0x11, 0x00, 0x00, 0x00,  // 4 + 6 + 7 payload bytes
                          0x02, 0x00, 0x00, 0x00,                   // count
-                         0x01, 0x00, 0x00, 0x00, 'a',
-                         0x02, 0x00, 0x00, 0x00, 'b', 'c'});
+                         0x00, 0x01, 0x00, 0x00, 0x00, 'a',        // text ref
+                         0x01, 0x02, 0x00, 0x00, 0x00, 'b', 'c'}); // name ref
   EXPECT_EQ(EncodeFrame(header, payload), expected);
 }
 
@@ -77,14 +78,14 @@ TEST(WireGoldenTest, EvalQueryRequestFrame) {
   header.request_id = 3;
   header.deadline_budget_ms = 1;
   std::string payload;
-  AppendWireString(&payload, "I");
+  AppendInstanceRef(&payload, InstanceRef::Text("I"));
   AppendWireString(&payload, "Q");
   const std::string expected =
-      MagicV1() + Bytes({0x04, 0x00,
+      MagicV2() + Bytes({0x04, 0x00,
                          0x03, 0, 0, 0, 0, 0, 0, 0,
                          0x01, 0x00, 0x00, 0x00,
-                         0x0a, 0x00, 0x00, 0x00,
-                         0x01, 0x00, 0x00, 0x00, 'I',
+                         0x0b, 0x00, 0x00, 0x00,
+                         0x00, 0x01, 0x00, 0x00, 0x00, 'I',
                          0x01, 0x00, 0x00, 0x00, 'Q'});
   EXPECT_EQ(EncodeFrame(header, payload), expected);
 }
@@ -94,15 +95,15 @@ TEST(WireGoldenTest, IsoCheckRequestFrame) {
   header.opcode = static_cast<uint16_t>(Opcode::kIsoCheck);
   header.request_id = 4;
   std::string payload;
-  AppendWireString(&payload, "A");
-  AppendWireString(&payload, "B");
+  AppendInstanceRef(&payload, InstanceRef::Text("A"));
+  AppendInstanceRef(&payload, InstanceRef::Name("B"));
   const std::string expected =
-      MagicV1() + Bytes({0x05, 0x00,
+      MagicV2() + Bytes({0x05, 0x00,
                          0x04, 0, 0, 0, 0, 0, 0, 0,
                          0x00, 0x00, 0x00, 0x00,
-                         0x0a, 0x00, 0x00, 0x00,
-                         0x01, 0x00, 0x00, 0x00, 'A',
-                         0x01, 0x00, 0x00, 0x00, 'B'});
+                         0x0c, 0x00, 0x00, 0x00,
+                         0x00, 0x01, 0x00, 0x00, 0x00, 'A',
+                         0x01, 0x01, 0x00, 0x00, 0x00, 'B'});
   EXPECT_EQ(EncodeFrame(header, payload), expected);
 }
 
@@ -111,11 +112,57 @@ TEST(WireGoldenTest, MetricsRequestFrame) {
   header.opcode = static_cast<uint16_t>(Opcode::kMetrics);
   header.request_id = 5;
   const std::string expected =
-      MagicV1() + Bytes({0x06, 0x00,
+      MagicV2() + Bytes({0x06, 0x00,
                          0x05, 0, 0, 0, 0, 0, 0, 0,
                          0x00, 0x00, 0x00, 0x00,
                          0x00, 0x00, 0x00, 0x00});
   EXPECT_EQ(EncodeFrame(header, ""), expected);
+}
+
+TEST(WireGoldenTest, LoadRequestFrame) {
+  FrameHeader header;
+  header.opcode = static_cast<uint16_t>(Opcode::kLoad);
+  header.request_id = 6;
+  std::string payload;
+  AppendWireString(&payload, "n");
+  AppendWireString(&payload, "a: (0 0, 1 0, 1 1)");
+  const std::string expected =
+      MagicV2() + Bytes({0x07, 0x00,
+                         0x06, 0, 0, 0, 0, 0, 0, 0,
+                         0x00, 0x00, 0x00, 0x00,
+                         0x1b, 0x00, 0x00, 0x00,  // 5 + 22 payload bytes
+                         0x01, 0x00, 0x00, 0x00, 'n',
+                         0x12, 0x00, 0x00, 0x00,
+                         'a', ':', ' ', '(', '0', ' ', '0', ',', ' ',
+                         '1', ' ', '0', ',', ' ', '1', ' ', '1', ')'});
+  EXPECT_EQ(EncodeFrame(header, payload), expected);
+}
+
+TEST(WireGoldenTest, ListRequestFrame) {
+  FrameHeader header;
+  header.opcode = static_cast<uint16_t>(Opcode::kList);
+  header.request_id = 8;
+  const std::string expected =
+      MagicV2() + Bytes({0x08, 0x00,
+                         0x08, 0, 0, 0, 0, 0, 0, 0,
+                         0x00, 0x00, 0x00, 0x00,
+                         0x00, 0x00, 0x00, 0x00});
+  EXPECT_EQ(EncodeFrame(header, ""), expected);
+}
+
+TEST(WireGoldenTest, DescribeRequestFrame) {
+  FrameHeader header;
+  header.opcode = static_cast<uint16_t>(Opcode::kDescribe);
+  header.request_id = 9;
+  std::string payload;
+  AppendWireString(&payload, "fig6");
+  const std::string expected =
+      MagicV2() + Bytes({0x09, 0x00,
+                         0x09, 0, 0, 0, 0, 0, 0, 0,
+                         0x00, 0x00, 0x00, 0x00,
+                         0x08, 0x00, 0x00, 0x00,
+                         0x04, 0x00, 0x00, 0x00, 'f', 'i', 'g', '6'});
+  EXPECT_EQ(EncodeFrame(header, payload), expected);
 }
 
 TEST(WireGoldenTest, OkResponseFrame) {
@@ -125,13 +172,22 @@ TEST(WireGoldenTest, OkResponseFrame) {
   header.request_id = 7;
   const std::string payload = EncodeResponsePayload(Status::OK(), "");
   const std::string expected =
-      MagicV1() + Bytes({0x81, 0x00,
+      MagicV2() + Bytes({0x81, 0x00,
                          0x07, 0, 0, 0, 0, 0, 0, 0,
                          0x00, 0x00, 0x00, 0x00,
                          0x08, 0x00, 0x00, 0x00,
                          0x00, 0x00, 0x00, 0x00,   // wire status OK
                          0x00, 0x00, 0x00, 0x00}); // empty message
   EXPECT_EQ(EncodeFrame(header, payload), expected);
+}
+
+TEST(WireGoldenTest, DataLossResponsePayload) {
+  // Wire status 10 is the store-corruption signal; clients must be able
+  // to distinguish it from Internal.
+  const std::string payload =
+      EncodeResponsePayload(Status::DataLoss("bad"), "");
+  EXPECT_EQ(payload, Bytes({0x0a, 0x00, 0x00, 0x00,
+                            0x03, 0x00, 0x00, 0x00, 'b', 'a', 'd'}));
 }
 
 TEST(WireGoldenTest, UnavailableResponsePayload) {
@@ -183,11 +239,27 @@ TEST(WireRoundTripTest, EveryStatusCodeSurvivesTheWire) {
         StatusCode::kInvalidInstance, StatusCode::kNotFound,
         StatusCode::kUnsupported, StatusCode::kResourceExhausted,
         StatusCode::kParseError, StatusCode::kDeadlineExceeded,
-        StatusCode::kUnavailable, StatusCode::kInternal}) {
+        StatusCode::kUnavailable, StatusCode::kInternal,
+        StatusCode::kDataLoss}) {
     EXPECT_EQ(CodeFromWireStatus(WireStatusFromCode(code)), code);
   }
   // Codes from a newer peer degrade to Internal instead of failing.
   EXPECT_EQ(CodeFromWireStatus(0xffffffffu), StatusCode::kInternal);
+}
+
+TEST(WireRoundTripTest, InstanceRefSurvivesEncodeDecode) {
+  for (const InstanceRef& ref :
+       {InstanceRef::Text("a: (0 0, 1 0, 1 1)"), InstanceRef::Name("fig6"),
+        InstanceRef::Text("")}) {
+    std::string payload;
+    AppendInstanceRef(&payload, ref);
+    WireReader reader(payload);
+    const Result<InstanceRef> decoded = reader.ReadInstanceRef();
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->kind, ref.kind);
+    EXPECT_EQ(decoded->value, ref.value);
+    EXPECT_TRUE(reader.ExpectEnd().ok());
+  }
 }
 
 TEST(WireMalformedTest, TruncatedHeaderIsCleanError) {
@@ -225,13 +297,36 @@ TEST(WireMalformedTest, UnknownVersionIsUnsupported) {
 TEST(WireMalformedTest, OversizedLengthIsRejectedBeforeAllocation) {
   // A corrupted length field must be rejected from the header alone —
   // the peer never tries to buffer the announced bytes.
-  std::string frame = MagicV1() + Bytes({0x01, 0x00,
+  std::string frame = MagicV2() + Bytes({0x01, 0x00,
                                          0, 0, 0, 0, 0, 0, 0, 0,
                                          0, 0, 0, 0,
                                          0xff, 0xff, 0xff, 0xff});
   const Result<FrameHeader> decoded = DecodeFrameHeader(frame);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireMalformedTest, UnknownInstanceRefKindIsCleanError) {
+  // Kind bytes beyond kCatalogName must be rejected, not misread: a newer
+  // client cannot make this server treat a name as inline text.
+  std::string payload;
+  AppendU8(&payload, 2);
+  AppendWireString(&payload, "x");
+  WireReader reader(payload);
+  const Result<InstanceRef> decoded = reader.ReadInstanceRef();
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireMalformedTest, TruncatedInstanceRefIsCleanError) {
+  std::string payload;
+  AppendInstanceRef(&payload, InstanceRef::Name("fig6"));
+  for (size_t len = 0; len < payload.size(); ++len) {
+    WireReader reader(std::string_view(payload).substr(0, len));
+    const Result<InstanceRef> decoded = reader.ReadInstanceRef();
+    ASSERT_FALSE(decoded.ok()) << "accepted " << len << " bytes";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(WireMalformedTest, TruncatedWireStringIsCleanError) {
@@ -270,16 +365,21 @@ TEST(WireMalformedTest, TruncatedResponsePayloadIsCleanError) {
 TEST(WireOpcodeTest, KnownOpcodesAndNames) {
   for (Opcode op : {Opcode::kPing, Opcode::kComputeInvariant,
                     Opcode::kBatchInvariants, Opcode::kEvalQuery,
-                    Opcode::kIsoCheck, Opcode::kMetrics}) {
+                    Opcode::kIsoCheck, Opcode::kMetrics, Opcode::kLoad,
+                    Opcode::kList, Opcode::kDescribe}) {
     EXPECT_TRUE(IsKnownOpcode(static_cast<uint16_t>(op)));
   }
   EXPECT_FALSE(IsKnownOpcode(0));
-  EXPECT_FALSE(IsKnownOpcode(7));
+  EXPECT_FALSE(IsKnownOpcode(10));
   EXPECT_FALSE(IsKnownOpcode(static_cast<uint16_t>(Opcode::kPing) |
                              kWireResponseBit));
   EXPECT_EQ(OpcodeName(static_cast<uint16_t>(Opcode::kPing)), "PING");
   EXPECT_EQ(OpcodeName(static_cast<uint16_t>(Opcode::kBatchInvariants)),
             "BATCH_INVARIANTS");
+  EXPECT_EQ(OpcodeName(static_cast<uint16_t>(Opcode::kLoad)), "LOAD");
+  EXPECT_EQ(OpcodeName(static_cast<uint16_t>(Opcode::kList)), "LIST");
+  EXPECT_EQ(OpcodeName(static_cast<uint16_t>(Opcode::kDescribe)),
+            "DESCRIBE");
   EXPECT_EQ(OpcodeName(static_cast<uint16_t>(Opcode::kPing) |
                        kWireResponseBit),
             "PING_RESPONSE");
