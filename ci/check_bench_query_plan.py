@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validates a query planner/cache benchmark artifact (topodb.bench_query_plan.v1).
+
+Usage: check_bench_query_plan.py <path> [--min-speedup X]
+
+The artifact compares three evaluation paths per workload: unplanned,
+planned (canonicalize + reorder, cold cache), and cached (semantic-cache
+hit on an equivalent spelling). The file must be well-formed, declare the
+expected schema, and have rows with positive timings whose reported
+speedups match the timing ratios. --min-speedup additionally requires
+every multi-variant row (variants > 1, i.e. rows that actually exercise
+equivalence-class sharing) to have cache_speedup at or above the given
+ratio — the ISSUE acceptance floor. Single-variant rows exist to report
+planner reordering wins and are exempt. CI's smoke artifact skips the
+floor since smoke workloads are deliberately tiny.
+"""
+import json
+import sys
+
+SCHEMA = "topodb.bench_query_plan.v1"
+ROW_FIELDS = [
+    "name",
+    "variants",
+    "unplanned_ms",
+    "planned_ms",
+    "cached_ms",
+    "plan_speedup",
+    "cache_speedup",
+    "semcache_hits",
+]
+
+
+def fail(message):
+    print(f"check_bench_query_plan: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_query_plan.py <path> [--min-speedup X]")
+    path = sys.argv[1]
+    min_speedup = None
+    if len(sys.argv) >= 4 and sys.argv[2] == "--min-speedup":
+        min_speedup = float(sys.argv[3])
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: no rows")
+    for row in rows:
+        missing = [k for k in ROW_FIELDS if k not in row]
+        if missing:
+            fail(f"{path}: row {row.get('name')!r} missing {missing}")
+        if row["unplanned_ms"] <= 0 or row["planned_ms"] <= 0 or row["cached_ms"] <= 0:
+            fail(f"{path}: row {row['name']!r} has non-positive timings")
+        if row["variants"] < 1:
+            fail(f"{path}: row {row['name']!r} has no query variants")
+        if row["variants"] > 1 and row["semcache_hits"] <= 0:
+            fail(f"{path}: multi-variant row {row['name']!r} recorded no "
+                 f"semantic-cache hits")
+        plan_ratio = row["unplanned_ms"] / row["planned_ms"]
+        if abs(plan_ratio - row["plan_speedup"]) > max(0.05 * plan_ratio, 0.1):
+            fail(f"{path}: row {row['name']!r} plan_speedup "
+                 f"{row['plan_speedup']} inconsistent with timings "
+                 f"({plan_ratio:.2f})")
+        cache_ratio = row["unplanned_ms"] / row["cached_ms"]
+        if abs(cache_ratio - row["cache_speedup"]) > max(0.05 * cache_ratio, 0.1):
+            fail(f"{path}: row {row['name']!r} cache_speedup "
+                 f"{row['cache_speedup']} inconsistent with timings "
+                 f"({cache_ratio:.2f})")
+
+    if min_speedup is not None:
+        gated = [r for r in rows if r["variants"] > 1]
+        if not gated:
+            fail(f"{path}: no multi-variant rows to hold to the floor")
+        for row in gated:
+            if row["cache_speedup"] < min_speedup:
+                fail(f"{path}: row {row['name']!r} cache_speedup "
+                     f"{row['cache_speedup']:.1f}x below the {min_speedup}x floor")
+
+    best = max(rows, key=lambda r: r["cache_speedup"])
+    print(f"check_bench_query_plan: {path} OK "
+          f"({len(rows)} rows, best {best['name']} "
+          f"{best['cache_speedup']:.1f}x cached)")
+
+
+if __name__ == "__main__":
+    main()

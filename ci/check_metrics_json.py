@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates a MetricsRegistry JSON export (schema topodb.metrics.v1/v2).
 
-Usage: check_metrics_json.py <path>
+Usage: check_metrics_json.py <path> [--require-semcache]
 
 CI archives the per-stage timing export produced by bench_pipeline_batch
 (TOPODB_METRICS_JSON=<path>) and fails if the file is not well-formed JSON,
@@ -9,6 +9,12 @@ declares an unknown schema, or is missing the per-stage instrumentation
 the serving path is supposed to emit. Both schema versions are accepted:
 v2 adds the interpolated "p95" histogram field, which is required when
 the export declares v2.
+
+--require-semcache switches the expected series to the query planner /
+semantic-cache instrumentation (bench_query_plan's registry does not run
+the ingest pipeline, so the pipeline.* series are absent there): counters
+semcache.{hits,misses,evictions,insertions} and planner.plans, gauges
+semcache.{entries,bytes}, and the planner.plan_us histogram.
 """
 import json
 import sys
@@ -27,6 +33,20 @@ EXPECTED_HISTOGRAMS = [
     "pipeline.canonical_us",
     "pipeline.batch_us",
 ]
+SEMCACHE_COUNTERS = [
+    "semcache.hits",
+    "semcache.misses",
+    "semcache.evictions",
+    "semcache.insertions",
+    "planner.plans",
+]
+SEMCACHE_GAUGES = [
+    "semcache.entries",
+    "semcache.bytes",
+]
+SEMCACHE_HISTOGRAMS = [
+    "planner.plan_us",
+]
 HISTOGRAM_FIELDS_V1 = ["count", "sum", "min", "max", "mean", "p50", "p90", "p99"]
 HISTOGRAM_FIELDS_V2 = HISTOGRAM_FIELDS_V1 + ["p95"]
 
@@ -37,10 +57,12 @@ def fail(message):
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_metrics_json.py <path>")
+    args = [a for a in sys.argv[1:] if a != "--require-semcache"]
+    require_semcache = "--require-semcache" in sys.argv[1:]
+    if len(args) != 1:
+        fail("usage: check_metrics_json.py <path> [--require-semcache]")
     try:
-        with open(sys.argv[1], encoding="utf-8") as f:
+        with open(args[0], encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         fail(str(err))
@@ -53,14 +75,27 @@ def main():
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(doc.get(section), dict):
             fail(f"missing section {section!r}")
-    for name in EXPECTED_COUNTERS:
+    expected_counters = SEMCACHE_COUNTERS if require_semcache else EXPECTED_COUNTERS
+    expected_histograms = (
+        SEMCACHE_HISTOGRAMS if require_semcache else EXPECTED_HISTOGRAMS
+    )
+    for name in expected_counters:
         if name not in doc["counters"]:
             fail(f"missing counter {name!r}")
         if not isinstance(doc["counters"][name], int):
             fail(f"counter {name!r} is not an integer")
-    if doc["counters"]["pipeline.items"] <= 0:
-        fail("pipeline.items is not positive")
-    for name in EXPECTED_HISTOGRAMS:
+    if require_semcache:
+        for name in SEMCACHE_GAUGES:
+            if not isinstance(doc["gauges"].get(name), (int, float)):
+                fail(f"missing gauge {name!r}")
+        if doc["counters"]["semcache.hits"] <= 0:
+            fail("semcache.hits is not positive")
+        if doc["counters"]["planner.plans"] <= 0:
+            fail("planner.plans is not positive")
+    else:
+        if doc["counters"]["pipeline.items"] <= 0:
+            fail("pipeline.items is not positive")
+    for name in expected_histograms:
         hist = doc["histograms"].get(name)
         if not isinstance(hist, dict):
             fail(f"missing histogram {name!r}")

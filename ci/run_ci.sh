@@ -4,11 +4,14 @@
 #   1. Configure + build + full ctest suite in build-ci/ (the same command
 #      sequence as ROADMAP.md's verify step, in a separate tree so a
 #      developer's ./build is left alone).
-#   2. Smoke-run the pipeline benches (batch invariants + query evaluation)
-#      so their reports, verdict assertions and every strategy/thread code
-#      path execute on each CI run; any nonzero exit fails CI. The batch
-#      bench also writes its per-stage metrics JSON to ci/artifacts/, which
-#      is validated against the topodb.metrics schema and archived.
+#   2. Smoke-run the pipeline benches (batch invariants + query evaluation
+#      + query planner/semantic cache) so their reports, verdict assertions
+#      and every strategy/thread code path execute on each CI run; any
+#      nonzero exit fails CI. The batch bench also writes its per-stage
+#      metrics JSON to ci/artifacts/, which is validated against the
+#      topodb.metrics schema and archived; bench_query_plan's export is
+#      validated for the planner.* / semcache.* series, and the checked-in
+#      BENCH_query_plan.json is held to the cache-speedup floor.
 #   3. Loopback serving smoke: start topodb_server on an ephemeral port,
 #      drive it with topodb_client (PING + BATCH_INVARIANTS), then SIGTERM
 #      and assert the graceful-drain exit code. Also smoke-runs
@@ -18,8 +21,10 @@
 #      topodb_server --catalog against the directory, drive LOAD / LIST /
 #      DESCRIBE / ISO / BATCH through the CLI with @name catalog refs,
 #      assert the documented exit codes (NotFound=4 for an unknown name),
-#      then restart the server on the same directory and serve again with
-#      no re-ingest — the durability contract, end to end over TCP.
+#      EVAL_QUERY the catalog twice with equivalent spellings and pin a
+#      semantic-cache hit in the metrics export, then restart the server
+#      on the same directory and serve again with no re-ingest — the
+#      durability contract, end to end over TCP.
 #   4. Rebuild the test suite under ASan+UBSan (with float-cast-overflow)
 #      in build-asan/ and run it — this is what runs the predicate-filter,
 #      expansion-stage and BigInt fast-path differential fuzz suites with
@@ -125,6 +130,27 @@ TOPODB_BENCH_STORE_JSON=ci/artifacts/bench_store.json \
 python3 ci/check_bench_store.py ci/artifacts/bench_store.json
 python3 ci/check_bench_store.py BENCH_store.json --min-speedup 5
 
+echo "==> bench smoke: query planner + semantic cache"
+# bench_query_plan doubles as a differential gate: any unplanned vs
+# planned vs cached verdict divergence exits nonzero before a single
+# timing is reported. Smoke workloads are tiny so the cache-speedup
+# floor applies only to the checked-in full-size artifact (the ISSUE
+# acceptance bar is >=5x, enforced by the bench itself at generation
+# time; CI holds the committed file to >=3x so timing jitter between
+# machines cannot flake the gate). Regenerate with
+#   TOPODB_BENCH_QUERY_PLAN_JSON=BENCH_query_plan.json \
+#     build/bench/bench_query_plan --benchmark_filter='^$'
+TOPODB_BENCH_SMOKE=1 \
+TOPODB_BENCH_QUERY_PLAN_JSON=ci/artifacts/bench_query_plan.json \
+TOPODB_METRICS_JSON=ci/artifacts/query_plan_metrics.json \
+  ./build-ci/bench/bench_query_plan --benchmark_min_time=0.01
+python3 ci/check_bench_query_plan.py ci/artifacts/bench_query_plan.json
+python3 ci/check_bench_query_plan.py BENCH_query_plan.json --min-speedup 3
+# The bench registry skips the ingest pipeline, so validate the planner /
+# semcache series specifically.
+python3 ci/check_metrics_json.py ci/artifacts/query_plan_metrics.json \
+  --require-semcache
+
 echo "==> catalog smoke: ingest, serve, exit codes, restart"
 # expect_exit CODE cmd... : run under set -e, demand the documented exit
 # code (src/base/status.h ExitCodeForStatus — status_test pins the table).
@@ -163,6 +189,18 @@ $client describe fig1a | grep -q "s-invariant" \
 $client iso @fig1a fig1a | grep -qx "isomorphic" \
   || { echo "catalog fig1a diverges from the text path"; exit 1; }
 $client batch @fig1a @nested @chain:16 fig1d
+# EVAL_QUERY over the catalog, twice with equivalent spellings: the first
+# is a semantic-cache miss, the double-negated respelling canonicalizes
+# to the same key and must be answered from the verdict cache. The
+# server's metrics export then has to show the planner ran and the cache
+# hit (semcache.hits >= 1), which the --require-semcache checker pins.
+$client eval @fig1a "connect(A, A)" | grep -qx "true" \
+  || { echo "eval connect(A, A) on fig1a should be true"; exit 1; }
+$client eval @fig1a "not (not connect(A, A))" | grep -qx "true" \
+  || { echo "respelled eval should hit the verdict cache as true"; exit 1; }
+$client metrics > ci/artifacts/catalog_metrics.json
+python3 ci/check_metrics_json.py ci/artifacts/catalog_metrics.json \
+  --require-semcache
 # Unknown catalog names are NotFound (4) uniformly across opcodes.
 expect_exit 4 $client describe ghost
 expect_exit 4 $client invariant @ghost

@@ -4,6 +4,10 @@
 
 namespace topodb {
 
+EngineCache::EngineCache(MetricsRegistry* metrics)
+    : hit_counter_(RegistryCounter(metrics, "enginecache.hits")),
+      miss_counter_(RegistryCounter(metrics, "enginecache.misses")) {}
+
 Result<std::shared_ptr<const QueryEngine>> EngineCache::GetOrBuild(
     uint64_t entry_id, uint32_t format_version,
     std::string_view instance_text) {
@@ -13,9 +17,11 @@ Result<std::shared_ptr<const QueryEngine>> EngineCache::GetOrBuild(
     auto it = engines_.find(key);
     if (it != engines_.end()) {
       ++stats_.hits;
+      CounterAdd(hit_counter_);
       return it->second;
     }
     ++stats_.misses;
+    CounterAdd(miss_counter_);
   }
 
   TOPODB_ASSIGN_OR_RETURN(SpatialInstance instance,

@@ -33,7 +33,9 @@ class EngineCache {
     uint64_t misses = 0;
   };
 
-  EngineCache() = default;
+  // `metrics` (optional, must outlive the cache) receives
+  // enginecache.{hits,misses} counters.
+  explicit EngineCache(MetricsRegistry* metrics = nullptr);
   EngineCache(const EngineCache&) = delete;
   EngineCache& operator=(const EngineCache&) = delete;
 
@@ -52,6 +54,9 @@ class EngineCache {
 
  private:
   using Key = std::pair<uint64_t, uint32_t>;
+
+  Counter* hit_counter_;
+  Counter* miss_counter_;
 
   mutable std::mutex mu_;
   std::map<Key, std::shared_ptr<const QueryEngine>> engines_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/base/threading.h"
+#include "src/pipeline/semantic_cache.h"
 
 namespace topodb {
 
@@ -71,9 +72,12 @@ std::vector<Result<bool>> BatchEvaluateQueries(
   Counter* expired =
       RegistryCounter(options.metrics, "query_batch.deadline_exceeded");
   // QueryEngine::Evaluate is const and thread-safe; its caches warm up
-  // across the whole batch.
+  // across the whole batch. EvaluateQueryCached consults the semantic
+  // verdict cache first when eval carries one (and is a plain Evaluate
+  // otherwise), so repeated or equivalent queries in one batch pay one
+  // evaluation.
   Status st = ForEachIndex(queries.size(), options.num_threads, [&](size_t i) {
-    results[i] = engine.Evaluate(queries[i], eval);
+    results[i] = EvaluateQueryCached(engine, queries[i], eval);
     RecordOutcome(results[i], items, failures, expired);
   });
   if (!st.ok()) {

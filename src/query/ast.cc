@@ -1,6 +1,8 @@
 #include "src/query/ast.h"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "src/query/parser.h"
 
@@ -26,12 +28,34 @@ const char* PredicateName(Predicate p) {
 
 namespace {
 
-// Renders a term so the output reparses to the same AST: name constants
-// that are not plain identifiers (or would lex as keywords) are quoted.
-std::string TermText(const Term& term) {
-  if (term.kind == Term::Kind::kNameConstant &&
-      !IsPlainQueryIdentifier(term.text)) {
-    return QuoteQueryName(term.text);
+// Enclosing binders, innermost last. `rendered` differs from `original`
+// when the binder had to be renamed to stay parseable (the parser
+// rejects rebinding a name already in scope).
+struct BoundVar {
+  std::string original;
+  std::string rendered;
+};
+
+// Renders a term so the output reparses to the same AST. A name constant
+// is quoted when it is not a plain identifier (or would lex as a
+// keyword) — and also when a quantifier in scope binds the same
+// identifier: rendered bare it would reparse as that *variable*, since
+// the parser resolves bound identifiers first. A variable resolves to
+// its innermost binder's rendered name, mirroring the evaluator's
+// innermost-wins lookup.
+std::string TermText(const Term& term, const std::vector<BoundVar>& bound) {
+  if (term.kind == Term::Kind::kNameConstant) {
+    const bool shadowed =
+        std::any_of(bound.begin(), bound.end(), [&](const BoundVar& b) {
+          return b.rendered == term.text;
+        });
+    if (shadowed || !IsPlainQueryIdentifier(term.text)) {
+      return QuoteQueryName(term.text);
+    }
+    return term.text;
+  }
+  for (auto it = bound.rbegin(); it != bound.rend(); ++it) {
+    if (it->original == term.text) return it->rendered;
   }
   return term.text;
 }
@@ -46,45 +70,77 @@ const char* VarKindName(Formula::VarKind kind) {
   return "?";
 }
 
+void AppendFormula(const Formula& f, std::vector<BoundVar>* bound,
+                   std::ostringstream& os) {
+  switch (f.kind) {
+    case Formula::Kind::kTrue: os << "true"; break;
+    case Formula::Kind::kFalse: os << "false"; break;
+    case Formula::Kind::kAtom:
+      os << PredicateName(f.predicate) << "(" << TermText(f.lhs, *bound)
+         << ", " << TermText(f.rhs, *bound) << ")";
+      break;
+    case Formula::Kind::kNameEq:
+      os << TermText(f.lhs, *bound) << " = " << TermText(f.rhs, *bound);
+      break;
+    case Formula::Kind::kNot:
+      os << "not (";
+      AppendFormula(*f.left, bound, os);
+      os << ")";
+      break;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+    case Formula::Kind::kIff: {
+      // A quantifier body extends as far right as possible, so a
+      // quantifier rendered bare as the *left* operand would swallow the
+      // connective on reparse; parenthesize it.
+      const bool left_quantified =
+          f.left->kind == Formula::Kind::kExists ||
+          f.left->kind == Formula::Kind::kForall;
+      os << "(";
+      if (left_quantified) os << "(";
+      AppendFormula(*f.left, bound, os);
+      if (left_quantified) os << ")";
+      os << (f.kind == Formula::Kind::kAnd       ? " and "
+             : f.kind == Formula::Kind::kOr      ? " or "
+             : f.kind == Formula::Kind::kImplies ? " implies "
+                                                 : " iff ");
+      AppendFormula(*f.right, bound, os);
+      os << ")";
+      break;
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      // The parser rejects rebinding a name already in scope, so a
+      // shadowing binder (possible in programmatically built ASTs) is
+      // renamed on output; occurrences resolve innermost-first, matching
+      // evaluation semantics, so meaning is preserved.
+      std::string rendered = f.var;
+      auto in_scope = [&](const std::string& name) {
+        return std::any_of(bound->begin(), bound->end(),
+                           [&](const BoundVar& b) {
+                             return b.rendered == name;
+                           });
+      };
+      for (int i = 2; in_scope(rendered); ++i) {
+        rendered = f.var + "_" + std::to_string(i);
+      }
+      os << (f.kind == Formula::Kind::kExists ? "exists " : "forall ")
+         << VarKindName(f.var_kind) << " " << rendered << " . ";
+      bound->push_back({f.var, rendered});
+      AppendFormula(*f.body, bound, os);
+      bound->pop_back();
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 std::string Formula::ToString() const {
   std::ostringstream os;
-  switch (kind) {
-    case Kind::kTrue: os << "true"; break;
-    case Kind::kFalse: os << "false"; break;
-    case Kind::kAtom:
-      os << PredicateName(predicate) << "(" << TermText(lhs) << ", "
-         << TermText(rhs) << ")";
-      break;
-    case Kind::kNameEq:
-      os << TermText(lhs) << " = " << TermText(rhs);
-      break;
-    case Kind::kNot:
-      os << "not (" << left->ToString() << ")";
-      break;
-    case Kind::kAnd:
-      os << "(" << left->ToString() << " and " << right->ToString() << ")";
-      break;
-    case Kind::kOr:
-      os << "(" << left->ToString() << " or " << right->ToString() << ")";
-      break;
-    case Kind::kImplies:
-      os << "(" << left->ToString() << " implies " << right->ToString()
-         << ")";
-      break;
-    case Kind::kIff:
-      os << "(" << left->ToString() << " iff " << right->ToString() << ")";
-      break;
-    case Kind::kExists:
-      os << "exists " << VarKindName(var_kind) << " " << var << " . "
-         << body->ToString();
-      break;
-    case Kind::kForall:
-      os << "forall " << VarKindName(var_kind) << " " << var << " . "
-         << body->ToString();
-      break;
-  }
+  std::vector<BoundVar> bound;
+  AppendFormula(*this, &bound, os);
   return os.str();
 }
 

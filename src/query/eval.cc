@@ -1509,6 +1509,61 @@ Result<bool> QueryEngine::EvaluateDispatch(const FormulaPtr& query,
   return result;
 }
 
+Status QueryEngine::ValidateAtomNames(const Formula& query) const {
+  switch (query.kind) {
+    case Formula::Kind::kAtom:
+      for (const Term* term : {&query.lhs, &query.rhs}) {
+        if (term->kind == Term::Kind::kNameConstant &&
+            region_values_.find(term->text) == region_values_.end()) {
+          return Status::NotFound("no region named " + term->text);
+        }
+      }
+      return Status::OK();
+    case Formula::Kind::kNot:
+      return ValidateAtomNames(*query.left);
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+    case Formula::Kind::kIff: {
+      Status left = ValidateAtomNames(*query.left);
+      if (!left.ok()) return left;
+      return ValidateAtomNames(*query.right);
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      return ValidateAtomNames(*query.body);
+    default:
+      return Status::OK();
+  }
+}
+
+SelectivityStats QueryEngine::planner_stats() const {
+  SelectivityStats stats;
+  stats.num_names = static_cast<int64_t>(region_values_.size());
+  stats.num_cells = static_cast<int64_t>(num_cells());
+  stats.num_faces = nf_;
+  stats.materialized_discs = cache_stats().materialized_discs;
+  return stats;
+}
+
+Result<bool> QueryEngine::EvaluatePlanned(const FormulaPtr& query,
+                                          const EvalOptions& options) const {
+  if (!options.plan) return EvaluateDispatch(query, options);
+  // Validate against the *input* query: canonicalization may simplify an
+  // unknown-name atom away entirely (phi and false -> false), and
+  // reordering may move it behind a short circuit; failing up front
+  // keeps "does this query error?" independent of the plan chosen.
+  TOPODB_RETURN_NOT_OK(ValidateAtomNames(*query));
+  FormulaPtr planned;
+  {
+    ScopedTimer plan_timer(
+        RegistryHistogram(options.metrics, "planner.plan_us"));
+    planned = PlanQuery(query, planner_stats(), options.metrics);
+  }
+  CounterAdd(RegistryCounter(options.metrics, "planner.plans"));
+  return EvaluateDispatch(planned, options);
+}
+
 Result<bool> QueryEngine::Evaluate(const FormulaPtr& query,
                                    const EvalOptions& options) const {
   if (options.num_threads < 0) {
@@ -1522,14 +1577,14 @@ Result<bool> QueryEngine::Evaluate(const FormulaPtr& query,
   const StopSignal stop(options.deadline, options.cancel);
   if (options.metrics == nullptr) {
     TOPODB_RETURN_NOT_OK(stop.Check());
-    return EvaluateDispatch(query, options);
+    return EvaluatePlanned(query, options);
   }
 
   Result<bool> result = [&]() -> Result<bool> {
     ScopedTimer latency(options.metrics->histogram("query.eval_us"));
     Status entry = stop.Check();
     if (!entry.ok()) return entry;
-    return EvaluateDispatch(query, options);
+    return EvaluatePlanned(query, options);
   }();
   options.metrics->counter("query.evaluations")->Add(1);
   if (!result.ok() &&

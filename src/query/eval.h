@@ -15,9 +15,17 @@
 #include "src/query/ast.h"
 #include "src/query/cellset.h"
 #include "src/query/parser.h"
+#include "src/query/plan.h"
 #include "src/region/instance.h"
 
 namespace topodb {
+
+// The pipeline layer's semantic verdict cache (pipeline/semantic_cache.h).
+// Declared here so EvalOptions can carry a pointer to it; the engine
+// itself never dereferences one — cache lookup/insert lives in
+// EvaluateQueryCached at the pipeline layer, keeping query free of a
+// pipeline dependency.
+class SemanticCache;
 
 // Which evaluator answers a query. Both produce identical verdicts and
 // identical error points (the differential property suite asserts this);
@@ -78,6 +86,27 @@ struct EvalOptions {
   // bindings explored, disc-check memo traffic, per-query latency).
   // nullptr disables collection at near-zero cost.
   MetricsRegistry* metrics = nullptr;
+  // Run the planning pass (src/query/plan.h) before evaluation:
+  // canonicalize, then reorder commutative operands and same-kind
+  // quantifier runs by selectivity. Planned evaluation is
+  // verdict-identical to unplanned for queries whose atom region names
+  // all resolve (the differential suite pins this); to keep that true
+  // under short-circuit reordering, the planned path validates every
+  // atom's region-name constants up front and fails with the evaluator's
+  // NotFound before running anything. Off by default so the exact-oracle
+  // and differential paths exercise the written order; the server turns
+  // it on (ServerOptions::plan_queries).
+  bool plan = false;
+  // Semantic verdict cache plumbing, read only by EvaluateQueryCached
+  // (pipeline/semantic_cache.h) — QueryEngine::Evaluate itself never
+  // consults the cache. `cache_entry_id` / `cache_format_version` name
+  // the catalog entry this evaluation runs against, exactly the
+  // EngineCache key: verdicts and engines invalidate together when a
+  // re-ingest changes the entry id. cache_entry_id == 0 means "no
+  // durable identity" (e.g. inline text) and disables caching.
+  SemanticCache* semantic_cache = nullptr;
+  uint64_t cache_entry_id = 0;
+  uint32_t cache_format_version = 0;
 };
 
 // Evaluates region-based FO queries over one spatial instance, using the
@@ -156,6 +185,12 @@ class QueryEngine {
   };
   CacheStats cache_stats() const;
 
+  // Selectivity inputs for the planning pass: name/cell/face counts of
+  // this instance's arrangement plus the size of the materialized
+  // region-quantifier range so far (0 before the first region
+  // quantifier runs). Cheap; safe to call per evaluation.
+  SelectivityStats planner_stats() const;
+
  private:
   friend class BaselineEvaluator;
   friend class BitsetEvaluator;
@@ -211,6 +246,16 @@ class QueryEngine {
   // Evaluate entry point.
   Result<bool> EvaluateDispatch(const FormulaPtr& query,
                                 const EvalOptions& options) const;
+
+  // Planning stage ahead of dispatch (options.plan): plans the query,
+  // pre-validates its atom region names, exports planner.* metrics.
+  Result<bool> EvaluatePlanned(const FormulaPtr& query,
+                               const EvalOptions& options) const;
+
+  // NotFound for the first atom region-name constant that does not
+  // resolve; OK otherwise. NameEq positions are skipped — unknown names
+  // there are legal and simply compare unequal.
+  Status ValidateAtomNames(const Formula& query) const;
 
   CellComplex complex_;
   // Cell ids: [0, nv) vertices, [nv, nv+ne) edges, [nv+ne, nv+ne+nf) faces.

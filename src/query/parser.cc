@@ -244,6 +244,19 @@ class Parser {
       Next();
       return inner;
     }
+    // A quoted term can only start a name-equality atom ("1a" = b):
+    // predicate names are identifiers, and a quoted term is always a
+    // name constant. Without this branch, every NameEq whose left
+    // operand needs quoting would render (ToString) but not reparse.
+    if (Peek().kind == Token::Kind::kString) {
+      TOPODB_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+      if (Peek().kind != Token::Kind::kEquals) {
+        return Err("expected '=' after quoted term");
+      }
+      Next();
+      TOPODB_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+      return MakeNameEq(std::move(lhs), std::move(rhs));
+    }
     if (Peek().kind != Token::Kind::kIdent) return Err("expected formula");
     if (ConsumeIdent("true")) {
       auto f = std::make_shared<Formula>();

@@ -20,6 +20,7 @@
 #include "src/obs/deadline.h"
 #include "src/pipeline/batch.h"
 #include "src/pipeline/engine_cache.h"
+#include "src/pipeline/semantic_cache.h"
 #include "src/region/io.h"
 #include "src/server/wire.h"
 #include "src/store/catalog.h"
@@ -61,7 +62,11 @@ struct TopoDbServer::Impl {
   explicit Impl(ServerOptions opts)
       : options(std::move(opts)),
         registry(options.metrics != nullptr ? options.metrics
-                                            : &owned_metrics) {}
+                                            : &owned_metrics),
+        engine_cache(registry),
+        sem_cache(SemanticCacheOptions{options.semantic_cache_entries,
+                                       options.semantic_cache_bytes,
+                                       registry}) {}
 
   // One accepted connection. The reader thread lives exactly as long as
   // the socket delivers frames; workers share the socket for writes, so
@@ -101,6 +106,11 @@ struct TopoDbServer::Impl {
   // (entry id, store format version): the arrangement is built once per
   // catalog entry, not once per request.
   EngineCache engine_cache;
+  // Verdicts for catalog-backed EVAL_QUERY requests, keyed by (entry id,
+  // format version, options fingerprint, canonical query): an equivalent
+  // query against unchanged bytes is answered without evaluating. Shares
+  // the EngineCache identity scheme, so re-ingest invalidates both.
+  SemanticCache sem_cache;
 
   int listen_fd = -1;
   uint16_t bound_port = 0;
@@ -595,6 +605,7 @@ struct TopoDbServer::Impl {
         eval.deadline = item.deadline;
         eval.cancel = &drain_cancel;
         eval.metrics = registry;
+        eval.plan = options.plan_queries;
         if (ref.kind == InstanceRef::Kind::kCatalogName) {
           TOPODB_ASSIGN_OR_RETURN(std::shared_ptr<const CatalogEntry> entry,
                                   FindCatalogEntry(ref.value));
@@ -604,8 +615,16 @@ struct TopoDbServer::Impl {
               engine_cache.GetOrBuild(entry->entry_id(),
                                       entry->view().format_version(),
                                       entry->view().instance_text()));
+          // Catalog refs have a durable identity (the entry id is the
+          // payload checksum), so their verdicts are cacheable; a
+          // re-ingest changes the id and routes around stale entries.
+          if (options.semantic_cache) {
+            eval.semantic_cache = &sem_cache;
+            eval.cache_entry_id = entry->entry_id();
+            eval.cache_format_version = entry->view().format_version();
+          }
           TOPODB_ASSIGN_OR_RETURN(bool verdict,
-                                  engine->Evaluate(query, eval));
+                                  EvaluateQueryCached(*engine, query, eval));
           AppendU8(body, verdict ? 1 : 0);
           return Status::OK();
         }

@@ -64,8 +64,23 @@ struct ServerOptions {
   // as kMaxWirePayloadBytes).
   size_t max_batch_items = 1024;
   // Per-evaluation knobs for EVAL_QUERY (strategy, enumeration budgets).
-  // Deadline/cancel/metrics fields are overwritten per request.
+  // Deadline/cancel/metrics fields are overwritten per request, as are
+  // the plan flag and the semantic-cache plumbing (see below).
   EvalOptions eval;
+  // Run the query-planning pass (src/query/plan.h) on every EVAL_QUERY:
+  // canonicalize, then reorder commutative operands and quantifier runs
+  // by selectivity. Planned evaluation is verdict-identical to unplanned
+  // (the differential suite pins this); on by default for serving, and
+  // deliberately defaulted *off* in EvalOptions itself so oracle and
+  // differential paths see the written query order.
+  bool plan_queries = true;
+  // Serve repeated catalog-backed EVAL_QUERY requests from the semantic
+  // verdict cache (src/pipeline/semantic_cache.h). Only catalog refs are
+  // cached — inline text has no durable identity. Entry/byte bounds
+  // below; evictions are LRU.
+  bool semantic_cache = true;
+  size_t semantic_cache_entries = 4096;
+  size_t semantic_cache_bytes = size_t{4} << 20;
   // Metrics sink for every stage (accept, admission, queue wait, execute,
   // write) and the METRICS opcode. nullptr = the server owns a private
   // registry, reachable via metrics().

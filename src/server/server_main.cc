@@ -4,7 +4,8 @@
 // admitted request was answered before the process left.
 //
 // Usage: topodb_server [--port N] [--workers N] [--queue N] [--drain-ms N]
-//                      [--catalog DIR]
+//                      [--catalog DIR] [--no-plan] [--no-semcache]
+//                      [--semcache-entries N]
 //
 // With --catalog, the instance catalog under DIR is opened (corrupt files
 // skipped with a stderr report) before binding the port, so the LOAD /
@@ -60,10 +61,18 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(ParseLongOrDie(arg, argv[++i]));
     } else if (std::strcmp(arg, "--catalog") == 0 && has_value) {
       catalog_dir = argv[++i];
+    } else if (std::strcmp(arg, "--no-plan") == 0) {
+      options.plan_queries = false;
+    } else if (std::strcmp(arg, "--no-semcache") == 0) {
+      options.semantic_cache = false;
+    } else if (std::strcmp(arg, "--semcache-entries") == 0 && has_value) {
+      options.semantic_cache_entries =
+          static_cast<size_t>(ParseLongOrDie(arg, argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: topodb_server [--port N] [--workers N] "
-                   "[--queue N] [--drain-ms N] [--catalog DIR]\n");
+                   "[--queue N] [--drain-ms N] [--catalog DIR] "
+                   "[--no-plan] [--no-semcache] [--semcache-entries N]\n");
       return 2;
     }
   }

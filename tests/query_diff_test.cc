@@ -101,6 +101,40 @@ TEST(QueryDiffTest, StrategiesAgreeOnPaperExamples) {
   }
 }
 
+// The planner (EvalOptions::plan) is a pure rewrite stage: for every
+// strategy and thread count, the planned evaluation must return exactly
+// the verdict of the unplanned one. Run the full differential workload
+// with and without planning, under each strategy, and require identical
+// outcomes pairwise.
+TEST(QueryDiffTest, PlannedMatchesUnplannedAcrossStrategiesAndWorkload) {
+  for (const SpatialInstance& instance : DiffWorkload()) {
+    QueryEngine engine = *QueryEngine::Build(instance);
+    for (const char* query : kGenericQueries) {
+      for (const EvalStrategy strategy :
+           {EvalStrategy::kBaseline, EvalStrategy::kBitset}) {
+        for (const int threads : {1, 3}) {
+          EvalOptions unplanned;
+          unplanned.strategy = strategy;
+          unplanned.num_threads = threads;
+          EvalOptions planned = unplanned;
+          planned.plan = true;
+          const Result<bool> u = engine.Evaluate(query, unplanned);
+          const Result<bool> p = engine.Evaluate(query, planned);
+          ASSERT_EQ(u.ok(), p.ok())
+              << query << "\n unplanned: " << u.status().ToString()
+              << "\n planned:   " << p.status().ToString();
+          if (u.ok()) EXPECT_EQ(*u, *p) << query;
+        }
+      }
+      // The planned path must also satisfy the cross-strategy agreement
+      // contract on its own.
+      EvalOptions plan_base;
+      plan_base.plan = true;
+      ExpectStrategiesAgree(engine, query, plan_base);
+    }
+  }
+}
+
 // Budget accounting is part of the observable semantics: for EVERY budget
 // value, both strategies must fail at the same point with the same message
 // (the budget is charged per disc value, after the disc check, so the

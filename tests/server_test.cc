@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -605,6 +606,97 @@ TEST(ServerTest, LoadValidatesNamesAndTextOverTheWire) {
   const auto listing = client.List();
   ASSERT_TRUE(listing.ok());
   EXPECT_TRUE(listing->empty());  // Nothing was persisted.
+}
+
+TEST(ServerTest, ReingestInvalidatesSemanticVerdicts) {
+  // ingest -> evaluate -> re-ingest (same name, new bytes) -> evaluate:
+  // the second verdict must reflect the new instance, not the cached
+  // verdict of the old one. Identity is the entry id (payload checksum),
+  // so the re-ingest routes around every stale engine and verdict.
+  const std::string dir = TempCatalogDir();
+  MetricsRegistry metrics;
+  CatalogOptions catalog_options;
+  catalog_options.directory = dir;
+  catalog_options.metrics = &metrics;
+  auto catalog = Catalog::Open(catalog_options);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+
+  ServerOptions options;
+  options.catalog = catalog->get();
+  options.metrics = &metrics;
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+
+  const char* query = "connect(A, B)";
+  const SpatialInstance before = Fig1aInstance();
+  const SpatialInstance after = DisjointPairInstance();
+  // Local ground truth; the fixtures are chosen so the verdict flips.
+  QueryEngine engine_before = *QueryEngine::Build(before);
+  QueryEngine engine_after = *QueryEngine::Build(after);
+  const bool truth_before = *engine_before.Evaluate(query);
+  const bool truth_after = *engine_after.Evaluate(query);
+  ASSERT_NE(truth_before, truth_after);
+
+  ASSERT_TRUE(client.Load("subject", WriteInstanceText(before)).ok());
+  // Twice, so the second answer is served from the semantic cache.
+  for (int i = 0; i < 2; ++i) {
+    const auto verdict = client.EvalQuery(InstanceRef::Name("subject"), query);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    EXPECT_EQ(*verdict, truth_before);
+  }
+
+  ASSERT_TRUE(client.Load("subject", WriteInstanceText(after)).ok());
+  const auto verdict = client.EvalQuery(InstanceRef::Name("subject"), query);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_EQ(*verdict, truth_after);
+
+  // The warm repeat hit the cache, and the serving path exports the
+  // semcache counters.
+  EXPECT_GE(metrics.counter("semcache.hits")->value(), 1u);
+  EXPECT_GE(metrics.counter("semcache.misses")->value(), 2u);
+  const auto json = client.Metrics();
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("semcache.hits"), std::string::npos);
+  EXPECT_NE(json->find("enginecache.hits"), std::string::npos);
+  EXPECT_NE(json->find("planner.plans"), std::string::npos);
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(ServerTest, EquivalentQuerySpellingsShareOneServerCacheEntry) {
+  const std::string dir = TempCatalogDir();
+  MetricsRegistry metrics;
+  CatalogOptions catalog_options;
+  catalog_options.directory = dir;
+  auto catalog = Catalog::Open(catalog_options);
+  ASSERT_TRUE(catalog.ok());
+
+  ServerOptions options;
+  options.catalog = catalog->get();
+  options.metrics = &metrics;
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+  ASSERT_TRUE(
+      client.Load("fig1a", WriteInstanceText(Fig1aInstance())).ok());
+
+  // Distinct spellings, one canonical form: only the first evaluates.
+  const char* spellings[] = {
+      "connect(A, B) and connect(A, C)",
+      "connect(C, A) and connect(B, A)",
+      "not (connect(A, B) implies not connect(A, C))",
+  };
+  std::optional<bool> first;
+  for (const char* spelling : spellings) {
+    const auto verdict =
+        client.EvalQuery(InstanceRef::Name("fig1a"), spelling);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    if (!first) first = *verdict;
+    EXPECT_EQ(*verdict, *first) << spelling;
+  }
+  EXPECT_EQ(metrics.counter("semcache.misses")->value(), 1u);
+  EXPECT_EQ(metrics.counter("semcache.hits")->value(), 2u);
+  EXPECT_TRUE(server.Shutdown().ok());
 }
 
 TEST(ServerTest, ShutdownIsIdempotentAndStartValidatesOptions) {
