@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validates a shard-scaling benchmark artifact (topodb.bench_shard.v1).
+
+Usage: check_bench_shard.py <path> [--min-2x A --min-4x B]
+
+The artifact reports closed-loop BATCH_INVARIANTS throughput through the
+topodb_router at 1, 2, and 4 shards (bench/bench_shard_scaling.cc); every
+response in the run was byte-compared against library ground truth before
+the row was emitted. The file must be well-formed, declare the expected
+schema, and cover exactly the 1/2/4 shard ladder with positive
+throughputs and self-consistent speedups. --min-2x/--min-4x additionally
+enforce the ISSUE acceptance floors on the 2- and 4-shard rows; CI's
+smoke artifact skips them (smoke workloads are deliberately tiny, so the
+cache-capacity effect the floors measure barely registers).
+"""
+import json
+import sys
+
+SCHEMA = "topodb.bench_shard.v1"
+ROW_FIELDS = ["shards", "items_per_sec", "seconds", "cache_hits",
+              "cache_misses", "speedup_vs_1"]
+EXPECTED_LADDER = [1, 2, 4]
+
+
+def fail(message):
+    print(f"check_bench_shard: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_shard.py <path> [--min-2x A --min-4x B]")
+    path = sys.argv[1]
+    floors = {}
+    args = sys.argv[2:]
+    while args:
+        if args[0] == "--min-2x" and len(args) >= 2:
+            floors[2] = float(args[1])
+        elif args[0] == "--min-4x" and len(args) >= 2:
+            floors[4] = float(args[1])
+        else:
+            fail(f"unknown argument {args[0]!r}")
+        args = args[2:]
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or [r.get("shards") for r in rows] != \
+            EXPECTED_LADDER:
+        fail(f"{path}: rows must cover the shard ladder {EXPECTED_LADDER}")
+    for row in rows:
+        missing = [k for k in ROW_FIELDS if k not in row]
+        if missing:
+            fail(f"{path}: row shards={row.get('shards')} missing {missing}")
+        if row["items_per_sec"] <= 0 or row["seconds"] <= 0:
+            fail(f"{path}: row shards={row['shards']} has non-positive "
+                 f"throughput")
+
+    base = rows[0]["items_per_sec"]
+    for row in rows:
+        ratio = row["items_per_sec"] / base
+        if abs(ratio - row["speedup_vs_1"]) > max(0.05 * ratio, 0.05):
+            fail(f"{path}: row shards={row['shards']} speedup "
+                 f"{row['speedup_vs_1']} inconsistent with throughputs "
+                 f"({ratio:.2f})")
+
+    by_shards = {row["shards"]: row for row in rows}
+    for shards, floor in sorted(floors.items()):
+        got = by_shards[shards]["speedup_vs_1"]
+        if got < floor:
+            fail(f"{path}: {shards}-shard speedup {got:.2f}x below the "
+                 f"{floor}x floor")
+
+    print(f"check_bench_shard: {path} OK "
+          f"(2 shards {by_shards[2]['speedup_vs_1']:.2f}x, "
+          f"4 shards {by_shards[4]['speedup_vs_1']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

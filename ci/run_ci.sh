@@ -25,6 +25,16 @@
 #      semantic-cache hit in the metrics export, then restart the server
 #      on the same directory and serve again with no re-ingest — the
 #      durability contract, end to end over TCP.
+#   3c. Multi-shard loopback: two catalog-backed shards behind a
+#      topodb_router. LOAD through the router places entries on their ring
+#      owners, LIST merges the fleet, then SIGTERM kills one shard mid-run
+#      and the router must route inline work around the corpse (exit 0,
+#      router.rerouted advancing) while name-keyed reads of the dead
+#      shard's catalog fail with the documented Unavailable code. Finally
+#      the router itself drains cleanly. Also smoke-runs
+#      bench_shard_scaling (ground-truth-checked scatter-gather at 1/2/4
+#      shards) and holds the checked-in BENCH_shard.json to the scaling
+#      floors.
 #   4. Rebuild the test suite under ASan+UBSan (with float-cast-overflow)
 #      in build-asan/ and run it — this is what runs the predicate-filter,
 #      expansion-stage and BigInt fast-path differential fuzz suites with
@@ -236,6 +246,103 @@ wait "$catalog_pid"
 grep -q "drained cleanly" "$catalog_log" \
   || { echo "restarted catalog server did not drain cleanly"; exit 1; }
 
+echo "==> shard smoke: 2-shard fleet, kill-one-shard route-around, drain"
+# Two catalog-backed shards behind a router. With ring ids a/b (vnodes 64)
+# the placements below are deterministic — shard_ring_test pins the hash,
+# so a change that moves them is a placement break, not CI flakiness:
+#   catalog names:  single,fig6 -> a     nested,fig1a -> b
+#   inline texts:   fig6,nested,disjoint -> b
+shard_a_dir=$(mktemp -d /tmp/topodb_ci_shard_a_XXXXXX)
+shard_b_dir=$(mktemp -d /tmp/topodb_ci_shard_b_XXXXXX)
+trap 'rm -rf "$catalog_dir" "$shard_a_dir" "$shard_b_dir"' EXIT
+start_server() {  # start_server LOGFILE ARGS... ; sets started_pid/started_port
+  local log=$1; shift
+  "$@" > "$log" &
+  started_pid=$!
+  for _ in $(seq 1 50); do
+    grep -q "listening on" "$log" 2>/dev/null && break
+    sleep 0.1
+  done
+  started_port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$log" | head -1)
+  [[ -n "$started_port" ]] || { echo "$log: never came up"; exit 1; }
+}
+start_server ci/artifacts/shard_a.log \
+  ./build-ci/src/server/topodb_server --workers 2 --queue 16 \
+  --catalog "$shard_a_dir"
+shard_a_pid=$started_pid; shard_a_port=$started_port
+start_server ci/artifacts/shard_b.log \
+  ./build-ci/src/server/topodb_server --workers 2 --queue 16 \
+  --catalog "$shard_b_dir"
+shard_b_pid=$started_pid; shard_b_port=$started_port
+start_server ci/artifacts/shard_router.log \
+  ./build-ci/src/shard/topodb_router \
+  --shard "a=$shard_a_port" --shard "b=$shard_b_port"
+router_pid=$started_pid; router_port=$started_port
+rclient="./build-ci/src/client/topodb_client --port $router_port"
+$rclient ping
+# LOAD through the router: each entry lands on its ring owner's catalog.
+$rclient load single single
+$rclient load fig6 fig6
+$rclient load nested nested
+$rclient load fig1a fig1a
+$rclient list | grep -q "4 instance(s)" \
+  || { echo "router list should merge 4 instances"; exit 1; }
+# Placement is physical: each shard's own catalog directory holds exactly
+# its ring-owned entries.
+[[ -n "$(ls -A "$shard_a_dir")" && -n "$(ls -A "$shard_b_dir")" ]] \
+  || { echo "LOAD through the router did not split across shards"; exit 1; }
+$rclient describe nested | grep -q "s-invariant" \
+  || { echo "router describe nested failed"; exit 1; }
+# Cross-shard scatter-gather (catalog refs on both shards + inline texts)
+# and a cross-path ISO check through the router.
+$rclient batch @single @nested fig1a fig6
+$rclient iso @single single | grep -qx "isomorphic" \
+  || { echo "router catalog single diverges from the text path"; exit 1; }
+$rclient eval fig1a "connect(A, A)" | grep -qx "true" \
+  || { echo "router eval connect(A, A) on fig1a should be true"; exit 1; }
+# Kill shard b mid-run. Inline work it owned must route around the corpse;
+# name-keyed reads of its catalog must fail with Unavailable (9).
+kill -TERM "$shard_b_pid"
+wait "$shard_b_pid"
+$rclient batch fig6 nested disjoint
+$rclient invariant nested
+expect_exit 9 $rclient describe nested
+$rclient describe single | grep -q "s-invariant" \
+  || { echo "surviving shard lost its catalog"; exit 1; }
+$rclient list | grep -q "2 instance(s)" \
+  || { echo "router list should serve the surviving shard"; exit 1; }
+$rclient metrics > ci/artifacts/router_metrics.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("ci/artifacts/router_metrics.json"))
+counters = doc["counters"]
+assert counters.get("router.rerouted", 0) >= 1, counters
+assert counters.get("router.health_transitions", 0) >= 1, counters
+assert counters.get("shard.a.server.requests", 0) >= 1, counters
+print("router metrics OK: rerouted=%d health_transitions=%d" %
+      (counters["router.rerouted"], counters["router.health_transitions"]))
+EOF
+kill -TERM "$router_pid"
+wait "$router_pid"
+grep -q "drained cleanly" ci/artifacts/shard_router.log \
+  || { echo "router did not drain cleanly"; exit 1; }
+kill -TERM "$shard_a_pid"
+wait "$shard_a_pid"
+
+echo "==> bench smoke: shard scaling (router scatter-gather, 1/2/4 shards)"
+# Every response in the bench is byte-compared against library ground
+# truth, so the smoke run is a correctness gate for the scatter-gather
+# path. Smoke workloads are tiny so the scaling floors apply only to the
+# checked-in full-size artifact. Regenerate with
+#   TOPODB_BENCH_SHARD_JSON=BENCH_shard.json \
+#     build/bench/bench_shard_scaling --benchmark_filter='^$'
+TOPODB_BENCH_SMOKE=1 \
+TOPODB_BENCH_SHARD_JSON=ci/artifacts/bench_shard.json \
+  ./build-ci/bench/bench_shard_scaling --benchmark_min_time=0.01
+python3 ci/check_bench_shard.py ci/artifacts/bench_shard.json
+python3 ci/check_bench_shard.py BENCH_shard.json --min-2x 1.6 --min-4x 2.5
+
 if [[ "${1:-}" != "--no-sanitizers" ]]; then
   echo "==> sanitizers: ASan + UBSan (incl. float-cast-overflow)"
   # float-cast-overflow is not part of GCC's "undefined" group; it is named
@@ -247,18 +354,21 @@ if [[ "${1:-}" != "--no-sanitizers" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined,float-cast-overflow -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined,float-cast-overflow"
 
-  echo "==> sanitizers: TSan (ConcurrencyTest + ServerTest suites)"
-  # A full TSan suite run would dominate CI wall-clock; these two suites
-  # are written to cover exactly the cross-thread access patterns (shared
+  echo "==> sanitizers: TSan (ConcurrencyTest + ServerTest + RouterTest)"
+  # A full TSan suite run would dominate CI wall-clock; these suites are
+  # written to cover exactly the cross-thread access patterns (shared
   # InvariantCache, shared MetricsRegistry, one engine serving many
-  # threads, cancellation flipped mid-flight, and the acceptor/reader/
-  # worker handoffs of the serving layer).
+  # threads, cancellation flipped mid-flight, the acceptor/reader/worker
+  # handoffs of the serving layer, and the router's scatter threads /
+  # health-prober / session handoffs on top of real backend fleets).
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build build-tsan -j --target concurrency_test server_test
-  ctest --test-dir build-tsan --output-on-failure -R "ConcurrencyTest|ServerTest"
+  cmake --build build-tsan -j --target concurrency_test server_test \
+    shard_router_test
+  ctest --test-dir build-tsan --output-on-failure \
+    -R "ConcurrencyTest|ServerTest|RouterTest"
 fi
 
 echo "==> CI OK"

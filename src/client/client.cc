@@ -4,14 +4,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "src/server/wire.h"
 
 namespace topodb {
 namespace {
+
+// Every transport-level Status message starts with this prefix; the
+// IsTransportError contract keys on it (the wire round-trips messages
+// verbatim, so a server-sent Unavailable can never collide with it —
+// server messages are "queue full (N/N)" / "server draining").
+constexpr char kTransportPrefix[] = "transport: ";
 
 // Transport-level failures (reset, EOF mid-exchange, broken pipe) report
 // Unavailable — the server went away and the call is retryable against a
@@ -24,12 +32,21 @@ Status SendAll(int fd, std::string_view bytes) {
         send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return Status::Unavailable(std::string("send: ") +
+      return Status::Unavailable(std::string(kTransportPrefix) + "send: " +
                                  std::strerror(errno));
     }
     off += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+// Advances a SplitMix64 state and returns the next draw — the client's
+// deterministic jitter stream (seeded per RetryPolicy).
+uint64_t NextJitter(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
 }
 
 // `mid_frame` marks reads whose frame is already partially consumed (the
@@ -44,15 +61,17 @@ Status RecvAll(int fd, char* buf, size_t n, bool mid_frame) {
     const ssize_t r = recv(fd, buf + off, n - off, 0);
     if (r == 0) {
       if (off == 0 && !mid_frame) {
-        return Status::Unavailable("connection closed by server");
+        return Status::Unavailable(std::string(kTransportPrefix) +
+                                   "connection closed by server");
       }
       return Status::Unavailable(
+          std::string(kTransportPrefix) +
           "truncated frame: connection closed after " + std::to_string(off) +
           " of " + std::to_string(n) + " expected bytes");
     }
     if (r < 0) {
       if (errno == EINTR) continue;
-      return Status::Unavailable(std::string("recv: ") +
+      return Status::Unavailable(std::string(kTransportPrefix) + "recv: " +
                                  std::strerror(errno));
     }
     off += static_cast<size_t>(r);
@@ -62,7 +81,10 @@ Status RecvAll(int fd, char* buf, size_t n, bool mid_frame) {
 
 }  // namespace
 
-Result<TopoDbClient> TopoDbClient::Connect(uint16_t port) {
+namespace {
+
+// One loopback dial. Shared by Connect and Reconnect.
+Result<int> DialLoopback(uint16_t port) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -73,23 +95,49 @@ Result<TopoDbClient> TopoDbClient::Connect(uint16_t port) {
   addr.sin_port = htons(port);
   if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     const Status st = Status::Unavailable(
-        "connect to 127.0.0.1:" + std::to_string(port) + ": " +
-        std::strerror(errno));
+        std::string(kTransportPrefix) + "connect to 127.0.0.1:" +
+        std::to_string(port) + ": " + std::strerror(errno));
     close(fd);
     return st;
   }
-  return TopoDbClient(fd);
+  return fd;
+}
+
+}  // namespace
+
+Result<TopoDbClient> TopoDbClient::Connect(uint16_t port,
+                                           const ClientOptions& options) {
+  TOPODB_ASSIGN_OR_RETURN(int fd, DialLoopback(port));
+  TopoDbClient client(fd);
+  client.port_ = port;
+  client.options_ = options;
+  client.jitter_state_ = options.retry.jitter_seed;
+  client.c_retries_ = RegistryCounter(options.metrics, "client.retries");
+  return client;
+}
+
+bool TopoDbClient::IsTransportError(const Status& status) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message().rfind(kTransportPrefix, 0) == 0;
 }
 
 TopoDbClient::TopoDbClient(TopoDbClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      next_request_id_(other.next_request_id_) {}
+      next_request_id_(other.next_request_id_),
+      port_(other.port_),
+      options_(other.options_),
+      jitter_state_(other.jitter_state_),
+      c_retries_(other.c_retries_) {}
 
 TopoDbClient& TopoDbClient::operator=(TopoDbClient&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     next_request_id_ = other.next_request_id_;
+    port_ = other.port_;
+    options_ = other.options_;
+    jitter_state_ = other.jitter_state_;
+    c_retries_ = other.c_retries_;
   }
   return *this;
 }
@@ -98,9 +146,54 @@ TopoDbClient::~TopoDbClient() {
   if (fd_ >= 0) close(fd_);
 }
 
+Status TopoDbClient::Reconnect() {
+  if (port_ == 0) {
+    return Status::Unavailable(std::string(kTransportPrefix) +
+                               "cannot reconnect a wrapped fd");
+  }
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  TOPODB_ASSIGN_OR_RETURN(int fd, DialLoopback(port_));
+  fd_ = fd;
+  return Status::OK();
+}
+
 Result<std::string> TopoDbClient::RoundTrip(uint16_t opcode,
                                             const std::string& payload,
                                             uint32_t budget_ms) {
+  Result<std::string> result = RoundTripOnce(opcode, payload, budget_ms);
+  if (options_.retry.max_retries <= 0 || port_ == 0) return result;
+  std::chrono::milliseconds delay = options_.retry.initial_backoff;
+  for (int attempt = 1; attempt <= options_.retry.max_retries; ++attempt) {
+    if (result.ok() || !IsTransportError(result.status())) return result;
+    // Jittered exponential backoff: uniform in [0.5, 1.0) of the current
+    // delay, so a fleet of retrying clients decorrelates.
+    const double jitter =
+        0.5 + 0.5 * (static_cast<double>(NextJitter(&jitter_state_) >> 11) /
+                     9007199254740992.0);  // 2^53
+    const auto sleep_for = std::chrono::duration_cast<
+        std::chrono::milliseconds>(delay * jitter);
+    if (sleep_for.count() > 0) std::this_thread::sleep_for(sleep_for);
+    delay = std::min(std::chrono::duration_cast<std::chrono::milliseconds>(
+                         delay * options_.retry.multiplier),
+                     options_.retry.max_backoff);
+    CounterAdd(c_retries_);
+    // The dead socket can never be resynced — every re-attempt starts
+    // from a fresh connection. A failed dial is itself a transport
+    // failure and consumes this attempt.
+    const Status reconnected = Reconnect();
+    if (!reconnected.ok()) {
+      result = reconnected;
+      continue;
+    }
+    result = RoundTripOnce(opcode, payload, budget_ms);
+  }
+  return result;
+}
+
+Result<std::string> TopoDbClient::RoundTripOnce(uint16_t opcode,
+                                                const std::string& payload,
+                                                uint32_t budget_ms) {
   if (fd_ < 0) return Status::Internal("client not connected");
   FrameHeader header;
   header.opcode = opcode;
@@ -144,6 +237,13 @@ Result<std::string> TopoDbClient::RoundTrip(uint16_t opcode,
 Status TopoDbClient::Ping(uint32_t budget_ms) {
   return RoundTrip(static_cast<uint16_t>(Opcode::kPing), {}, budget_ms)
       .status();
+}
+
+Result<PingBody> TopoDbClient::HealthPing(uint32_t budget_ms) {
+  TOPODB_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(static_cast<uint16_t>(Opcode::kPing), {}, budget_ms));
+  return DecodePingBody(body);
 }
 
 Result<std::string> TopoDbClient::ComputeInvariant(const InstanceRef& ref,

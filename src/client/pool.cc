@@ -1,0 +1,36 @@
+#include "src/client/pool.h"
+
+#include <utility>
+
+namespace topodb {
+
+Result<ClientPool::Lease> ClientPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      std::unique_ptr<TopoDbClient> client = std::move(idle_.back());
+      idle_.pop_back();
+      return Lease(this, std::move(client));
+    }
+  }
+  TOPODB_ASSIGN_OR_RETURN(TopoDbClient client,
+                          TopoDbClient::Connect(options_.port,
+                                                options_.client));
+  return Lease(this,
+               std::make_unique<TopoDbClient>(std::move(client)));
+}
+
+size_t ClientPool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+void ClientPool::Release(std::unique_ptr<TopoDbClient> client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < options_.max_idle) {
+    idle_.push_back(std::move(client));
+  }
+  // Otherwise the unique_ptr closes the connection on scope exit.
+}
+
+}  // namespace topodb

@@ -1,0 +1,89 @@
+#ifndef TOPODB_CLIENT_POOL_H_
+#define TOPODB_CLIENT_POOL_H_
+
+// A small pool of TopoDbClient connections to one endpoint. The blocking
+// client holds one request in flight per connection, so concurrent
+// callers (the shard router's scatter-gather threads) each lease their
+// own connection; released connections are kept for reuse up to
+// `max_idle`, amortizing the dial across requests.
+//
+// A lease that hit a transport failure must be Discard()ed, not
+// returned: the stream may be desynchronized mid-frame and could misroute
+// the next caller's reply. Discarding closes the socket; the next Acquire
+// dials fresh.
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/client/client.h"
+
+namespace topodb {
+
+struct ClientPoolOptions {
+  uint16_t port = 0;
+  // Connections kept alive after release; extras are closed.
+  size_t max_idle = 4;
+  // Applied to every pooled connection (the router turns retry on here).
+  ClientOptions client;
+};
+
+class ClientPool {
+ public:
+  explicit ClientPool(const ClientPoolOptions& options) : options_(options) {}
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  // RAII connection lease: returns the client to the pool on destruction
+  // unless Discard()ed first.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          client_(std::move(other.client_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr && client_ != nullptr) {
+        pool_->Release(std::move(client_));
+      }
+    }
+
+    TopoDbClient& operator*() { return *client_; }
+    TopoDbClient* operator->() { return client_.get(); }
+
+    // Closes the connection instead of pooling it (transport failure:
+    // the stream cannot be trusted for another caller).
+    void Discard() { client_.reset(); }
+
+   private:
+    friend class ClientPool;
+    Lease(ClientPool* pool, std::unique_ptr<TopoDbClient> client)
+        : pool_(pool), client_(std::move(client)) {}
+
+    ClientPool* pool_;
+    std::unique_ptr<TopoDbClient> client_;
+  };
+
+  // Pops an idle connection or dials a fresh one. Fails with the dial's
+  // transport error when the endpoint is unreachable.
+  Result<Lease> Acquire();
+
+  size_t idle() const;
+
+ private:
+  friend class Lease;
+  void Release(std::unique_ptr<TopoDbClient> client);
+
+  const ClientPoolOptions options_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TopoDbClient>> idle_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_CLIENT_POOL_H_

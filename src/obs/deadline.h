@@ -40,6 +40,24 @@ class Deadline {
     return !infinite_ && std::chrono::steady_clock::now() >= at_;
   }
 
+  // The remaining budget as a wire `deadline_budget_ms` field: 0 for an
+  // infinite deadline (the wire's "no deadline"), otherwise the remaining
+  // whole milliseconds clamped up to 1 — a nearly-spent budget must still
+  // travel as a deadline, never silently widen into "no deadline" on the
+  // next hop. Used by the shard router to materialize what is left of the
+  // client's budget into each backend frame.
+  uint32_t WireBudgetMs() const {
+    if (infinite_) return 0;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= at_) return 1;
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(at_ - now)
+            .count();
+    if (ms < 1) return 1;
+    constexpr int64_t kMax = 0xFFFFFFFF;
+    return static_cast<uint32_t>(ms > kMax ? kMax : ms);
+  }
+
  private:
   explicit Deadline(std::chrono::steady_clock::time_point at)
       : infinite_(false), at_(at) {}

@@ -1,0 +1,59 @@
+#include "src/pipeline/text_cache.h"
+
+namespace topodb {
+
+TextInvariantCache::TextInvariantCache(const TextCacheOptions& options)
+    : options_(options),
+      c_hits_(RegistryCounter(options.metrics, "textcache.hits")),
+      c_misses_(RegistryCounter(options.metrics, "textcache.misses")),
+      c_insertions_(RegistryCounter(options.metrics, "textcache.insertions")),
+      c_rejected_(RegistryCounter(options.metrics, "textcache.rejected")),
+      g_entries_(RegistryGauge(options.metrics, "textcache.entries")),
+      g_bytes_(RegistryGauge(options.metrics, "textcache.bytes")) {}
+
+std::optional<std::string> TextInvariantCache::Lookup(std::string_view text) {
+  if (options_.max_entries == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Heterogeneous lookup needs a transparent hasher; a std::string key is
+  // fine here because a miss is about to pay a parse + arrangement build
+  // and a hit is about to copy the canonical anyway.
+  const auto it = map_.find(std::string(text));
+  if (it == map_.end()) {
+    CounterAdd(c_misses_);
+    return std::nullopt;
+  }
+  CounterAdd(c_hits_);
+  return it->second;
+}
+
+void TextInvariantCache::Insert(std::string_view text,
+                                std::string_view canonical) {
+  if (options_.max_entries == 0) return;
+  const size_t cost = text.size() + canonical.size();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.size() >= options_.max_entries ||
+      bytes_ + cost > options_.max_bytes) {
+    CounterAdd(c_rejected_);
+    return;
+  }
+  const auto [it, inserted] =
+      map_.emplace(std::string(text), std::string(canonical));
+  (void)it;
+  if (!inserted) return;  // First insert won; nothing changed.
+  bytes_ += cost;
+  CounterAdd(c_insertions_);
+  GaugeSet(g_entries_, static_cast<int64_t>(map_.size()));
+  GaugeSet(g_bytes_, static_cast<int64_t>(bytes_));
+}
+
+size_t TextInvariantCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+size_t TextInvariantCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace topodb

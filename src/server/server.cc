@@ -21,6 +21,7 @@
 #include "src/pipeline/batch.h"
 #include "src/pipeline/engine_cache.h"
 #include "src/pipeline/semantic_cache.h"
+#include "src/pipeline/text_cache.h"
 #include "src/region/io.h"
 #include "src/server/wire.h"
 #include "src/store/catalog.h"
@@ -66,7 +67,9 @@ struct TopoDbServer::Impl {
         engine_cache(registry),
         sem_cache(SemanticCacheOptions{options.semantic_cache_entries,
                                        options.semantic_cache_bytes,
-                                       registry}) {}
+                                       registry}),
+        text_cache(TextCacheOptions{options.text_cache_entries,
+                                    options.text_cache_bytes, registry}) {}
 
   // One accepted connection. The reader thread lives exactly as long as
   // the socket delivers frames; workers share the socket for writes, so
@@ -111,6 +114,11 @@ struct TopoDbServer::Impl {
   // query against unchanged bytes is answered without evaluating. Shares
   // the EngineCache identity scheme, so re-ingest invalidates both.
   SemanticCache sem_cache;
+  // Canonical invariant responses keyed by raw instance text: a text hit
+  // skips parse + build entirely (the InvariantCache above only dedupes
+  // *after* the arrangement is built). Admission-capped; see
+  // src/pipeline/text_cache.h for why that beats LRU here.
+  TextInvariantCache text_cache;
 
   int listen_fd = -1;
   uint16_t bound_port = 0;
@@ -243,18 +251,14 @@ struct TopoDbServer::Impl {
     close(listen_fd);
     listen_fd = -1;
 
-    // 2. Stop admitting: readers wake out of blocked reads with EOF and
-    // answer any frame already in flight with Unavailable (the draining
-    // check in ReaderLoop).
-    {
-      std::lock_guard<std::mutex> lock(sessions_mu);
-      for (const auto& session : sessions) shutdown(session->fd, SHUT_RD);
-    }
-
-    // 3. Drain admitted work up to the drain deadline, then cancel
+    // 2. Drain admitted work up to the drain deadline, then cancel
     // stragglers: every in-flight execution polls the shared token at its
     // next checkpoint and fails fast with DeadlineExceeded — but still
-    // writes its response, so nothing admitted goes unanswered.
+    // writes its response, so nothing admitted goes unanswered. Readers
+    // stay live through this window: new requests are refused with
+    // Unavailable, and PING is answered inline with the draining state,
+    // so a health checker sees "draining" for the whole drain rather than
+    // a connection that just went dark.
     {
       std::unique_lock<std::mutex> lock(queue_mu);
       const bool drained = drain_cv.wait_for(
@@ -265,6 +269,13 @@ struct TopoDbServer::Impl {
         drain_cv.wait(lock,
                       [this] { return queue.empty() && in_flight == 0; });
       }
+    }
+
+    // 3. Stop the readers: half-closing the read side wakes any reader
+    // blocked in recv with EOF so it can exit and be joined below.
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu);
+      for (const auto& session : sessions) shutdown(session->fd, SHUT_RD);
     }
 
     // 4. Retire the worker pool and the per-session readers, then the
@@ -364,6 +375,16 @@ struct TopoDbServer::Impl {
         continue;
       }
       if (draining.load()) {
+        // Health probes keep working during drain — that is exactly when
+        // a router needs the answer. The reader responds inline (the
+        // worker pool may already be retiring) with the draining state.
+        if (static_cast<Opcode>(header->opcode) == Opcode::kPing) {
+          std::string ping_body;
+          AppendPingBody(&ping_body, SnapshotPingBody());
+          WriteResponse(*session, header->opcode, header->request_id,
+                        Status::OK(), ping_body);
+          continue;
+        }
         c_rejected_draining->Add();
         WriteResponse(*session, header->opcode, header->request_id,
                       Status::Unavailable("server draining"), {});
@@ -379,12 +400,15 @@ struct TopoDbServer::Impl {
       item.payload = std::move(payload);
       item.admitted_at = std::chrono::steady_clock::now();
       bool admitted = false;
+      size_t depth_at_shed = 0;
       {
         std::lock_guard<std::mutex> lock(queue_mu);
         if (queue.size() < options.max_queue_depth) {
           queue.push_back(std::move(item));
           g_queue_depth->Set(static_cast<int64_t>(queue.size()));
           admitted = true;
+        } else {
+          depth_at_shed = queue.size();
         }
       }
       if (admitted) {
@@ -392,12 +416,15 @@ struct TopoDbServer::Impl {
         queue_cv.notify_one();
       } else {
         // Explicit backpressure: shed now with a retryable status instead
-        // of queueing indefinitely.
+        // of queueing indefinitely. The depth/bound context lets a shard
+        // router tell an overloaded-but-alive backend (do not reroute,
+        // propagate the backpressure) from a dead one.
         c_shed->Add();
         WriteResponse(*session, header->opcode, header->request_id,
                       Status::Unavailable(
-                          "admission queue full (bound " +
-                          std::to_string(options.max_queue_depth) + ")"),
+                          "queue full (" + std::to_string(depth_at_shed) +
+                          "/" + std::to_string(options.max_queue_depth) +
+                          ")"),
                       {});
       }
     }
@@ -480,6 +507,19 @@ struct TopoDbServer::Impl {
     c_responses->Add();
   }
 
+  // The PING response body: drain state plus a point-in-time admission
+  // queue snapshot.
+  PingBody SnapshotPingBody() {
+    PingBody ping;
+    ping.state = draining.load() ? kPingStateDraining : kPingStateServing;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      ping.queue_depth = static_cast<uint32_t>(queue.size());
+    }
+    ping.queue_bound = static_cast<uint32_t>(options.max_queue_depth);
+    return ping;
+  }
+
   BatchOptions InvariantBatchOptions(const WorkItem& item) {
     BatchOptions batch;
     // Cross-request parallelism is the worker pool's job; keep each
@@ -524,6 +564,14 @@ struct TopoDbServer::Impl {
           out[i] = entry.status();
         }
       } else {
+        // Text fast path: a repeated text serves its canonical straight
+        // from the text cache, skipping parse + build (and charging
+        // nothing against the item's budget).
+        if (std::optional<std::string> cached =
+                text_cache.Lookup(refs[i].value)) {
+          out[i] = *std::move(cached);
+          continue;
+        }
         Result<SpatialInstance> instance = ParseInstanceText(refs[i].value);
         if (instance.ok()) {
           parsed.push_back(std::move(instance).value());
@@ -537,6 +585,10 @@ struct TopoDbServer::Impl {
     for (size_t j = 0; j < results.size(); ++j) {
       if (results[j].ok()) {
         out[parsed_index[j]] = results[j]->canonical();
+        // Only successes are cached: a deadline-exceeded or otherwise
+        // failed item must be retryable, never pinned as an error.
+        text_cache.Insert(refs[parsed_index[j]].value,
+                          results[j]->canonical());
       } else {
         out[parsed_index[j]] = results[j].status();
       }
@@ -551,8 +603,11 @@ struct TopoDbServer::Impl {
     TOPODB_RETURN_NOT_OK(stop.Check());
     WireReader reader(item.payload);
     switch (static_cast<Opcode>(item.opcode)) {
-      case Opcode::kPing:
-        return reader.ExpectEnd();
+      case Opcode::kPing: {
+        TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+        AppendPingBody(body, SnapshotPingBody());
+        return Status::OK();
+      }
 
       case Opcode::kMetrics: {
         TOPODB_RETURN_NOT_OK(reader.ExpectEnd());

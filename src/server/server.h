@@ -81,6 +81,14 @@ struct ServerOptions {
   bool semantic_cache = true;
   size_t semantic_cache_entries = 4096;
   size_t semantic_cache_bytes = size_t{4} << 20;
+  // Cache canonical invariant responses for inline-text refs keyed by the
+  // raw instance text (src/pipeline/text_cache.h): a repeated
+  // COMPUTE_INVARIANT / BATCH_INVARIANTS item skips parsing and
+  // arrangement building entirely. Admission-capped (first-in wins) so
+  // sweep workloads keep a stable resident subset — the property the
+  // shard router's scaling rests on (DESIGN.md §5i). 0 entries disables.
+  size_t text_cache_entries = 4096;
+  size_t text_cache_bytes = size_t{16} << 20;
   // Metrics sink for every stage (accept, admission, queue wait, execute,
   // write) and the METRICS opcode. nullptr = the server owns a private
   // registry, reachable via metrics().

@@ -5,7 +5,8 @@
 //
 // Usage: topodb_server [--port N] [--workers N] [--queue N] [--drain-ms N]
 //                      [--catalog DIR] [--no-plan] [--no-semcache]
-//                      [--semcache-entries N]
+//                      [--semcache-entries N] [--no-textcache]
+//                      [--text-cache-entries N]
 //
 // With --catalog, the instance catalog under DIR is opened (corrupt files
 // skipped with a stderr report) before binding the port, so the LOAD /
@@ -68,11 +69,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--semcache-entries") == 0 && has_value) {
       options.semantic_cache_entries =
           static_cast<size_t>(ParseLongOrDie(arg, argv[++i]));
+    } else if (std::strcmp(arg, "--no-textcache") == 0) {
+      options.text_cache_entries = 0;
+    } else if (std::strcmp(arg, "--text-cache-entries") == 0 && has_value) {
+      options.text_cache_entries =
+          static_cast<size_t>(ParseLongOrDie(arg, argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: topodb_server [--port N] [--workers N] "
                    "[--queue N] [--drain-ms N] [--catalog DIR] "
-                   "[--no-plan] [--no-semcache] [--semcache-entries N]\n");
+                   "[--no-plan] [--no-semcache] [--semcache-entries N] "
+                   "[--no-textcache] [--text-cache-entries N]\n");
       return 2;
     }
   }

@@ -76,6 +76,28 @@ void AppendInstanceRef(std::string* out, const InstanceRef& ref) {
   AppendWireString(out, ref.value);
 }
 
+void AppendPingBody(std::string* out, const PingBody& body) {
+  AppendU8(out, body.state);
+  AppendU32(out, body.queue_depth);
+  AppendU32(out, body.queue_bound);
+}
+
+Result<PingBody> DecodePingBody(std::string_view body) {
+  PingBody decoded;
+  if (body.empty()) return decoded;  // Pre-body server: serving.
+  WireReader reader(body);
+  TOPODB_ASSIGN_OR_RETURN(decoded.state, reader.ReadU8());
+  TOPODB_ASSIGN_OR_RETURN(decoded.queue_depth, reader.ReadU32());
+  TOPODB_ASSIGN_OR_RETURN(decoded.queue_bound, reader.ReadU32());
+  TOPODB_RETURN_NOT_OK(reader.ExpectEnd());
+  if (decoded.state != kPingStateServing &&
+      decoded.state != kPingStateDraining) {
+    return Status::InvalidArgument("unknown ping state " +
+                                   std::to_string(decoded.state));
+  }
+  return decoded;
+}
+
 Result<uint8_t> WireReader::ReadU8() {
   if (remaining() < 1) {
     return Status::InvalidArgument("wire payload truncated reading u8");

@@ -52,7 +52,9 @@ inline constexpr uint16_t kWireResponseBit = 0x80;
 
 // Request opcodes. Values are wire-stable: never renumber, only append.
 enum class Opcode : uint16_t {
-  kPing = 1,              // empty payload -> empty body
+  kPing = 1,              // empty payload -> PingBody (u8 state, u32 queue
+                          //   depth, u32 queue bound); pre-router servers
+                          //   sent an empty body, which decodes as serving
   kComputeInvariant = 2,  // instance ref -> string canonical
   kBatchInvariants = 3,   // u32 n, n instance refs ->
                           //   u32 n, n * (u32 status, string canonical|msg)
@@ -92,6 +94,27 @@ struct InstanceRef {
 };
 
 void AppendInstanceRef(std::string* out, const InstanceRef& ref);
+
+// The PING response body: the serving state a health checker needs in one
+// round trip. `state` distinguishes a server that is accepting work from
+// one draining toward shutdown (admitted requests are finishing but new
+// ones are rejected) — the shard router's HealthChecker routes around
+// draining backends before they disappear. The queue fields expose
+// admission pressure so overload ("queue full" sheds) is attributable to
+// a live-but-busy backend rather than a dead one.
+struct PingBody {
+  uint8_t state = 0;         // kPingStateServing / kPingStateDraining.
+  uint32_t queue_depth = 0;  // Admitted requests currently queued.
+  uint32_t queue_bound = 0;  // Admission-queue capacity (0 = unknown).
+};
+
+inline constexpr uint8_t kPingStateServing = 0;
+inline constexpr uint8_t kPingStateDraining = 1;
+
+void AppendPingBody(std::string* out, const PingBody& body);
+// An empty body decodes to the defaults (serving, unknown queue): servers
+// that predate the body are read as healthy rather than failing the probe.
+Result<PingBody> DecodePingBody(std::string_view body);
 
 struct FrameHeader {
   uint16_t version = kWireVersion;

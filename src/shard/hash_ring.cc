@@ -1,0 +1,73 @@
+#include "src/shard/hash_ring.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace topodb {
+
+uint64_t ConsistentHashRing::Hash(std::string_view bytes) {
+  // FNV-1a 64 with the standard offset basis and prime.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Result<ConsistentHashRing> ConsistentHashRing::Build(
+    std::vector<std::string> shard_ids, int vnodes) {
+  if (shard_ids.empty()) {
+    return Status::InvalidArgument("hash ring needs at least one shard");
+  }
+  if (vnodes < 1) {
+    return Status::InvalidArgument("hash ring needs vnodes >= 1, got " +
+                                   std::to_string(vnodes));
+  }
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& id : shard_ids) {
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument("duplicate shard id '" + id + "'");
+    }
+  }
+  std::vector<std::pair<uint64_t, uint32_t>> points;
+  points.reserve(shard_ids.size() * static_cast<size_t>(vnodes));
+  for (size_t s = 0; s < shard_ids.size(); ++s) {
+    for (int k = 0; k < vnodes; ++k) {
+      points.emplace_back(Hash(shard_ids[s] + "#" + std::to_string(k)),
+                          static_cast<uint32_t>(s));
+    }
+  }
+  std::sort(points.begin(), points.end());
+  return ConsistentHashRing(std::move(shard_ids), vnodes, std::move(points));
+}
+
+size_t ConsistentHashRing::PointFor(uint64_t hash) const {
+  // First point at or clockwise of `hash`, wrapping past the top.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(hash, static_cast<uint32_t>(0)));
+  if (it == points_.end()) return 0;
+  return static_cast<size_t>(it - points_.begin());
+}
+
+size_t ConsistentHashRing::ShardForKey(std::string_view key) const {
+  return points_[PointFor(Hash(key))].second;
+}
+
+std::vector<size_t> ConsistentHashRing::WalkOrder(std::string_view key) const {
+  std::vector<size_t> order;
+  order.reserve(ids_.size());
+  std::vector<bool> taken(ids_.size(), false);
+  const size_t start = PointFor(Hash(key));
+  for (size_t i = 0; i < points_.size() && order.size() < ids_.size(); ++i) {
+    const uint32_t shard = points_[(start + i) % points_.size()].second;
+    if (!taken[shard]) {
+      taken[shard] = true;
+      order.push_back(shard);
+    }
+  }
+  return order;
+}
+
+}  // namespace topodb

@@ -1,0 +1,66 @@
+#ifndef TOPODB_SHARD_HASH_RING_H_
+#define TOPODB_SHARD_HASH_RING_H_
+
+// Consistent-hash ring with virtual nodes over named shards. Every shard
+// contributes `vnodes` points at Hash(id + "#" + k); a key is owned by
+// the first point clockwise of Hash(key). Removing one of N shards
+// therefore remaps only the keys that shard owned (~1/N of the keyspace)
+// and no others — the property the router's rebalancing and the shard
+// tests rest on.
+//
+// Determinism: the hash is FNV-1a 64 — fixed constants, no seeding, no
+// pointer or locale dependence — so key→shard assignments are identical
+// across processes, platforms, and builds. Golden tests pin them; a
+// hash change is a placement change for every deployed catalog and must
+// be treated as a format break.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace topodb {
+
+class ConsistentHashRing {
+ public:
+  // shard_ids must be non-empty and duplicate-free; vnodes >= 1. Ring
+  // construction is O(N·vnodes·log) once; lookups are a binary search.
+  static Result<ConsistentHashRing> Build(std::vector<std::string> shard_ids,
+                                          int vnodes);
+
+  // FNV-1a 64: the ring's key and point hash.
+  static uint64_t Hash(std::string_view bytes);
+
+  size_t num_shards() const { return ids_.size(); }
+  const std::string& shard_id(size_t shard) const { return ids_[shard]; }
+  int vnodes() const { return vnodes_; }
+
+  // The shard owning `key`.
+  size_t ShardForKey(std::string_view key) const;
+
+  // Every shard exactly once, in ring order starting at the owner of
+  // `key` — the preference order for rerouting a relocatable key when its
+  // owner is down.
+  std::vector<size_t> WalkOrder(std::string_view key) const;
+
+ private:
+  ConsistentHashRing(std::vector<std::string> ids, int vnodes,
+                     std::vector<std::pair<uint64_t, uint32_t>> points)
+      : ids_(std::move(ids)), vnodes_(vnodes), points_(std::move(points)) {}
+
+  // The index of the ring point owning `hash`.
+  size_t PointFor(uint64_t hash) const;
+
+  std::vector<std::string> ids_;
+  int vnodes_ = 0;
+  // (point hash, shard index), sorted; ties broken by shard index so the
+  // order is deterministic even under hash collisions.
+  std::vector<std::pair<uint64_t, uint32_t>> points_;
+};
+
+}  // namespace topodb
+
+#endif  // TOPODB_SHARD_HASH_RING_H_

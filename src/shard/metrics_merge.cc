@@ -1,0 +1,141 @@
+#include "src/shard/metrics_merge.h"
+
+#include <algorithm>
+
+namespace topodb {
+namespace {
+
+// Splits `text` into lines without copying (no trailing-newline entry).
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+// Parses one `    "name": value[,]` entry line.
+Status ParseEntry(std::string_view line,
+                  std::vector<std::pair<std::string, std::string>>* out) {
+  if (line.size() < 6 || line.substr(0, 5) != "    \"") {
+    return Status::InvalidArgument("malformed metrics entry: " +
+                                   std::string(line));
+  }
+  // The name ends at the first unescaped quote.
+  size_t name_end = 5;
+  while (name_end < line.size() &&
+         (line[name_end] != '"' || line[name_end - 1] == '\\')) {
+    ++name_end;
+  }
+  if (name_end + 2 >= line.size() ||
+      line.substr(name_end, 3) != "\": ") {
+    return Status::InvalidArgument("malformed metrics entry: " +
+                                   std::string(line));
+  }
+  std::string_view value = line.substr(name_end + 3);
+  if (!value.empty() && value.back() == ',') value.remove_suffix(1);
+  out->emplace_back(std::string(line.substr(5, name_end - 5)),
+                    std::string(value));
+  return Status::OK();
+}
+
+// Consumes a `  "<section>": {...}` block starting at lines[*i],
+// advancing *i past it.
+Status ParseSection(const std::vector<std::string_view>& lines, size_t* i,
+                    const std::string& section,
+                    std::vector<std::pair<std::string, std::string>>* out) {
+  const std::string open = "  \"" + section + "\": {";
+  if (*i >= lines.size() || lines[*i].substr(0, open.size()) != open) {
+    return Status::InvalidArgument("expected \"" + section +
+                                   "\" section in metrics JSON");
+  }
+  // Empty section: the brace closes on the same line ("{}," or "{}").
+  std::string_view rest = lines[*i].substr(open.size());
+  ++*i;
+  if (rest == "}," || rest == "}") return Status::OK();
+  if (!rest.empty()) {
+    return Status::InvalidArgument("malformed section header for \"" +
+                                   section + "\"");
+  }
+  while (*i < lines.size() && lines[*i] != "  }," && lines[*i] != "  }") {
+    TOPODB_RETURN_NOT_OK(ParseEntry(lines[*i], out));
+    ++*i;
+  }
+  if (*i >= lines.size()) {
+    return Status::InvalidArgument("unterminated \"" + section +
+                                   "\" section in metrics JSON");
+  }
+  ++*i;  // The closing "  }," / "  }".
+  return Status::OK();
+}
+
+void EmitSection(std::string* out, const std::string& section,
+                 std::vector<std::pair<std::string, std::string>> entries,
+                 bool last) {
+  std::sort(entries.begin(), entries.end());
+  *out += "  \"" + section + "\": {";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    *out += i == 0 ? "\n" : ",\n";
+    *out += "    \"" + entries[i].first + "\": " + entries[i].second;
+  }
+  *out += entries.empty() ? "}" : "\n  }";
+  *out += last ? "\n" : ",\n";
+}
+
+}  // namespace
+
+Result<ParsedMetrics> ParseMetricsJson(std::string_view json) {
+  const std::vector<std::string_view> lines = SplitLines(json);
+  size_t i = 0;
+  if (i >= lines.size() || lines[i] != "{") {
+    return Status::InvalidArgument("metrics JSON does not start with '{'");
+  }
+  ++i;
+  if (i >= lines.size() ||
+      lines[i] != "  \"schema\": \"topodb.metrics.v2\",") {
+    return Status::InvalidArgument(
+        "metrics JSON schema line is not topodb.metrics.v2");
+  }
+  ++i;
+  ParsedMetrics parsed;
+  TOPODB_RETURN_NOT_OK(ParseSection(lines, &i, "counters", &parsed.counters));
+  TOPODB_RETURN_NOT_OK(ParseSection(lines, &i, "gauges", &parsed.gauges));
+  TOPODB_RETURN_NOT_OK(
+      ParseSection(lines, &i, "histograms", &parsed.histograms));
+  if (i >= lines.size() || lines[i] != "}") {
+    return Status::InvalidArgument("metrics JSON does not end with '}'");
+  }
+  return parsed;
+}
+
+std::string MergeMetricsJson(
+    const ParsedMetrics& own,
+    const std::vector<std::pair<std::string, ParsedMetrics>>& shards) {
+  ParsedMetrics merged = own;
+  for (const auto& [id, shard] : shards) {
+    // Shard ids are code/flag-controlled ([a-z0-9._-] in practice); the
+    // prefix concatenates onto the already-escaped name text.
+    const std::string prefix = "shard." + id + ".";
+    for (const auto& [name, value] : shard.counters) {
+      merged.counters.emplace_back(prefix + name, value);
+    }
+    for (const auto& [name, value] : shard.gauges) {
+      merged.gauges.emplace_back(prefix + name, value);
+    }
+    for (const auto& [name, value] : shard.histograms) {
+      merged.histograms.emplace_back(prefix + name, value);
+    }
+  }
+  std::string out = "{\n  \"schema\": \"topodb.metrics.v2\",\n";
+  EmitSection(&out, "counters", std::move(merged.counters), false);
+  EmitSection(&out, "gauges", std::move(merged.gauges), false);
+  EmitSection(&out, "histograms", std::move(merged.histograms), true);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace topodb

@@ -1,0 +1,50 @@
+#ifndef TOPODB_SHARD_METRICS_MERGE_H_
+#define TOPODB_SHARD_METRICS_MERGE_H_
+
+// Merging backend metrics exports into the router's single registry
+// view: the METRICS opcode through the router returns one
+// topodb.metrics.v2 document containing the router's own metrics under
+// their names plus every backend metric re-labeled
+// `shard.<id>.<original name>`, all sections lexicographically sorted —
+// the same deterministic shape MetricsRegistry::ExportJson produces, so
+// ci/check_metrics_json.py and dashboards need no second schema.
+//
+// The parser is a tokenizer for that known deterministic layout (one
+// entry per line, fixed indentation), not a general JSON parser; values
+// are spliced through verbatim (histogram objects byte-for-byte), so the
+// merge can never lose precision by re-formatting numbers.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace topodb {
+
+// One export's entries: (escaped-name, value-text) pairs per section, in
+// document order. Value text is everything after the ": " separator with
+// the trailing comma stripped — a number for counters/gauges, a one-line
+// object for histograms.
+struct ParsedMetrics {
+  std::vector<std::pair<std::string, std::string>> counters;
+  std::vector<std::pair<std::string, std::string>> gauges;
+  std::vector<std::pair<std::string, std::string>> histograms;
+};
+
+// Tokenizes a MetricsRegistry::ExportJson document. InvalidArgument on
+// anything that does not match the known layout (wrong schema line,
+// unterminated section, malformed entry).
+Result<ParsedMetrics> ParseMetricsJson(std::string_view json);
+
+// Re-emits one topodb.metrics.v2 document: `own` entries under their
+// names, each shard's entries under "shard.<id>." prefixes, sections
+// sorted lexicographically by name.
+std::string MergeMetricsJson(
+    const ParsedMetrics& own,
+    const std::vector<std::pair<std::string, ParsedMetrics>>& shards);
+
+}  // namespace topodb
+
+#endif  // TOPODB_SHARD_METRICS_MERGE_H_

@@ -350,6 +350,100 @@ TEST(ServerTest, OverloadShedsWithUnavailable) {
   EXPECT_NE(shed_metric.find("server.shed"), std::string::npos);
 }
 
+// The shed response names the admission pressure that caused it: a
+// router or operator reading "queue full (1/1)" knows the backend is
+// alive and saturated (backpressure), not dead (failover). The message
+// is part of the protocol surface — the shard router keys "overloaded,
+// do not reroute" on the fact that this is a server-sent Unavailable.
+TEST(ServerTest, ShedMessagePinsQueueContext) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 1;
+  options.drain_timeout = std::chrono::milliseconds(10000);
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string grid = GridText();
+
+  // Occupy the single worker, then the single queue slot.
+  std::thread busy([&] {
+    auto c = TopoDbClient::Connect(server.port());
+    if (c.ok()) (void)c->EvalQuery(grid, kPathologicalQuery);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  std::thread queued([&] {
+    auto c = TopoDbClient::Connect(server.port());
+    if (c.ok()) (void)c->EvalQuery(grid, kPathologicalQuery);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  TopoDbClient client = ConnectOrDie(server);
+  const auto shed = client.EvalQuery(grid, kPathologicalQuery);
+  ASSERT_EQ(shed.status().code(), StatusCode::kUnavailable)
+      << shed.status().ToString();
+  EXPECT_EQ(shed.status().message(), "queue full (1/1)");
+  // Server-sent, not transport: a router must treat it as backpressure.
+  EXPECT_FALSE(TopoDbClient::IsTransportError(shed.status()));
+
+  busy.join();
+  queued.join();
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+// The PING body advertises the serving state and admission bounds — the
+// one-round-trip health probe the shard router's HealthChecker runs.
+TEST(ServerTest, HealthPingReportsServingStateAndQueueBound) {
+  ServerOptions options;
+  options.max_queue_depth = 7;
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TopoDbClient client = ConnectOrDie(server);
+  const auto pong = client.HealthPing();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->state, kPingStateServing);
+  EXPECT_EQ(pong->queue_bound, 7u);
+  EXPECT_EQ(pong->queue_depth, 0u);
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+// While draining, an existing session can still ask PING and learns the
+// server is going away (state = draining) instead of being cut off —
+// what lets a health checker distinguish "drain in progress, stop
+// routing here" from "dead, failover now".
+TEST(ServerTest, DrainingServerAnswersPingWithDrainingState) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 4;
+  options.drain_timeout = std::chrono::milliseconds(10000);
+  TopoDbServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string grid = GridText();
+
+  // Pre-connect the observer: drain closes the listener first, so only
+  // an existing session can ask.
+  TopoDbClient observer = ConnectOrDie(server);
+
+  // Hold the drain window open with slow admitted work.
+  std::thread busy([&] {
+    auto c = TopoDbClient::Connect(server.port());
+    if (c.ok()) (void)c->EvalQuery(grid, kPathologicalQuery);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  std::thread drainer([&] { EXPECT_TRUE(server.Shutdown().ok()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  const auto pong = observer.HealthPing();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->state, kPingStateDraining);
+
+  // Non-PING work is refused while draining — server-sent, not transport.
+  const auto refused = observer.EvalQuery(grid, kPathologicalQuery);
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(TopoDbClient::IsTransportError(refused.status()));
+
+  busy.join();
+  drainer.join();
+}
+
 // Graceful drain: shutdown races a burst of in-flight slow requests.
 // Every admitted request is answered — outcomes are confined to
 // {OK/ResourceExhausted, DeadlineExceeded (cancelled straggler),

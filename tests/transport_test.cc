@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "src/client/client.h"
+#include "src/client/pool.h"
 #include "src/server/server.h"
 #include "src/server/wire.h"
 
@@ -235,6 +236,162 @@ TEST(ServerTruncationTest, PartialFramesIncrementTruncatedFrameCounter) {
   EXPECT_EQ(server.metrics().counter("server.truncated_frames")->value(), 2u);
 
   server.Shutdown();
+}
+
+// --- Transport-error classification and retry ------------------------------
+
+TEST(TransportTest, IsTransportErrorKeysOnTheMessageConvention) {
+  EXPECT_TRUE(TopoDbClient::IsTransportError(
+      Status::Unavailable("transport: connection closed by server")));
+  // Server-sent Unavailable (shed, drain) is authoritative, not retryable.
+  EXPECT_FALSE(
+      TopoDbClient::IsTransportError(Status::Unavailable("queue full (1/1)")));
+  EXPECT_FALSE(TopoDbClient::IsTransportError(
+      Status::Unavailable("server draining")));
+  // Other codes never classify as transport regardless of message.
+  EXPECT_FALSE(TopoDbClient::IsTransportError(
+      Status::Internal("transport: not actually")));
+  EXPECT_FALSE(TopoDbClient::IsTransportError(Status::OK()));
+}
+
+TEST(TransportTest, RetryIsOffByDefault) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = TopoDbClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(server.Shutdown().ok());
+  const Status st = client->Ping();
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(TopoDbClient::IsTransportError(st)) << st.ToString();
+}
+
+// Pins the retry loop's contract: exactly max_retries re-attempts are
+// made (counted in client.retries), and the final status is still the
+// transport-level Unavailable when every attempt fails.
+TEST(TransportTest, RetryCountAndFinalStatusArePinned) {
+  MetricsRegistry registry;
+  ClientOptions options;
+  options.retry.max_retries = 3;
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  options.retry.max_backoff = std::chrono::milliseconds(2);
+  options.metrics = &registry;
+
+  uint16_t port = 0;
+  {
+    TopoDbServer server(ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    port = server.port();
+    auto client = TopoDbClient::Connect(port, options);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(server.Shutdown().ok());
+
+    const Status st = client->Ping();
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(TopoDbClient::IsTransportError(st)) << st.ToString();
+  }
+  EXPECT_EQ(registry.counter("client.retries")->value(), 3u);
+}
+
+// The payoff case: the endpoint comes back between attempts (a shard
+// restart) and the retried call succeeds on the new process.
+TEST(TransportTest, RetrySucceedsAcrossAServerRestart) {
+  MetricsRegistry registry;
+  ClientOptions options;
+  options.retry.max_retries = 3;
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  options.metrics = &registry;
+
+  TopoDbServer first(ServerOptions{});
+  ASSERT_TRUE(first.Start().ok());
+  const uint16_t port = first.port();
+  auto client = TopoDbClient::Connect(port, options);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  ASSERT_TRUE(first.Shutdown().ok());
+
+  ServerOptions restart_options;
+  restart_options.port = port;  // Reclaim the exact port.
+  TopoDbServer second(restart_options);
+  if (!second.Start().ok()) {
+    GTEST_SKIP() << "could not rebind " << port << " (port reuse race)";
+  }
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_GE(registry.counter("client.retries")->value(), 1u);
+  EXPECT_TRUE(second.Shutdown().ok());
+}
+
+// --- Connection pool --------------------------------------------------------
+
+TEST(ClientPoolTest, ReusesReleasedConnections) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ClientPoolOptions options;
+  options.port = server.port();
+  options.max_idle = 2;
+  ClientPool pool(options);
+  EXPECT_EQ(pool.idle(), 0u);
+  {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+    EXPECT_TRUE((*lease)->Ping().ok());
+  }  // Released back.
+  EXPECT_EQ(pool.idle(), 1u);
+  {
+    auto lease = pool.Acquire();  // Pops the pooled connection.
+    ASSERT_TRUE(lease.ok());
+    EXPECT_EQ(pool.idle(), 0u);
+    EXPECT_TRUE((*lease)->Ping().ok());
+  }
+  EXPECT_EQ(pool.idle(), 1u);
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(ClientPoolTest, DiscardDropsInsteadOfPooling) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ClientPoolOptions options;
+  options.port = server.port();
+  ClientPool pool(options);
+  {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok());
+    lease->Discard();
+  }
+  EXPECT_EQ(pool.idle(), 0u);
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(ClientPoolTest, MaxIdleBoundsRetainedConnections) {
+  TopoDbServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ClientPoolOptions options;
+  options.port = server.port();
+  options.max_idle = 1;
+  ClientPool pool(options);
+  {
+    auto a = pool.Acquire();
+    auto b = pool.Acquire();
+    ASSERT_TRUE(a.ok() && b.ok());
+  }  // Both released; only one is kept.
+  EXPECT_EQ(pool.idle(), 1u);
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(ClientPoolTest, AcquireFailsWithTransportErrorWhenEndpointIsDown) {
+  uint16_t dead_port = 0;
+  {
+    TopoDbServer server(ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    dead_port = server.port();
+    ASSERT_TRUE(server.Shutdown().ok());
+  }
+  ClientPoolOptions options;
+  options.port = dead_port;
+  ClientPool pool(options);
+  auto lease = pool.Acquire();
+  ASSERT_FALSE(lease.ok());
+  EXPECT_TRUE(TopoDbClient::IsTransportError(lease.status()))
+      << lease.status().ToString();
 }
 
 }  // namespace
